@@ -1,0 +1,342 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment at a
+// reduced-but-representative scale and reports its headline metric(s)
+// via b.ReportMetric, so `go test -bench=.` prints a compact
+// paper-vs-measured summary. EXPERIMENTS.md records the comparison.
+package rowhammer_test
+
+import (
+	"testing"
+
+	rh "rowhammer"
+	"rowhammer/internal/exp"
+)
+
+// benchConfig is the scale used by the benchmark harness: larger than
+// the unit-test scale (stable statistics) but minutes, not hours.
+func benchConfig() exp.Config {
+	return exp.Config{
+		Scale: rh.Scale{
+			RowsPerRegion: 12,
+			Regions:       3,
+			Hammers:       150_000,
+			MaxHammers:    512_000,
+			Repetitions:   2,
+			ModulesPerMfr: 2,
+		},
+		Seed: 0xbe7c,
+		Geometry: rh.Geometry{
+			Banks: 1, RowsPerBank: 1024, SubarrayRows: 256,
+			Chips: 8, ChipWidth: 8, ColumnsPerRow: 32,
+		},
+	}
+}
+
+func BenchmarkTable2Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Table2()
+		b.ReportMetric(float64(res.DDR4Chips), "ddr4-chips")
+		b.ReportMetric(float64(res.DDR3Chips), "ddr3-chips")
+	}
+}
+
+func BenchmarkTable3ContinuousRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: 99.1/98.9/98.0/99.2 %.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.NoGapFrac[j], "nogap-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig3TempRangeClusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper full-range shares: A 14.2, B 17.4, C 9.6, D 29.8 %.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.Matrices[j].FullRangeFraction(), "fullrange-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig4BERvsTemperature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper at 90 °C: A ≈ +50…100%, B ≈ −20%, C ≈ +40%, D ≈ +200%.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.TrendAt(j, 90), "ber-change90-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig5HCFirstTempChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper crossings 50→90: A P45, B P67, C P71, D P40;
+		// magnitude ratios ≈ 3.8–4.3×.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.Cross90[j], "crossP90-"+mfr)
+			b.ReportMetric(res.MagnitudeRatio[j], "magratio-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig6TimingTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig6(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OnSpacing["aggressor-on"].Nanoseconds(), "tAggOn-ns")
+		b.ReportMetric(res.OffSpacing["aggressor-off"].Nanoseconds(), "tAggOff-ns")
+	}
+}
+
+func BenchmarkFig7BERvsAggOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AggOnSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper BER ×10.2/3.1/4.4/9.6 at 154.5 ns.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.MeanBERRatio(j), "ber-ratio-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig8HCFirstVsAggOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AggOnSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper HCfirst −40.0/−28.3/−32.7/−37.3 %.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.MeanHCChange(j), "hc-change-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig9BERvsAggOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AggOffSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper BER ÷6.3/2.9/4.9/5.0 at 40.5 ns.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.MeanBERRatio(j), "ber-ratio-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig10HCFirstVsAggOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AggOffSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper HCfirst +33.8/+24.7/+50.1/+33.7 %.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.MeanHCChange(j), "hc-change-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig11RowVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper (avg across mfrs): P99 ≥1.6×, P95 ≥2.0×, P90 ≥2.2×.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.Summary[j].RatioP95, "p95-ratio-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig12ColumnHeatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper zero-flip columns: A 27.8%, B ~0%, C 31.1%, D 9.96%.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.ZeroFrac[j], "zerocol-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig13ColumnClusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig13(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: B design-dominated (CV≈0 mass 50.9%), A process-
+		// dominated (CV≈1 mass 59.8%).
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.MeanCV[j], "mean-crosschip-cv-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig14SubarrayRegression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig14(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper slopes: 0.46/0.41/0.42/0.67.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.Fits[j].Slope, "slope-"+mfr)
+			b.ReportMetric(res.Fits[j].R2, "r2-"+mfr)
+		}
+	}
+}
+
+func BenchmarkFig15SubarrayBD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig15(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper (Mfr C): P5 same ≈0.975, P5 different ≈0.66.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.P5Same[j], "p5-same-"+mfr)
+			b.ReportMetric(res.P5Diff[j], "p5-diff-"+mfr)
+		}
+	}
+}
+
+func BenchmarkAttackImprovement1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Attack1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: informed choice can halve the required hammer count.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.Reduction[j], "hc-reduction-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkAttackImprovement2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Attack2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: exact-T cells ≈0.3%, at-or-above ≈90% of vulnerable
+		// cells.
+		b.ReportMetric(100*res.ExactCellFrac, "exactT-cells-pct")
+		b.ReportMetric(100*res.AboveCellFrac, "aboveT-cells-pct")
+	}
+}
+
+func BenchmarkAttackImprovement3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Attack3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: BER ×3.2–10.2, HCfirst −36% average.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.HCReduction[j], "hc-reduction-pct-"+mfr)
+			b.ReportMetric(res.BERRatio[j], "ber-ratio-"+mfr)
+		}
+	}
+}
+
+func BenchmarkDefenseImprovement1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Defense1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: Graphene −80%, BlockHammer −33% area.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.GrapheneReduction[j], "graphene-saving-pct-"+mfr)
+			b.ReportMetric(100*res.BHReduction[j], "blockhammer-saving-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkDefenseImprovement2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Defense2(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: ≥10× profiling speedup with approximate estimates.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.Speedup[j], "speedup-"+mfr)
+			b.ReportMetric(100*res.RelError[j], "est-error-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkDefenseImprovement3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Defense3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.RetiredAt85), "retired-rows-85C")
+		b.ReportMetric(100*res.Coverage, "coverage-pct")
+	}
+}
+
+func BenchmarkDefenseImprovement4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Defense4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Paper: cooling 90→50 °C cuts Mfr A BER by ≈25%.
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(100*res.BERReduction[j], "cooling-ber-cut-pct-"+mfr)
+		}
+	}
+}
+
+func BenchmarkDefenseImprovement5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Defense5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ExtendedHC), "attack-hcfirst")
+		b.ReportMetric(float64(res.LimitedHC), "limited-hcfirst")
+		b.ReportMetric(100*res.BenignSlowdown, "benign-slowdown-pct")
+	}
+}
+
+func BenchmarkDefenseImprovement6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Defense6(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, mfr := range res.Mfrs {
+			b.ReportMetric(res.ExposureRatio[j], "exposure-ratio-"+mfr)
+		}
+	}
+}

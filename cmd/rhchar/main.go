@@ -1,0 +1,79 @@
+// Command rhchar runs the RowHammer characterization experiments that
+// regenerate the paper's tables and figures.
+//
+// Usage:
+//
+//	rhchar -list
+//	rhchar -exp fig11
+//	rhchar -exp all -scale default
+//	rhchar -exp fig3 -scale paper -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	rh "rowhammer"
+	"rowhammer/internal/exp"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id to run (or \"all\")")
+		scale = flag.String("scale", "default", "measurement scale: tiny, default, paper")
+		seed  = flag.Uint64("seed", 0x5eed, "master seed for module instances")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *expID == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	cfg := exp.Config{Seed: *seed, Out: os.Stdout}
+	switch *scale {
+	case "tiny":
+		cfg.Scale = rh.Scale{RowsPerRegion: 10, Regions: 2, Hammers: 150_000, MaxHammers: 512_000, Repetitions: 1, ModulesPerMfr: 2}
+		cfg.Geometry = rh.Geometry{Banks: 1, RowsPerBank: 512, SubarrayRows: 128, Chips: 8, ChipWidth: 8, ColumnsPerRow: 32}
+	case "default":
+		cfg.Scale = rh.DefaultScale()
+	case "paper":
+		cfg.Scale = rh.PaperScale()
+		cfg.Geometry = rh.Geometry{Banks: 4, RowsPerBank: 65536, SubarrayRows: 512, Chips: 8, ChipWidth: 8, ColumnsPerRow: 128}
+	default:
+		fmt.Fprintf(os.Stderr, "rhchar: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(e exp.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *expID == "all" {
+		for _, e := range exp.All() {
+			run(e)
+		}
+		return
+	}
+	e := exp.ByID(*expID)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "rhchar: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+	run(*e)
+}

@@ -1,0 +1,56 @@
+package rowhammer
+
+import (
+	"rowhammer/internal/dram"
+	"rowhammer/internal/faultmodel"
+)
+
+// Re-exported substrate types, so downstream users of the public API
+// never need to reach into internal packages.
+
+// PatternKind is a Table 1 data pattern.
+type PatternKind = dram.PatternKind
+
+// The Table 1 data patterns.
+const (
+	PatColStripe    = dram.PatColStripe
+	PatColStripeInv = dram.PatColStripeInv
+	PatCheckered    = dram.PatCheckered
+	PatCheckeredInv = dram.PatCheckeredInv
+	PatRowStripe    = dram.PatRowStripe
+	PatRowStripeInv = dram.PatRowStripeInv
+	PatRandom       = dram.PatRandom
+)
+
+// AllPatterns lists every Table 1 pattern.
+var AllPatterns = dram.AllPatterns
+
+// Profile is a manufacturer fault profile.
+type Profile = faultmodel.Profile
+
+// Profiles returns the four calibrated manufacturer profiles (A–D).
+func Profiles() []*Profile { return faultmodel.Profiles() }
+
+// ProfileByName returns the profile with the given letter name, or nil.
+func ProfileByName(name string) *Profile { return faultmodel.ProfileByName(name) }
+
+// Geometry describes a module's physical organization.
+type Geometry = dram.Geometry
+
+// Timing holds DRAM timing parameters.
+type Timing = dram.Timing
+
+// Picos is a time value in picoseconds.
+type Picos = dram.Picos
+
+// DDR4Timing returns the study's DDR4 timing set.
+func DDR4Timing() Timing { return dram.DDR4Timing() }
+
+// DDR3Timing returns the study's DDR3 timing set.
+func DDR3Timing() Timing { return dram.DDR3Timing() }
+
+// DefaultDDR4Geometry returns the reduced-scale DDR4 geometry.
+func DefaultDDR4Geometry() Geometry { return dram.DefaultDDR4Geometry() }
+
+// DefaultDDR3Geometry returns the reduced-scale DDR3 geometry.
+func DefaultDDR3Geometry() Geometry { return dram.DefaultDDR3Geometry() }

@@ -1,0 +1,3 @@
+module rowhammer
+
+go 1.22

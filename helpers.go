@@ -1,0 +1,45 @@
+package rowhammer
+
+import (
+	"math/bits"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/softmc"
+)
+
+// tz64 returns the index of the lowest set bit.
+func tz64(v uint64) int { return bits.TrailingZeros64(v) }
+
+// newBuilder returns a program builder clocked at the timing's tCK.
+func newBuilder(tm dram.Timing) *softmc.Builder { return softmc.NewBuilder(tm.TCK) }
+
+// rowFiller batches full-row pattern writes into one program.
+type rowFiller struct {
+	t    *Tester
+	bank int
+	pat  dram.PatternKind
+	bld  *softmc.Builder
+}
+
+func newRowFiller(t *Tester, bank int, pat dram.PatternKind) *rowFiller {
+	return &rowFiller{t: t, bank: bank, pat: pat, bld: newBuilder(t.b.Timing())}
+}
+
+// fill writes the pattern into a row addressed by *logical* index,
+// labeled with the given distance for Table 1 parity selection.
+func (f *rowFiller) fill(logical, dist int) {
+	g := f.t.b.Geometry()
+	tm := f.t.b.Timing()
+	f.bld.Act(f.bank, logical).Wait(tm.TRCD)
+	for col := 0; col < g.ColumnsPerRow; col++ {
+		f.bld.Wr(f.bank, col, f.pat.FillWord(f.t.patternSeed, f.bank, logical, dist, col))
+		f.bld.Wait(tm.TCCD)
+	}
+	f.bld.Wait(tm.TRAS).Pre(f.bank).Wait(tm.TRP)
+}
+
+// run executes the accumulated writes.
+func (f *rowFiller) run() error {
+	_, err := f.t.b.Exec.Run(f.bld.Program())
+	return err
+}

@@ -1,0 +1,46 @@
+package defense
+
+import (
+	"rowhammer/internal/dram"
+	"rowhammer/internal/sched"
+)
+
+// BenignOverhead replays a benign memory-request stream through a
+// mechanism and tallies the mitigation activity it triggers on
+// non-attack traffic — the false-positive cost side of every tracker's
+// design space (Defense Improvement 1 trades this against area).
+//
+// The request stream is reduced to its activation stream with an
+// open-page policy: a request activates its row only when the row is
+// not already open in its bank.
+type BenignOverheadResult struct {
+	Activations         int64
+	PreventiveRefreshes int64
+	ThrottleDelay       dram.Picos
+	// RefreshRate is refreshes per activation.
+	RefreshRate float64
+}
+
+// BenignOverhead runs the replay. A nil mechanism returns the
+// activation count only.
+func BenignOverhead(m Mechanism, reqs []sched.Request) BenignOverheadResult {
+	var res BenignOverheadResult
+	openRow := map[int]int{}
+	for _, rq := range reqs {
+		if row, ok := openRow[rq.Bank]; ok && row == rq.Row {
+			continue // row hit: no activation
+		}
+		openRow[rq.Bank] = rq.Row
+		res.Activations++
+		if m == nil {
+			continue
+		}
+		act := m.ObserveBulk(rq.Bank, rq.Row, 1, rq.Arrival)
+		res.PreventiveRefreshes += int64(len(act.RefreshRows))
+		res.ThrottleDelay += act.ThrottleDelay
+	}
+	if res.Activations > 0 {
+		res.RefreshRate = float64(res.PreventiveRefreshes) / float64(res.Activations)
+	}
+	return res
+}

@@ -1,0 +1,75 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/sched"
+)
+
+func benignStream(seed uint64) []sched.Request {
+	return sched.Generate(sched.WorkloadConfig{
+		Requests: 50_000, Banks: 4, Rows: 4096, Cols: 64,
+		Locality: 0.7, InterArrival: dram.PicosFromNs(40), Seed: seed,
+	})
+}
+
+func TestBenignOverheadBaselineActivations(t *testing.T) {
+	reqs := benignStream(1)
+	res := BenignOverhead(nil, reqs)
+	if res.Activations == 0 || res.Activations > int64(len(reqs)) {
+		t.Fatalf("activations = %d of %d requests", res.Activations, len(reqs))
+	}
+	// ~70% locality ⇒ roughly 30% of requests activate.
+	frac := float64(res.Activations) / float64(len(reqs))
+	if frac < 0.15 || frac > 0.5 {
+		t.Fatalf("activation fraction %.2f implausible for 0.7 locality", frac)
+	}
+}
+
+func TestPARABenignOverheadMatchesProbability(t *testing.T) {
+	reqs := benignStream(2)
+	p := 0.02
+	para := NewPARA(p, 4096, 5)
+	res := BenignOverhead(para, reqs)
+	if math.Abs(res.RefreshRate-p) > 0.01 {
+		t.Fatalf("PARA benign refresh rate %.4f, want ≈%.2f", res.RefreshRate, p)
+	}
+}
+
+func TestGrapheneBenignOverheadNearZero(t *testing.T) {
+	reqs := benignStream(3)
+	g := NewGraphene(10_000, 256, 4096)
+	res := BenignOverhead(g, reqs)
+	// Benign rows never approach a 10K threshold in this stream.
+	if res.PreventiveRefreshes != 0 {
+		t.Fatalf("Graphene refreshed %d times on benign traffic", res.PreventiveRefreshes)
+	}
+}
+
+func TestBlockHammerBenignNoThrottling(t *testing.T) {
+	reqs := benignStream(4)
+	bh := NewBlockHammer(10_000, dram.PicosFromNs(2000), 8192, 4, 64*dram.Millisecond, 5)
+	res := BenignOverhead(bh, reqs)
+	if res.ThrottleDelay != 0 {
+		t.Fatalf("BlockHammer throttled benign traffic by %v", res.ThrottleDelay)
+	}
+}
+
+func TestTrackerOverheadOrdering(t *testing.T) {
+	// The classic trade-off: PARA (stateless) pays refresh bandwidth on
+	// every activation; deterministic trackers pay ~nothing on benign
+	// streams.
+	reqs := benignStream(6)
+	para := BenignOverhead(NewPARA(PARAProbability(10_000, 1e-15), 4096, 7), reqs)
+	graphene := BenignOverhead(NewGraphene(10_000, 256, 4096), reqs)
+	twice := BenignOverhead(NewTWiCe(10_000, 64*dram.Millisecond, 4096), reqs)
+	if para.PreventiveRefreshes <= graphene.PreventiveRefreshes {
+		t.Fatalf("PARA (%d) should out-refresh Graphene (%d) on benign traffic",
+			para.PreventiveRefreshes, graphene.PreventiveRefreshes)
+	}
+	if twice.PreventiveRefreshes != 0 {
+		t.Fatalf("TWiCe refreshed %d times on benign traffic", twice.PreventiveRefreshes)
+	}
+}

@@ -1,0 +1,136 @@
+package defense
+
+import (
+	"rowhammer/internal/dram"
+	"rowhammer/internal/rng"
+)
+
+// BlockHammer (Yağlıkçı et al., HPCA 2021) blacklists rapidly
+// activated rows using dual counting Bloom filters and throttles their
+// activation rate so no row can reach HCfirst within a refresh window.
+// Unlike refresh-based defenses it never touches the DRAM array.
+type BlockHammer struct {
+	// Threshold is the CBF estimate at which a row is blacklisted.
+	Threshold int64
+	// Delay is the minimum allowed activation-to-activation time for
+	// blacklisted rows.
+	Delay dram.Picos
+	// Counters is the CBF size; Hashes the number of hash functions.
+	Counters int
+	Hashes   int
+	// WindowP is the filter-rotation period (half the refresh window).
+	WindowP dram.Picos
+
+	filters    [2]cbf
+	activeAt   dram.Picos // time the active filter was last rotated
+	seed       uint64
+	historical map[int]dram.Picos // last activation time of blacklisted rows
+}
+
+// cbf is one counting Bloom filter.
+type cbf struct {
+	counts []int64
+}
+
+// NewBlockHammer builds a BlockHammer instance.
+func NewBlockHammer(threshold int64, delay dram.Picos, counters, hashes int, window dram.Picos, seed uint64) *BlockHammer {
+	b := &BlockHammer{
+		Threshold:  threshold,
+		Delay:      delay,
+		Counters:   counters,
+		Hashes:     hashes,
+		WindowP:    window,
+		seed:       seed,
+		historical: make(map[int]dram.Picos),
+	}
+	for i := range b.filters {
+		b.filters[i].counts = make([]int64, counters)
+	}
+	return b
+}
+
+// Name implements Mechanism.
+func (b *BlockHammer) Name() string { return "BlockHammer" }
+
+// indexes returns the CBF counter indexes of a row.
+func (b *BlockHammer) indexes(bank, row int) []int {
+	out := make([]int, b.Hashes)
+	for h := 0; h < b.Hashes; h++ {
+		out[h] = int(rng.Hash64(b.seed, uint64(bank), uint64(row), uint64(h)) % uint64(b.Counters))
+	}
+	return out
+}
+
+// estimate returns the CBF count estimate (minimum over hashes) in the
+// active filter.
+func (b *BlockHammer) estimate(f *cbf, idx []int) int64 {
+	min := int64(-1)
+	for _, i := range idx {
+		if min < 0 || f.counts[i] < min {
+			min = f.counts[i]
+		}
+	}
+	return min
+}
+
+// ObserveBulk implements Mechanism. Blacklisted rows accrue a
+// throttle delay proportional to how many of the n activations
+// happened while blacklisted.
+func (b *BlockHammer) ObserveBulk(bank, row int, n int64, now dram.Picos) Action {
+	if n <= 0 {
+		return Action{}
+	}
+	// Rotate filters at window boundaries.
+	if b.WindowP > 0 {
+		for now-b.activeAt >= b.WindowP {
+			b.activeAt += b.WindowP
+			b.filters[0], b.filters[1] = b.filters[1], b.filters[0]
+			for i := range b.filters[0].counts {
+				b.filters[0].counts[i] = 0
+			}
+		}
+	}
+	idx := b.indexes(bank, row)
+	before := b.estimate(&b.filters[0], idx)
+	for _, i := range idx {
+		b.filters[0].counts[i] += n
+	}
+	after := before + n
+
+	var act Action
+	if after >= b.Threshold {
+		// Activations beyond the blacklist point must be spaced by
+		// Delay each.
+		over := after - b.Threshold
+		if over > n {
+			over = n
+		}
+		act.ThrottleDelay = dram.Picos(over) * b.Delay
+	}
+	return act
+}
+
+// Blacklisted reports whether a row currently exceeds the threshold.
+func (b *BlockHammer) Blacklisted(bank, row int) bool {
+	return b.estimate(&b.filters[0], b.indexes(bank, row)) >= b.Threshold
+}
+
+// Reset implements Mechanism.
+func (b *BlockHammer) Reset() {
+	for i := range b.filters {
+		for j := range b.filters[i].counts {
+			b.filters[i].counts[j] = 0
+		}
+	}
+	b.activeAt = 0
+}
+
+// SafeDelay returns the throttle delay that makes reaching hcFirst
+// activations impossible within the refresh window tREFW: spacing
+// activations of a blacklisted row by at least tREFW/hcFirst.
+func SafeDelay(hcFirst int64, trefw dram.Picos) dram.Picos {
+	if hcFirst <= 0 {
+		return trefw
+	}
+	return trefw / dram.Picos(hcFirst)
+}

@@ -1,0 +1,50 @@
+// Package defense implements the RowHammer mitigation mechanisms the
+// paper's §8.2 improvements build on — PARA, Graphene, BlockHammer,
+// controller-side RFM — plus the six defense improvements themselves:
+// row-aware threshold configuration, subarray-sampled profiling
+// support, temperature-aware row retirement, cooling, open-time
+// limiting, and column-aware ECC provisioning.
+//
+// Defenses are memory-controller-side observers of the activation
+// stream. To compose with the simulator's bulk-hammer fast path, they
+// observe activations in batches (ObserveBulk); per-activation
+// semantics are recovered exactly for counter mechanisms and
+// statistically for probabilistic ones.
+package defense
+
+import "rowhammer/internal/dram"
+
+// Action is what a defense demands after observing activations.
+type Action struct {
+	// RefreshRows are physical neighbor rows the controller must
+	// preventively refresh (activate) now.
+	RefreshRows []int
+	// ThrottleDelay is extra delay the controller must insert before
+	// the *next* activation of the observed row (BlockHammer-style
+	// blacklisting).
+	ThrottleDelay dram.Picos
+}
+
+// Mechanism is a controller-side RowHammer defense.
+type Mechanism interface {
+	// Name identifies the mechanism.
+	Name() string
+	// ObserveBulk records n consecutive activations of a physical row
+	// in a bank ending at time now, returning any demanded action.
+	ObserveBulk(bank, row int, n int64, now dram.Picos) Action
+	// Reset clears all tracking state (e.g. at a refresh-window
+	// boundary).
+	Reset()
+}
+
+// neighbors returns the blast-radius rows of an aggressor, clipped to
+// the row range.
+func neighbors(row, rows int) []int {
+	var out []int
+	for _, n := range []int{row - 2, row - 1, row + 1, row + 2} {
+		if n >= 0 && n < rows {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	rh "rowhammer"
+	"rowhammer/internal/dram"
+)
+
+func TestPARAProbability(t *testing.T) {
+	p := PARAProbability(10_000, 1e-15)
+	if p <= 0 || p > 1 {
+		t.Fatalf("p = %v", p)
+	}
+	// Lower threshold demands higher probability.
+	p2 := PARAProbability(1_000, 1e-15)
+	if p2 <= p {
+		t.Fatalf("p(1K)=%v should exceed p(10K)=%v", p2, p)
+	}
+	if got := PARAProbability(0, 1e-15); got != 1 {
+		t.Fatalf("degenerate threshold p = %v", got)
+	}
+}
+
+func TestPARARefreshRate(t *testing.T) {
+	p := NewPARA(0.01, 1024, 1)
+	var total int64
+	const n = 200_000
+	act := p.ObserveBulk(0, 500, n, 0)
+	total = int64(len(act.RefreshRows))
+	mean := float64(total) / n
+	if math.Abs(mean-0.01) > 0.002 {
+		t.Fatalf("refresh rate %v, want ≈0.01", mean)
+	}
+	for _, r := range act.RefreshRows {
+		if r < 498 || r > 502 || r == 500 {
+			t.Fatalf("refreshed row %d outside blast radius of 500", r)
+		}
+	}
+}
+
+func TestPARASmallBatchExact(t *testing.T) {
+	p := NewPARA(1.0, 1024, 1)
+	act := p.ObserveBulk(0, 10, 8, 0)
+	if len(act.RefreshRows) != 8 {
+		t.Fatalf("p=1 should refresh every activation, got %d/8", len(act.RefreshRows))
+	}
+}
+
+func TestPARASlowdownAnchor(t *testing.T) {
+	p := PARAProbability(1000, 1e-15)
+	if got := PARASlowdown(p); math.Abs(got-0.28) > 1e-9 {
+		t.Fatalf("anchor slowdown = %v, want 0.28", got)
+	}
+	if got := PARASlowdown(p / 2); math.Abs(got-0.14) > 1e-9 {
+		t.Fatalf("half-probability slowdown = %v, want 0.14", got)
+	}
+}
+
+func TestGrapheneDetectsHotRow(t *testing.T) {
+	g := NewGraphene(1000, 8, 4096)
+	var refreshes []int
+	for i := 0; i < 20; i++ {
+		act := g.ObserveBulk(0, 77, 100, 0)
+		refreshes = append(refreshes, act.RefreshRows...)
+	}
+	// 2000 activations at threshold 1000 ⇒ two trigger events ⇒
+	// neighbors refreshed twice.
+	if len(refreshes) != 2*4 {
+		t.Fatalf("refreshes = %v", refreshes)
+	}
+	for _, r := range refreshes {
+		if r < 75 || r > 79 || r == 77 {
+			t.Fatalf("refresh %d outside blast radius", r)
+		}
+	}
+}
+
+func TestGrapheneBulkThresholdCrossings(t *testing.T) {
+	g := NewGraphene(1000, 8, 4096)
+	act := g.ObserveBulk(0, 5, 3500, 0)
+	// 3500 activations cross the 1000 threshold three times.
+	if len(act.RefreshRows) != 3*4 {
+		t.Fatalf("expected 12 refreshes, got %d", len(act.RefreshRows))
+	}
+}
+
+func TestGrapheneMisraGriesGuarantee(t *testing.T) {
+	// With table size >= W/T, any row activated >= T times within W
+	// total activations must trigger, regardless of interleaved noise.
+	const threshold = 1000
+	const w = 16_000
+	size := GrapheneTableSize(w, threshold)
+	g := NewGraphene(threshold, size, 65536)
+	triggered := false
+	// Noise rows interleaved with the attack row.
+	for i := 0; i < 15; i++ {
+		g.ObserveBulk(0, 1000+i, w/16/2, 0)
+		if act := g.ObserveBulk(0, 42, threshold/15+1, 0); len(act.RefreshRows) > 0 {
+			triggered = true
+		}
+	}
+	if !triggered {
+		t.Fatal("Graphene missed a row that crossed the threshold")
+	}
+}
+
+func TestGrapheneReset(t *testing.T) {
+	g := NewGraphene(1000, 4, 4096)
+	g.ObserveBulk(0, 7, 999, 0)
+	g.Reset()
+	if act := g.ObserveBulk(0, 7, 1, 0); len(act.RefreshRows) != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+	if g.TrackedRows() != 1 {
+		t.Fatalf("tracked rows = %d", g.TrackedRows())
+	}
+}
+
+func TestBlockHammerBlacklisting(t *testing.T) {
+	window := 64 * dram.Millisecond
+	bh := NewBlockHammer(1000, SafeDelay(10_000, window), 1024, 4, window, 1)
+	if bh.Blacklisted(0, 9) {
+		t.Fatal("fresh row blacklisted")
+	}
+	act := bh.ObserveBulk(0, 9, 999, 0)
+	if act.ThrottleDelay != 0 {
+		t.Fatalf("below threshold throttled: %v", act.ThrottleDelay)
+	}
+	act = bh.ObserveBulk(0, 9, 100, 0)
+	if act.ThrottleDelay == 0 {
+		t.Fatal("no throttle after crossing threshold")
+	}
+	if !bh.Blacklisted(0, 9) {
+		t.Fatal("row should be blacklisted")
+	}
+}
+
+func TestBlockHammerThrottleProportional(t *testing.T) {
+	window := 64 * dram.Millisecond
+	delay := SafeDelay(10_000, window)
+	bh := NewBlockHammer(1000, delay, 1024, 4, window, 1)
+	bh.ObserveBulk(0, 9, 1000, 0)
+	act := bh.ObserveBulk(0, 9, 500, 0)
+	if want := dram.Picos(500) * delay; act.ThrottleDelay != want {
+		t.Fatalf("throttle = %v, want %v", act.ThrottleDelay, want)
+	}
+}
+
+func TestBlockHammerWindowRotation(t *testing.T) {
+	window := dram.Picos(1000)
+	bh := NewBlockHammer(100, 10, 256, 4, window, 1)
+	bh.ObserveBulk(0, 9, 150, 0)
+	if !bh.Blacklisted(0, 9) {
+		t.Fatal("should be blacklisted in first window")
+	}
+	// Two windows later the filters have rotated out.
+	bh.ObserveBulk(0, 50, 1, 2500)
+	if bh.Blacklisted(0, 9) {
+		t.Fatal("blacklist should expire after rotation")
+	}
+}
+
+func TestSafeDelay(t *testing.T) {
+	w := 64 * dram.Millisecond
+	d := SafeDelay(32_000, w)
+	// 32K activations spaced by d must take ≥ tREFW.
+	if dram.Picos(32_000)*d < w {
+		t.Fatalf("unsafe delay %v", d)
+	}
+	if SafeDelay(0, w) != w {
+		t.Fatal("degenerate threshold should return full window")
+	}
+}
+
+func TestRFMFiresEveryRAAIMT(t *testing.T) {
+	fired := 0
+	r := NewRFM(32, func(bank int, now dram.Picos) { fired++ })
+	r.ObserveBulk(0, 1, 31, 0)
+	if fired != 0 {
+		t.Fatal("fired early")
+	}
+	r.ObserveBulk(0, 2, 1, 0)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	r.ObserveBulk(0, 3, 96, 0)
+	if fired != 4 {
+		t.Fatalf("fired = %d, want 4 after 128 total", fired)
+	}
+	if r.RFMCount != 4 {
+		t.Fatalf("RFMCount = %d", r.RFMCount)
+	}
+	r.Reset()
+	r.ObserveBulk(1, 1, 31, 0)
+	if fired != 4 {
+		t.Fatal("reset did not clear RAA")
+	}
+}
+
+func TestAreaModelsMatchPaperAnchors(t *testing.T) {
+	// Baselines at the worst-case threshold.
+	if g := GrapheneArea(10_000); math.Abs(g-0.005) > 1e-9 {
+		t.Fatalf("Graphene baseline = %v", g)
+	}
+	if b := BlockHammerArea(10_000); math.Abs(b-0.006) > 1e-9 {
+		t.Fatalf("BlockHammer baseline = %v", b)
+	}
+	cfg := RowAwareConfig{
+		WeakRowFraction: 0.05,
+		ThresholdWeak:   10_000,
+		ThresholdStrong: 20_000,
+		RowsPerBank:     65536,
+	}
+	gRed := AreaReduction(GrapheneArea(10_000), RowAwareGrapheneArea(cfg))
+	if gRed < 0.7 || gRed > 0.9 {
+		t.Fatalf("Graphene row-aware reduction = %v, want ≈0.8", gRed)
+	}
+	bRed := AreaReduction(BlockHammerArea(10_000), RowAwareBlockHammerArea(cfg))
+	if bRed < 0.25 || bRed > 0.4 {
+		t.Fatalf("BlockHammer row-aware reduction = %v, want ≈0.33", bRed)
+	}
+}
+
+func TestRetirementPolicyTemperatureAware(t *testing.T) {
+	p := NewRetirementPolicy()
+	p.AddCellRange(10, 70, 90)
+	p.AddCellRange(20, 50, 55)
+	p.AddCellRange(20, 80, 85)
+	cold := p.RetiredRows(52, 0)
+	if len(cold) != 1 || cold[0] != 20 {
+		t.Fatalf("retired at 52 °C: %v", cold)
+	}
+	hot := p.RetiredRows(85, 0)
+	if len(hot) != 2 {
+		t.Fatalf("retired at 85 °C: %v", hot)
+	}
+	mid := p.RetiredRows(62, 0)
+	if len(mid) != 0 {
+		t.Fatalf("retired at 62 °C: %v", mid)
+	}
+	// Guard band pulls nearby ranges in.
+	guarded := p.RetiredRows(62, 10)
+	if len(guarded) != 2 {
+		t.Fatalf("retired at 62±10 °C: %v", guarded)
+	}
+	if p.ProfiledRows() != 2 {
+		t.Fatalf("profiled rows = %d", p.ProfiledRows())
+	}
+}
+
+func TestOpenTimeLimiter(t *testing.T) {
+	l := NewOpenTimeLimiter(dram.PicosFromNs(50))
+	short := l.Clamp(dram.PicosFromNs(40))
+	if len(short) != 1 || short[0] != dram.PicosFromNs(40) {
+		t.Fatalf("short clamp = %v", short)
+	}
+	long := l.Clamp(dram.PicosFromNs(160))
+	var sum dram.Picos
+	for _, p := range long {
+		if p > dram.PicosFromNs(50) {
+			t.Fatalf("segment %v exceeds cap", p)
+		}
+		sum += p
+	}
+	if sum != dram.PicosFromNs(160) {
+		t.Fatalf("segments sum to %v", sum)
+	}
+	if l.ExtraActs != 3 {
+		t.Fatalf("extra activations = %d, want 3", l.ExtraActs)
+	}
+}
+
+func TestColumnAwareECCBeatsUniform(t *testing.T) {
+	// A heavy-tailed column flip profile (like Fig. 12's).
+	flips := make([]int, 64)
+	for i := range flips {
+		flips[i] = 1
+	}
+	flips[3] = 120
+	flips[40] = 95
+	flips[41] = 80
+	const budget = 12
+	aware := PlanColumnECC(flips, budget, 1)
+	uniform := UniformECCPlan(len(flips), budget, 1)
+	ea := aware.UncorrectedExposure(flips)
+	eu := uniform.UncorrectedExposure(flips)
+	if ea >= eu {
+		t.Fatalf("column-aware exposure %v >= uniform %v", ea, eu)
+	}
+	// Budget conserved.
+	sum := 0
+	for _, c := range aware.CorrectPerWord {
+		sum += c - 1
+	}
+	if sum != budget {
+		t.Fatalf("aware plan used %d of %d budget", sum, budget)
+	}
+}
+
+func newEvalBench(t *testing.T, seed uint64) *rh.Bench {
+	t.Helper()
+	b, err := rh.NewBench(rh.BenchConfig{
+		Profile: rh.ProfileByName("A"),
+		Seed:    seed,
+		Geometry: rh.Geometry{
+			Banks: 1, RowsPerBank: 256, SubarrayRows: 256,
+			Chips: 8, ChipWidth: 8, ColumnsPerRow: 64,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEvaluateUndefendedBaselineFlips(t *testing.T) {
+	b := newEvalBench(t, 3)
+	res, err := Evaluate(EvalConfig{
+		Bench: b, Bank: 0, VictimPhys: 100, Hammers: 300_000,
+		Pattern: rh.PatCheckered, Trial: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimFlips == 0 {
+		t.Fatal("undefended attack should flip bits")
+	}
+	if res.PreventiveRefreshes != 0 || res.ThrottleDelay != 0 {
+		t.Fatalf("baseline should have no mitigation activity: %+v", res)
+	}
+}
+
+func TestEvaluateGraphenePreventsFlips(t *testing.T) {
+	b := newEvalBench(t, 3)
+	// Threshold well below any HCfirst in the module.
+	g := NewGraphene(8_000, 64, 256)
+	res, err := Evaluate(EvalConfig{
+		Bench: b, Mechanism: g, Bank: 0, VictimPhys: 100, Hammers: 300_000,
+		Pattern: rh.PatCheckered, Trial: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimFlips != 0 {
+		t.Fatalf("Graphene-defended attack flipped %d bits", res.VictimFlips)
+	}
+	if res.PreventiveRefreshes == 0 {
+		t.Fatal("Graphene never refreshed under attack")
+	}
+}
+
+func TestEvaluateBlockHammerPreventsFlips(t *testing.T) {
+	b := newEvalBench(t, 3)
+	tm := b.Timing()
+	bh := NewBlockHammer(8_000, SafeDelay(16_000, tm.TREFW), 4096, 4, tm.TREFW/2, 1)
+	res, err := Evaluate(EvalConfig{
+		Bench: b, Mechanism: bh, Bank: 0, VictimPhys: 100, Hammers: 300_000,
+		Pattern: rh.PatCheckered, Trial: 1, AutoRefresh: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimFlips != 0 {
+		t.Fatalf("BlockHammer-defended attack flipped %d bits", res.VictimFlips)
+	}
+	if res.ThrottleDelay == 0 {
+		t.Fatal("BlockHammer never throttled")
+	}
+	if res.RefreshWindows == 0 {
+		t.Fatal("throttling should have stretched the attack past tREFW")
+	}
+}
+
+func TestEvaluatePARAReducesFlips(t *testing.T) {
+	b := newEvalBench(t, 5)
+	base, err := Evaluate(EvalConfig{
+		Bench: b, Bank: 0, VictimPhys: 100, Hammers: 300_000,
+		Pattern: rh.PatCheckered, Trial: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := newEvalBench(t, 5)
+	p := NewPARA(PARAProbability(8_000, 1e-9), 256, 7)
+	defended, err := Evaluate(EvalConfig{
+		Bench: b2, Mechanism: p, Bank: 0, VictimPhys: 100, Hammers: 300_000,
+		Pattern: rh.PatCheckered, Trial: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defended.VictimFlips >= base.VictimFlips {
+		t.Fatalf("PARA did not reduce flips: %d vs %d", defended.VictimFlips, base.VictimFlips)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(EvalConfig{}); err == nil {
+		t.Fatal("expected error for nil bench")
+	}
+}

@@ -1,0 +1,149 @@
+package defense
+
+import (
+	"fmt"
+
+	rh "rowhammer"
+	"rowhammer/internal/dram"
+	"rowhammer/internal/softmc"
+)
+
+// EvalConfig describes one attack-vs-defense run: a double-sided
+// attack of up to Hammers pairs against a victim, with the mechanism
+// observing the activation stream in ChunkSize batches (the
+// controller-side vantage point).
+//
+// The harness, like the mechanisms it evaluates, works in physical row
+// space: deployed trackers assume knowledge of the DRAM-internal
+// mapping (as BlockHammer and Graphene do).
+type EvalConfig struct {
+	Bench      *rh.Bench
+	Mechanism  Mechanism
+	Bank       int
+	VictimPhys int
+	Hammers    int64
+	// ChunkSize is the observation batch (default 512 hammer pairs).
+	ChunkSize int64
+	Pattern   rh.PatternKind
+	// AggOnNs optionally extends the aggressor open time (attack
+	// Improvement 3); zero means tRAS.
+	AggOnNs float64
+	Trial   uint64
+	// AutoRefresh models the periodic refresh of a deployed system:
+	// whenever the attack's elapsed time crosses a tREFW boundary, the
+	// victim rows are refreshed (restoring their charge). Throttling
+	// defenses rely on this: stretching the attack beyond tREFW makes
+	// it fail. Characterization (§4.2) runs without it.
+	AutoRefresh bool
+}
+
+// EvalResult reports the outcome.
+type EvalResult struct {
+	// VictimFlips is the number of bit flips the attack achieved.
+	VictimFlips int
+	// PreventiveRefreshes counts mitigation refreshes issued.
+	PreventiveRefreshes int64
+	// ThrottleDelay is the total delay the mechanism imposed.
+	ThrottleDelay dram.Picos
+	// Duration is the wall-clock (DRAM time) cost of the attack,
+	// including throttling.
+	Duration dram.Picos
+	// RefreshWindows counts tREFW boundaries crossed (AutoRefresh).
+	RefreshWindows int64
+}
+
+// Evaluate runs a double-sided attack against a defended module.
+// A nil mechanism evaluates the undefended baseline.
+func Evaluate(cfg EvalConfig) (EvalResult, error) {
+	if cfg.Bench == nil {
+		return EvalResult{}, fmt.Errorf("defense: EvalConfig.Bench required")
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 512
+	}
+	t := rh.NewTester(cfg.Bench)
+	if err := t.InitPattern(cfg.Bank, cfg.VictimPhys, cfg.Pattern); err != nil {
+		return EvalResult{}, err
+	}
+	cfg.Bench.Model.SetSalt(cfg.Trial)
+	defer cfg.Bench.Model.SetSalt(0)
+
+	tm := cfg.Bench.Timing()
+	aggOn := tm.TRAS
+	if cfg.AggOnNs > 0 {
+		aggOn = dram.PicosFromNs(cfg.AggOnNs)
+	}
+	aggressors := []int{cfg.VictimPhys - 1, cfg.VictimPhys + 1}
+	logicalAggs := []int{t.LogicalRow(cfg.VictimPhys - 1), t.LogicalRow(cfg.VictimPhys + 1)}
+	ex := cfg.Bench.Exec
+	start := ex.Now()
+
+	var res EvalResult
+	nextRefresh := start + tm.TREFW
+	issued := int64(0)
+	for issued < cfg.Hammers {
+		chunk := cfg.ChunkSize
+		if issued+chunk > cfg.Hammers {
+			chunk = cfg.Hammers - issued
+		}
+		bld := softmc.NewBuilder(tm.TCK)
+		bld.Hammer(cfg.Bank, logicalAggs, chunk, aggOn, tm.TRP)
+		if _, err := ex.Run(bld.Program()); err != nil {
+			return res, err
+		}
+		issued += chunk
+
+		if cfg.Mechanism != nil {
+			for _, agg := range aggressors {
+				act := cfg.Mechanism.ObserveBulk(cfg.Bank, agg, chunk, ex.Now())
+				if len(act.RefreshRows) > 0 {
+					rb := softmc.NewBuilder(tm.TCK)
+					for _, r := range act.RefreshRows {
+						if r < 0 || r >= cfg.Bench.Geometry().RowsPerBank {
+							continue
+						}
+						rb.Act(cfg.Bank, t.LogicalRow(r)).Wait(tm.TRAS).Pre(cfg.Bank).Wait(tm.TRP)
+						res.PreventiveRefreshes++
+					}
+					if _, err := ex.Run(rb.Program()); err != nil {
+						return res, err
+					}
+				}
+				if act.ThrottleDelay > 0 {
+					res.ThrottleDelay += act.ThrottleDelay
+					ex.AdvanceTo(ex.Now() + act.ThrottleDelay)
+				}
+			}
+		}
+
+		if cfg.AutoRefresh && ex.Now() >= nextRefresh {
+			// Periodic refresh restores the victim neighborhood.
+			rb := softmc.NewBuilder(tm.TCK)
+			for off := -2; off <= 2; off++ {
+				r := cfg.VictimPhys + off
+				if r < 0 || r >= cfg.Bench.Geometry().RowsPerBank {
+					continue
+				}
+				rb.Act(cfg.Bank, t.LogicalRow(r)).Wait(tm.TRAS).Pre(cfg.Bank).Wait(tm.TRP)
+			}
+			if _, err := ex.Run(rb.Program()); err != nil {
+				return res, err
+			}
+			res.RefreshWindows++
+			for ex.Now() >= nextRefresh {
+				nextRefresh += tm.TREFW
+			}
+			if cfg.Mechanism != nil {
+				cfg.Mechanism.Reset()
+			}
+		}
+	}
+
+	flips, err := t.ReadFlips(cfg.Bank, cfg.VictimPhys, cfg.VictimPhys, cfg.Pattern)
+	if err != nil {
+		return res, err
+	}
+	res.VictimFlips = flips.Count()
+	res.Duration = ex.Now() - start
+	return res, nil
+}

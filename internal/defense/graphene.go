@@ -1,0 +1,103 @@
+package defense
+
+import "rowhammer/internal/dram"
+
+// Graphene (Park et al., MICRO 2020) tracks frequently activated rows
+// with a Misra-Gries summary: any row activated more than the table's
+// guarantee threshold is certainly present, so refreshing the
+// neighbors of rows whose estimated count crosses the threshold gives
+// a deterministic security guarantee.
+type Graphene struct {
+	// Threshold is the estimated-count value at which a tracked row's
+	// neighbors are refreshed (configured from HCfirst with a safety
+	// margin).
+	Threshold int64
+	// TableSize is the number of Misra-Gries entries; the guarantee
+	// holds when TableSize ≥ W/Threshold for W activations per window.
+	TableSize int
+	// Rows is the bank's row count.
+	Rows int
+
+	entries   map[int]int64 // tracked row → estimated count
+	spillover int64
+}
+
+// GrapheneTableSize returns the entries needed to guarantee detection
+// of any row crossing threshold within a window of maxActs
+// activations.
+func GrapheneTableSize(maxActs, threshold int64) int {
+	if threshold <= 0 {
+		return 1
+	}
+	n := int(maxActs/threshold) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewGraphene builds a Graphene tracker.
+func NewGraphene(threshold int64, tableSize, rows int) *Graphene {
+	return &Graphene{
+		Threshold: threshold,
+		TableSize: tableSize,
+		Rows:      rows,
+		entries:   make(map[int]int64, tableSize),
+	}
+}
+
+// Name implements Mechanism.
+func (g *Graphene) Name() string { return "Graphene" }
+
+// ObserveBulk implements Mechanism with exact bulk Misra-Gries
+// semantics: n identical activations either all increment an existing
+// entry, or fill a free slot, or raise the spillover floor.
+func (g *Graphene) ObserveBulk(bank, row int, n int64, now dram.Picos) Action {
+	if n <= 0 {
+		return Action{}
+	}
+	c, tracked := g.entries[row]
+	switch {
+	case tracked:
+		c += n
+	case len(g.entries) < g.TableSize:
+		c = g.spillover + n
+	default:
+		// Misra-Gries decrement step, n times: the minimum entry and
+		// the incoming row shed counts together. Bulk equivalent:
+		// raise the spillover floor and displace the minimum entry if
+		// the incoming count overtakes it.
+		min := int64(-1)
+		minRow := -1
+		for r, v := range g.entries {
+			if min < 0 || v < min {
+				min, minRow = v, r
+			}
+		}
+		incoming := g.spillover + n
+		if incoming > min {
+			delete(g.entries, minRow)
+			g.spillover = min
+			c = incoming
+		} else {
+			g.spillover += n
+			return Action{}
+		}
+	}
+	var act Action
+	for c >= g.Threshold {
+		act.RefreshRows = append(act.RefreshRows, neighbors(row, g.Rows)...)
+		c -= g.Threshold
+	}
+	g.entries[row] = c
+	return act
+}
+
+// Reset implements Mechanism (called at refresh-window boundaries).
+func (g *Graphene) Reset() {
+	g.entries = make(map[int]int64, g.TableSize)
+	g.spillover = 0
+}
+
+// TrackedRows returns how many rows are currently tracked.
+func (g *Graphene) TrackedRows() int { return len(g.entries) }

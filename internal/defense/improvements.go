@@ -1,0 +1,151 @@
+package defense
+
+import (
+	"sort"
+
+	"rowhammer/internal/dram"
+)
+
+// Defense Improvements 3, 5, 6 (§8.2): temperature-aware row
+// retirement, open-time limiting, and column-aware ECC provisioning.
+
+// RetirementPolicy implements Improvement 3: retire (remap away) rows
+// containing cells vulnerable at the current operating temperature,
+// adapting the retired set as temperature changes.
+type RetirementPolicy struct {
+	// vulnerable[row] lists the vulnerable temperature ranges of the
+	// row's cells, as (lo, hi) pairs.
+	vulnerable map[int][][2]float64
+}
+
+// NewRetirementPolicy builds a policy from a per-row profile of
+// vulnerable cell temperature ranges.
+func NewRetirementPolicy() *RetirementPolicy {
+	return &RetirementPolicy{vulnerable: make(map[int][][2]float64)}
+}
+
+// AddCellRange records that a row contains a cell vulnerable within
+// [loC, hiC].
+func (p *RetirementPolicy) AddCellRange(row int, loC, hiC float64) {
+	p.vulnerable[row] = append(p.vulnerable[row], [2]float64{loC, hiC})
+}
+
+// RetiredRows returns the rows that must be offline at the given
+// operating temperature (any cell range containing tempC, with the
+// given guard band).
+func (p *RetirementPolicy) RetiredRows(tempC, guardC float64) []int {
+	var out []int
+	for row, ranges := range p.vulnerable {
+		for _, r := range ranges {
+			if tempC >= r[0]-guardC && tempC <= r[1]+guardC {
+				out = append(out, row)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ProfiledRows returns how many rows have profile data.
+func (p *RetirementPolicy) ProfiledRows() int { return len(p.vulnerable) }
+
+// OpenTimeLimiter implements Improvement 5: the memory controller
+// bounds how long any row stays open, closing and reopening rows whose
+// open interval would exceed the cap. This denies attackers the
+// tAggOn amplification of Obsv. 8 at the cost of extra
+// activate/precharge pairs for long row-buffer-friendly bursts.
+type OpenTimeLimiter struct {
+	// MaxOpen is the open-time cap.
+	MaxOpen dram.Picos
+	// ExtraActs counts the reopen operations the policy inserted (the
+	// performance proxy).
+	ExtraActs int64
+}
+
+// NewOpenTimeLimiter returns a limiter with the given cap.
+func NewOpenTimeLimiter(maxOpen dram.Picos) *OpenTimeLimiter {
+	return &OpenTimeLimiter{MaxOpen: maxOpen}
+}
+
+// Clamp maps a requested row-open interval to the sequence of open
+// intervals the controller will actually schedule, counting the
+// inserted reopen operations.
+func (l *OpenTimeLimiter) Clamp(requested dram.Picos) []dram.Picos {
+	if requested <= l.MaxOpen {
+		return []dram.Picos{requested}
+	}
+	var out []dram.Picos
+	rem := requested
+	for rem > l.MaxOpen {
+		out = append(out, l.MaxOpen)
+		rem -= l.MaxOpen
+		l.ExtraActs++
+	}
+	if rem > 0 {
+		out = append(out, rem)
+	}
+	return out
+}
+
+// ColumnECCPlan implements Improvement 6: distribute a fixed ECC
+// correction budget across columns proportionally to their measured
+// RowHammer vulnerability instead of uniformly.
+type ColumnECCPlan struct {
+	// CorrectPerWord[arrayCol] is the number of correctable errors per
+	// 64-bit word provisioned for the column.
+	CorrectPerWord []int
+}
+
+// PlanColumnECC allocates budget (total correctable bits across all
+// columns, per word-row) to columns by flip count, greedily assigning
+// extra correction capability to the most vulnerable columns. Every
+// column receives at least baseCorrect.
+func PlanColumnECC(flipCounts []int, budget, baseCorrect int) ColumnECCPlan {
+	n := len(flipCounts)
+	plan := ColumnECCPlan{CorrectPerWord: make([]int, n)}
+	for i := range plan.CorrectPerWord {
+		plan.CorrectPerWord[i] = baseCorrect
+	}
+	// Greedy: repeatedly strengthen the column with the highest
+	// remaining exposure (flips / (correct+1)).
+	for b := 0; b < budget; b++ {
+		best, bestScore := -1, -1.0
+		for c := 0; c < n; c++ {
+			score := float64(flipCounts[c]) / float64(plan.CorrectPerWord[c]+1)
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+		if best < 0 || bestScore == 0 {
+			break
+		}
+		plan.CorrectPerWord[best]++
+	}
+	return plan
+}
+
+// UncorrectedExposure estimates the expected number of uncorrectable
+// column-words under the plan: a column with k flips spread over its
+// rows and c correction capability leaves max(0, k−c·rows′) exposure;
+// we use the simpler proxy k/(c+1), matching the greedy objective.
+func (p ColumnECCPlan) UncorrectedExposure(flipCounts []int) float64 {
+	total := 0.0
+	for c, k := range flipCounts {
+		total += float64(k) / float64(p.CorrectPerWord[c]+1)
+	}
+	return total
+}
+
+// UniformECCPlan distributes the same total budget uniformly.
+func UniformECCPlan(n, budget, baseCorrect int) ColumnECCPlan {
+	plan := ColumnECCPlan{CorrectPerWord: make([]int, n)}
+	extra := 0
+	if n > 0 {
+		extra = budget / n
+	}
+	for i := range plan.CorrectPerWord {
+		plan.CorrectPerWord[i] = baseCorrect + extra
+	}
+	return plan
+}

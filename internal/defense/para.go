@@ -1,0 +1,101 @@
+package defense
+
+import (
+	"math"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/rng"
+)
+
+// PARA is the probabilistic adjacent-row activation defense (Kim et
+// al., ISCA 2014): on every activation, with probability p, refresh a
+// neighbor of the activated row. It keeps no state, so its area cost
+// is negligible — the price is performance (extra activations) that
+// grows as the protection threshold shrinks.
+type PARA struct {
+	// P is the per-activation refresh probability.
+	P float64
+	// Rows is the bank's row count, for neighbor clipping.
+	Rows int
+
+	rnd *rng.Stream
+}
+
+// PARAProbability returns the per-activation probability needed to
+// keep the failure probability below pFail for an attack of up to
+// hcFirst activations: the chance that hcFirst activations all miss is
+// (1-p/2)^hcFirst per side.
+func PARAProbability(hcFirst int64, pFail float64) float64 {
+	if hcFirst <= 0 {
+		return 1
+	}
+	// Solve (1-p)^(hcFirst) <= pFail for the victim-miss probability;
+	// a factor 2 accounts for choosing one of two sides.
+	p := 1 - math.Exp(math.Log(pFail)/float64(hcFirst))
+	p *= 2
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// NewPARA builds a PARA instance.
+func NewPARA(p float64, rows int, seed uint64) *PARA {
+	return &PARA{P: p, Rows: rows, rnd: rng.NewStream(rng.Hash64(seed, 0x9a7a))}
+}
+
+// Name implements Mechanism.
+func (p *PARA) Name() string { return "PARA" }
+
+// ObserveBulk implements Mechanism. For n activations the number of
+// refreshes drawn is binomial(n, P), sampled exactly for small n and
+// by normal approximation for large n.
+func (p *PARA) ObserveBulk(bank, row int, n int64, now dram.Picos) Action {
+	var fires int64
+	if n <= 64 {
+		for i := int64(0); i < n; i++ {
+			if p.rnd.Bernoulli(p.P) {
+				fires++
+			}
+		}
+	} else {
+		mean := float64(n) * p.P
+		sd := math.Sqrt(float64(n) * p.P * (1 - p.P))
+		fires = int64(p.rnd.NormalMS(mean, sd) + 0.5)
+		if fires < 0 {
+			fires = 0
+		}
+		if fires > n {
+			fires = n
+		}
+	}
+	var act Action
+	for i := int64(0); i < fires; i++ {
+		// Refresh one random side at distance 1 or (rarely) 2.
+		off := 1
+		if p.rnd.Bernoulli(0.25) {
+			off = 2
+		}
+		if p.rnd.Bernoulli(0.5) {
+			off = -off
+		}
+		nrow := row + off
+		if nrow >= 0 && nrow < p.Rows {
+			act.RefreshRows = append(act.RefreshRows, nrow)
+		}
+	}
+	return act
+}
+
+// Reset implements Mechanism.
+func (p *PARA) Reset() {}
+
+// PARASlowdown is a simple analytic performance proxy: the fraction of
+// additional activations PARA issues, which the paper reports as a 28%
+// average slowdown when configured for HCfirst = 1K. The proxy scales
+// the paper's anchor point by the refresh probability.
+func PARASlowdown(p float64) float64 {
+	// Anchor: PARAProbability(1000, 1e-15) ⇒ ≈28% slowdown [71].
+	anchor := PARAProbability(1000, 1e-15)
+	return 0.28 * p / anchor
+}

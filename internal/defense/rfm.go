@@ -1,0 +1,51 @@
+package defense
+
+import "rowhammer/internal/dram"
+
+// RFM models the DDR5/LPDDR5 Refresh Management interface (§2.3): the
+// memory controller counts activations per bank (the Rolling
+// Accumulated ACT counter, RAA) and must issue an RFM command when the
+// count reaches RAAIMT, giving the on-DRAM-die defense time to refresh
+// victims of whatever rows it sampled.
+type RFM struct {
+	// RAAIMT is the RAA Initial Management Threshold.
+	RAAIMT int64
+	// OnRFM is invoked when the controller must issue an RFM command;
+	// it represents the DRAM-internal mitigation (e.g. the module's
+	// TRR sampler riding on a maintenance operation).
+	OnRFM func(bank int, now dram.Picos)
+
+	raa map[int]int64
+	// RFMCount tallies RFM commands issued (the overhead proxy: each
+	// RFM blocks the bank for ~tRFC).
+	RFMCount int64
+}
+
+// NewRFM builds an RFM counter set.
+func NewRFM(raaimt int64, onRFM func(bank int, now dram.Picos)) *RFM {
+	return &RFM{RAAIMT: raaimt, OnRFM: onRFM, raa: make(map[int]int64)}
+}
+
+// Name implements Mechanism.
+func (r *RFM) Name() string { return "RFM" }
+
+// ObserveBulk implements Mechanism: RFM never refreshes specific rows
+// from the controller side; it fires the on-die hook every RAAIMT
+// activations.
+func (r *RFM) ObserveBulk(bank, row int, n int64, now dram.Picos) Action {
+	r.raa[bank] += n
+	for r.raa[bank] >= r.RAAIMT {
+		r.raa[bank] -= r.RAAIMT
+		r.RFMCount++
+		if r.OnRFM != nil {
+			r.OnRFM(bank, now)
+		}
+	}
+	return Action{}
+}
+
+// Reset implements Mechanism.
+func (r *RFM) Reset() {
+	r.raa = make(map[int]int64)
+	r.RFMCount = 0
+}

@@ -1,0 +1,127 @@
+package defense
+
+import "rowhammer/internal/dram"
+
+// SilverBullet (Devaux & Ayrignac patent; analyzed by Yağlıkçı et al.)
+// is an on-DRAM-die defense enabled by the DDR5 RFM interface (§2.3):
+// the DRAM die keeps a small queue of recently activated rows and,
+// every time the memory controller issues an RFM (which it must after
+// RAAIMT activations), refreshes the neighbors of the queue's head.
+// Because the controller-side RAA counter bounds how many activations
+// can happen between RFMs, the queue depth needed for a deterministic
+// guarantee is small.
+type SilverBullet struct {
+	// QueueDepth bounds the tracked aggressor queue.
+	QueueDepth int
+	// Rows is the bank's row count.
+	Rows int
+
+	queue []int
+	seen  map[int]bool
+	// Refreshed counts neighbor refreshes performed at RFM time.
+	Refreshed int64
+	// Overflowed counts activations dropped because the queue was
+	// full — non-zero means the RAAIMT/QueueDepth pairing is unsafe.
+	Overflowed int64
+}
+
+// NewSilverBullet builds the on-die mechanism.
+func NewSilverBullet(queueDepth, rows int) *SilverBullet {
+	return &SilverBullet{
+		QueueDepth: queueDepth,
+		Rows:       rows,
+		seen:       make(map[int]bool),
+	}
+}
+
+// Observe records an activated row into the on-die queue
+// (deduplicated: a queued row need not be queued twice).
+func (sb *SilverBullet) Observe(row int) {
+	if sb.seen[row] {
+		return
+	}
+	if len(sb.queue) >= sb.QueueDepth {
+		sb.Overflowed++
+		return
+	}
+	sb.queue = append(sb.queue, row)
+	sb.seen[row] = true
+}
+
+// OnRFM pops queued aggressors and returns the neighbor rows the die
+// refreshes during the RFM's maintenance slot (budget rows per RFM).
+func (sb *SilverBullet) OnRFM(budget int) []int {
+	var victims []int
+	for i := 0; i < budget && len(sb.queue) > 0; i++ {
+		row := sb.queue[0]
+		sb.queue = sb.queue[1:]
+		delete(sb.seen, row)
+		victims = append(victims, neighbors(row, sb.Rows)...)
+	}
+	sb.Refreshed += int64(len(victims))
+	return victims
+}
+
+// QueueLen returns the live queue length.
+func (sb *SilverBullet) QueueLen() int { return len(sb.queue) }
+
+// RFMSilverBullet wires a controller-side RFM counter to an on-die
+// SilverBullet instance per bank, yielding a complete §2.3-style
+// system: the controller counts, the die refreshes.
+type RFMSilverBullet struct {
+	rfm *RFM
+	sb  map[int]*SilverBullet
+	// PerRFMBudget is how many queued aggressors each RFM drains.
+	PerRFMBudget int
+	rows         int
+	// pending accumulates victims to refresh, keyed by bank.
+	pending map[int][]int
+}
+
+// NewRFMSilverBullet builds the combined mechanism. raaimt is the
+// controller's RFM threshold.
+func NewRFMSilverBullet(raaimt int64, queueDepth, perRFMBudget, rows int) *RFMSilverBullet {
+	rs := &RFMSilverBullet{
+		sb:           make(map[int]*SilverBullet),
+		PerRFMBudget: perRFMBudget,
+		rows:         rows,
+		pending:      make(map[int][]int),
+	}
+	rs.rfm = NewRFM(raaimt, func(bank int, now dram.Picos) {
+		if die := rs.sb[bank]; die != nil {
+			rs.pending[bank] = append(rs.pending[bank], die.OnRFM(perRFMBudget)...)
+		}
+	})
+	return rs
+}
+
+// Name implements Mechanism.
+func (rs *RFMSilverBullet) Name() string { return "RFM+SilverBullet" }
+
+// ObserveBulk implements Mechanism.
+func (rs *RFMSilverBullet) ObserveBulk(bank, row int, n int64, now dram.Picos) Action {
+	die := rs.sb[bank]
+	if die == nil {
+		die = NewSilverBullet(32, rs.rows)
+		rs.sb[bank] = die
+	}
+	die.Observe(row)
+	rs.rfm.ObserveBulk(bank, row, n, now)
+	var act Action
+	if v := rs.pending[bank]; len(v) > 0 {
+		act.RefreshRows = v
+		rs.pending[bank] = nil
+	}
+	return act
+}
+
+// Reset implements Mechanism.
+func (rs *RFMSilverBullet) Reset() {
+	rs.rfm.Reset()
+	rs.sb = make(map[int]*SilverBullet)
+	rs.pending = make(map[int][]int)
+}
+
+// RFMCount returns the number of RFM commands issued (performance
+// proxy: each blocks the bank for ~tRFC).
+func (rs *RFMSilverBullet) RFMCount() int64 { return rs.rfm.RFMCount }

@@ -1,0 +1,98 @@
+package defense
+
+import "rowhammer/internal/dram"
+
+// TWiCe (Lee et al., ISCA 2019) counts row activations in pruned
+// time-window counter tables: an entry whose count stays below a
+// per-window pruning threshold cannot reach the RowHammer threshold
+// within the refresh window and is dropped, keeping the table small
+// while preserving a deterministic guarantee.
+type TWiCe struct {
+	// Threshold is the activation count at which neighbors are
+	// refreshed.
+	Threshold int64
+	// PruneInterval is the time between pruning passes (the paper
+	// prunes once per tREFI-scaled window).
+	PruneInterval dram.Picos
+	// Window is the refresh window the guarantee covers.
+	Window dram.Picos
+	// Rows is the bank's row count.
+	Rows int
+
+	entries   map[int]*twiceEntry
+	lastPrune dram.Picos
+	// Pruned counts dropped entries (table-pressure proxy).
+	Pruned int64
+}
+
+type twiceEntry struct {
+	count   int64
+	insTime dram.Picos
+}
+
+// NewTWiCe builds a TWiCe tracker.
+func NewTWiCe(threshold int64, window dram.Picos, rows int) *TWiCe {
+	return &TWiCe{
+		Threshold:     threshold,
+		PruneInterval: window / 128,
+		Window:        window,
+		Rows:          rows,
+		entries:       make(map[int]*twiceEntry),
+	}
+}
+
+// Name implements Mechanism.
+func (tw *TWiCe) Name() string { return "TWiCe" }
+
+// ObserveBulk implements Mechanism.
+func (tw *TWiCe) ObserveBulk(bank, row int, n int64, now dram.Picos) Action {
+	if n <= 0 {
+		return Action{}
+	}
+	tw.maybePrune(now)
+	e := tw.entries[row]
+	if e == nil {
+		e = &twiceEntry{insTime: now}
+		tw.entries[row] = e
+	}
+	e.count += n
+	var act Action
+	for e.count >= tw.Threshold {
+		act.RefreshRows = append(act.RefreshRows, neighbors(row, tw.Rows)...)
+		e.count -= tw.Threshold
+	}
+	return act
+}
+
+// maybePrune drops entries whose activation rate is provably too low
+// to reach the threshold within the window.
+func (tw *TWiCe) maybePrune(now dram.Picos) {
+	if now-tw.lastPrune < tw.PruneInterval {
+		return
+	}
+	tw.lastPrune = now
+	for row, e := range tw.entries {
+		alive := now - e.insTime
+		if alive <= 0 {
+			continue
+		}
+		// Required rate to reach Threshold within Window.
+		needed := float64(tw.Threshold) / float64(tw.Window)
+		rate := float64(e.count) / float64(alive)
+		// Prune entries at under half the required pace (the pruning
+		// stage-threshold; conservative, preserves the guarantee).
+		if rate < needed/2 {
+			delete(tw.entries, row)
+			tw.Pruned++
+		}
+	}
+}
+
+// Reset implements Mechanism.
+func (tw *TWiCe) Reset() {
+	tw.entries = make(map[int]*twiceEntry)
+	tw.lastPrune = 0
+}
+
+// TableSize returns the live entry count (area proxy).
+func (tw *TWiCe) TableSize() int { return len(tw.entries) }

@@ -1,0 +1,137 @@
+package defense
+
+import (
+	"testing"
+
+	rh "rowhammer"
+	"rowhammer/internal/dram"
+)
+
+func TestTWiCeDetectsSustainedAggressor(t *testing.T) {
+	w := 64 * dram.Millisecond
+	tw := NewTWiCe(1000, w, 4096)
+	var refreshes int
+	now := dram.Picos(0)
+	for i := 0; i < 20; i++ {
+		act := tw.ObserveBulk(0, 77, 100, now)
+		refreshes += len(act.RefreshRows)
+		now += w / 100 // sustained high rate
+	}
+	if refreshes != 2*4 {
+		t.Fatalf("refreshes = %d, want 8 (two threshold crossings)", refreshes)
+	}
+}
+
+func TestTWiCePrunesSlowRows(t *testing.T) {
+	w := 64 * dram.Millisecond
+	tw := NewTWiCe(10_000, w, 4096)
+	// A slow row: far below threshold pace.
+	tw.ObserveBulk(0, 5, 3, 0)
+	// Advance past several prune intervals with unrelated traffic.
+	tw.ObserveBulk(0, 9, 1, w/2)
+	if tw.Pruned == 0 {
+		t.Fatal("slow row should have been pruned")
+	}
+	if tw.TableSize() > 2 {
+		t.Fatalf("table size %d after pruning", tw.TableSize())
+	}
+}
+
+func TestTWiCeFastRowSurvivesPruning(t *testing.T) {
+	w := 64 * dram.Millisecond
+	tw := NewTWiCe(10_000, w, 4096)
+	now := dram.Picos(0)
+	total := 0
+	// Activate at 2× the required pace: must eventually trigger.
+	for i := 0; i < 100; i++ {
+		act := tw.ObserveBulk(0, 42, 200, now)
+		total += len(act.RefreshRows)
+		now += w / 100
+	}
+	if total == 0 {
+		t.Fatal("fast aggressor never triggered (wrongly pruned?)")
+	}
+}
+
+func TestTWiCeReset(t *testing.T) {
+	tw := NewTWiCe(100, 64*dram.Millisecond, 4096)
+	tw.ObserveBulk(0, 5, 99, 0)
+	tw.Reset()
+	if act := tw.ObserveBulk(0, 5, 1, 0); len(act.RefreshRows) != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestTWiCePreventsFlipsEndToEnd(t *testing.T) {
+	b := newEvalBench(t, 3)
+	tw := NewTWiCe(8_000, b.Timing().TREFW, 256)
+	res, err := Evaluate(EvalConfig{
+		Bench: b, Mechanism: tw, Bank: 0, VictimPhys: 100, Hammers: 300_000,
+		Pattern: rh.PatCheckered, Trial: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimFlips != 0 {
+		t.Fatalf("TWiCe-defended attack flipped %d bits", res.VictimFlips)
+	}
+	if res.PreventiveRefreshes == 0 {
+		t.Fatal("TWiCe never refreshed")
+	}
+}
+
+func TestSilverBulletQueue(t *testing.T) {
+	sb := NewSilverBullet(4, 4096)
+	sb.Observe(10)
+	sb.Observe(10) // deduplicated
+	sb.Observe(11)
+	if sb.QueueLen() != 2 {
+		t.Fatalf("queue length %d, want 2", sb.QueueLen())
+	}
+	victims := sb.OnRFM(1)
+	want := map[int]bool{8: true, 9: true, 11: true, 12: true}
+	if len(victims) != 4 {
+		t.Fatalf("victims = %v", victims)
+	}
+	for _, v := range victims {
+		if !want[v] {
+			t.Fatalf("victims %v should neighbor row 10", victims)
+		}
+	}
+	if sb.QueueLen() != 1 {
+		t.Fatalf("queue length %d after drain, want 1", sb.QueueLen())
+	}
+}
+
+func TestSilverBulletOverflowTracked(t *testing.T) {
+	sb := NewSilverBullet(2, 4096)
+	for r := 0; r < 5; r++ {
+		sb.Observe(100 + r)
+	}
+	if sb.Overflowed != 3 {
+		t.Fatalf("overflowed = %d, want 3", sb.Overflowed)
+	}
+}
+
+func TestRFMSilverBulletPreventsFlipsEndToEnd(t *testing.T) {
+	b := newEvalBench(t, 3)
+	// RAAIMT well below the module's HCfirst: every aggressor is
+	// queued and its victims refreshed every few thousand activations.
+	rs := NewRFMSilverBullet(4_000, 32, 8, 256)
+	res, err := Evaluate(EvalConfig{
+		Bench: b, Mechanism: rs, Bank: 0, VictimPhys: 100, Hammers: 300_000,
+		Pattern: rh.PatCheckered, Trial: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimFlips != 0 {
+		t.Fatalf("RFM+SilverBullet-defended attack flipped %d bits", res.VictimFlips)
+	}
+	if rs.RFMCount() == 0 {
+		t.Fatal("no RFM commands issued")
+	}
+	if res.PreventiveRefreshes == 0 {
+		t.Fatal("no on-die refreshes performed")
+	}
+}

@@ -1,0 +1,167 @@
+package dram
+
+import "testing"
+
+func TestHammerBulkMatchesExactLoop(t *testing.T) {
+	mk := func() *Module {
+		m, err := NewModule(ModuleConfig{
+			Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+			Timing:   DDR4Timing(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	const hammers = 37
+	tm := DDR4Timing()
+
+	// Exact loop.
+	exact := mk()
+	var now Picos
+	for i := 0; i < hammers; i++ {
+		for _, r := range []int{9, 11} {
+			if _, err := exact.Exec(Command{Op: OpAct, Bank: 0, Row: r}, now); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := exact.Exec(Command{Op: OpPre, Bank: 0}, now+tm.TRAS); err != nil {
+				t.Fatal(err)
+			}
+			now += tm.TRAS + tm.TRP
+		}
+	}
+
+	// Bulk loop.
+	bulk := mk()
+	end, err := bulk.HammerBulk(0, []int{9, 11}, hammers, tm.TRAS, tm.TRP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != now {
+		t.Fatalf("bulk end time %d, exact %d", end, now)
+	}
+
+	// Victim and single-sided-victim ledgers must match exactly.
+	for _, r := range []int{7, 8, 10, 12, 13} {
+		le := exact.PeekLedger(0, r)
+		lb := bulk.PeekLedger(0, r)
+		if le != lb {
+			t.Fatalf("row %d ledger mismatch:\nexact %+v\nbulk  %+v", r, le, lb)
+		}
+	}
+	if exact.Stats().Acts != bulk.Stats().Acts {
+		t.Fatalf("act counts differ: %d vs %d", exact.Stats().Acts, bulk.Stats().Acts)
+	}
+}
+
+func TestHammerBulkSmallCounts(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Timing()
+	for _, count := range []int64{0, 1, 2} {
+		if _, err := m.HammerBulk(0, []int{5}, count, tm.TRAS, tm.TRP, 0); err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+	}
+	// count 1+2 = 3 activations of row 5 → row 6 has 3 distance-1.
+	if got := m.PeekLedger(0, 6).Dist[0].Count; got != 3 {
+		t.Fatalf("row 6 count = %d, want 3", got)
+	}
+}
+
+func TestHammerBulkClampsSubMinimumTimings(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.HammerBulk(0, []int{9, 11}, 10, 0, 0, 0); err != nil {
+		t.Fatalf("sub-minimum timings should clamp, got %v", err)
+	}
+	led := m.PeekLedger(0, 10)
+	tm := m.Timing()
+	if got := led.Dist[0].AvgOnNs(); got != tm.TRAS.Nanoseconds() {
+		t.Fatalf("clamped on-time = %v", got)
+	}
+	if got := led.Dist[0].AvgOffNs(); got != tm.TRP.Nanoseconds() {
+		t.Fatalf("clamped off-time = %v", got)
+	}
+}
+
+func TestHammerBulkRespectsPriorBankState(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Timing()
+	// Leave the bank active: bulk must refuse.
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.HammerBulk(0, []int{9}, 5, tm.TRAS, tm.TRP, tm.TRAS*2); err == nil {
+		t.Fatal("expected error with bank active")
+	}
+	// Precharge; bulk starting before tRP elapses must self-delay, not
+	// error.
+	if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, tm.TRAS*2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.HammerBulk(0, []int{9}, 5, tm.TRAS, tm.TRP, tm.TRAS*2+1); err != nil {
+		t.Fatalf("bulk should delay for tRP, got %v", err)
+	}
+}
+
+func TestHammerBulkExtendedOnTimeRecorded(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := PicosFromNs(154.5)
+	off := PicosFromNs(40.5)
+	end, err := m.HammerBulk(0, []int{9, 11}, 100, on, off, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := m.PeekLedger(0, 10)
+	if got := led.Dist[0].AvgOnNs(); got != 154.5 {
+		t.Fatalf("avg on = %v, want 154.5", got)
+	}
+	if got := led.Dist[0].AvgOffNs(); got != 40.5 {
+		t.Fatalf("avg off = %v, want 40.5", got)
+	}
+	if want := Picos(100) * 2 * (on + off); end != want {
+		t.Fatalf("end = %d, want %d", end, want)
+	}
+}
+
+func TestHammerBulkErrors(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.HammerBulk(0, nil, 5, 0, 0, 0); err == nil {
+		t.Fatal("expected error for empty row list")
+	}
+	if _, err := m.HammerBulk(0, []int{1}, -1, 0, 0, 0); err == nil {
+		t.Fatal("expected error for negative count")
+	}
+	if _, err := m.HammerBulk(0, []int{9999}, 5, 0, 0, 0); err == nil {
+		t.Fatal("expected error for out-of-range row")
+	}
+}

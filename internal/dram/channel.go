@@ -1,0 +1,92 @@
+package dram
+
+import "fmt"
+
+// Channel models the level of Fig. 1 above one module: a memory
+// channel whose I/O bus is time-multiplexed across multiple ranks.
+// Because the bus is shared, commands to different ranks are
+// serialized, and consecutive data transfers from different ranks pay
+// a bus-turnaround penalty — which is why characterization (and
+// attacks) run against one rank at a time, but a deployed defense must
+// budget for the whole channel's activation stream.
+type Channel struct {
+	ranks []*Module
+	// tCK is the command-bus granularity shared by all ranks.
+	tck Picos
+	// Turnaround is the rank-to-rank switch penalty on the data bus.
+	Turnaround Picos
+
+	lastRank   int
+	lastCmdAt  Picos
+	everIssued bool
+	stats      ChannelStats
+}
+
+// ChannelStats counts channel-level activity.
+type ChannelStats struct {
+	Commands     int64
+	RankSwitches int64
+	// TurnaroundTime is total time spent on bus turnaround.
+	TurnaroundTime Picos
+}
+
+// NewChannel builds a channel over the given ranks. All ranks must
+// share the same tCK.
+func NewChannel(ranks []*Module, turnaround Picos) (*Channel, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("dram: channel needs at least one rank")
+	}
+	tck := ranks[0].Timing().TCK
+	for i, r := range ranks[1:] {
+		if r.Timing().TCK != tck {
+			return nil, fmt.Errorf("dram: rank %d tCK differs", i+1)
+		}
+	}
+	return &Channel{ranks: ranks, tck: tck, Turnaround: turnaround, lastRank: -1}, nil
+}
+
+// Ranks returns the number of ranks on the channel.
+func (c *Channel) Ranks() int { return len(c.ranks) }
+
+// Rank returns a rank's module.
+func (c *Channel) Rank(i int) *Module {
+	if i < 0 || i >= len(c.ranks) {
+		return nil
+	}
+	return c.ranks[i]
+}
+
+// Stats returns channel-level counters.
+func (c *Channel) Stats() ChannelStats { return c.stats }
+
+// Exec issues a command to a rank at time now, enforcing the shared
+// command bus (one command per tCK across all ranks) and rank-switch
+// turnaround. It returns the adjusted issue time along with the
+// command's result.
+func (c *Channel) Exec(rank int, cmd Command, now Picos) (uint64, Picos, error) {
+	if rank < 0 || rank >= len(c.ranks) {
+		return 0, now, fmt.Errorf("dram: rank %d out of range", rank)
+	}
+	at := now
+	if c.everIssued {
+		// Shared command bus: one command per cycle.
+		if min := c.lastCmdAt + c.tck; at < min {
+			at = min
+		}
+		// Rank switch on a column command pays turnaround.
+		if rank != c.lastRank && (cmd.Op == OpRd || cmd.Op == OpWr) {
+			at += c.Turnaround
+			c.stats.RankSwitches++
+			c.stats.TurnaroundTime += c.Turnaround
+		}
+	}
+	v, err := c.ranks[rank].Exec(cmd, at)
+	if err != nil {
+		return 0, at, err
+	}
+	c.lastRank = rank
+	c.lastCmdAt = at
+	c.everIssued = true
+	c.stats.Commands++
+	return v, at, nil
+}

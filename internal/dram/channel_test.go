@@ -1,0 +1,127 @@
+package dram
+
+import "testing"
+
+func chanModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 2, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(nil, 0); err == nil {
+		t.Fatal("expected error for empty channel")
+	}
+	a := chanModule(t)
+	b, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 2, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR3Timing(), // different tCK
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChannel([]*Module{a, b}, 0); err == nil {
+		t.Fatal("expected error for mismatched tCK")
+	}
+}
+
+func TestChannelRanksIndependentState(t *testing.T) {
+	r0, r1 := chanModule(t), chanModule(t)
+	ch, err := NewChannel([]*Module{r0, r1}, PicosFromNs(7.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := r0.Timing()
+	now := Picos(0)
+	// Open different rows in the same bank number of both ranks.
+	if _, at, err := ch.Exec(0, Command{Op: OpAct, Bank: 0, Row: 5}, now); err != nil {
+		t.Fatal(err)
+	} else {
+		now = at
+	}
+	if _, at, err := ch.Exec(1, Command{Op: OpAct, Bank: 0, Row: 9}, now+tm.TCK); err != nil {
+		t.Fatal(err)
+	} else {
+		now = at
+	}
+	if r0.ActiveRow(0) != 5 || r1.ActiveRow(0) != 9 {
+		t.Fatalf("rank bank states entangled: %d, %d", r0.ActiveRow(0), r1.ActiveRow(0))
+	}
+}
+
+func TestChannelSerializesCommandBus(t *testing.T) {
+	r0, r1 := chanModule(t), chanModule(t)
+	ch, err := NewChannel([]*Module{r0, r1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two commands requested at the same instant: the second must be
+	// pushed at least one tCK later.
+	_, at0, err := ch.Exec(0, Command{Op: OpAct, Bank: 0, Row: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, at1, err := ch.Exec(1, Command{Op: OpAct, Bank: 1, Row: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at1-at0 < r0.Timing().TCK {
+		t.Fatalf("bus not serialized: %d then %d", at0, at1)
+	}
+}
+
+func TestChannelRankSwitchTurnaround(t *testing.T) {
+	r0, r1 := chanModule(t), chanModule(t)
+	turn := PicosFromNs(7.5)
+	ch, err := NewChannel([]*Module{r0, r1}, turn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := r0.Timing()
+	now := Picos(0)
+	for rank := 0; rank < 2; rank++ {
+		if _, at, err := ch.Exec(rank, Command{Op: OpAct, Bank: 0, Row: 1}, now+tm.TRRD); err != nil {
+			t.Fatal(err)
+		} else {
+			now = at
+		}
+	}
+	// Read rank 0 then rank 1: the second read pays turnaround.
+	_, atA, err := ch.Exec(0, Command{Op: OpRd, Bank: 0, Col: 0}, now+tm.TRCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, atB, err := ch.Exec(1, Command{Op: OpRd, Bank: 0, Col: 0}, atA+tm.TCK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atB-atA < turn {
+		t.Fatalf("rank switch without turnaround: Δ=%d", atB-atA)
+	}
+	st := ch.Stats()
+	if st.RankSwitches == 0 || st.TurnaroundTime == 0 {
+		t.Fatalf("turnaround not accounted: %+v", st)
+	}
+}
+
+func TestChannelRankOutOfRange(t *testing.T) {
+	ch, err := NewChannel([]*Module{chanModule(t)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ch.Exec(3, Command{Op: OpNop}, 0); err == nil {
+		t.Fatal("expected rank range error")
+	}
+	if ch.Rank(0) == nil || ch.Rank(5) != nil {
+		t.Fatal("Rank accessor broken")
+	}
+	if ch.Ranks() != 1 {
+		t.Fatal("Ranks count wrong")
+	}
+}

@@ -1,0 +1,115 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rowhammer/internal/rng"
+)
+
+func TestECCNoErrorRoundTrip(t *testing.T) {
+	if err := quick.Check(func(data uint64) bool {
+		chk := ECCEncode(data)
+		got, res := ECCDecode(data, chk)
+		return got == data && res == ECCNoError
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECCCorrectsEverySingleBitError(t *testing.T) {
+	for _, data := range []uint64{0, ^uint64(0), 0xdeadbeefcafef00d, 1} {
+		chk := ECCEncode(data)
+		for bit := 0; bit < 64; bit++ {
+			corrupted := data ^ (1 << bit)
+			got, res := ECCDecode(corrupted, chk)
+			if res != ECCCorrected {
+				t.Fatalf("data %#x bit %d: result %v, want corrected", data, bit, res)
+			}
+			if got != data {
+				t.Fatalf("data %#x bit %d: corrected to %#x", data, bit, got)
+			}
+		}
+	}
+}
+
+func TestECCDetectsDoubleBitErrors(t *testing.T) {
+	s := rng.NewStream(21)
+	for trial := 0; trial < 200; trial++ {
+		data := s.Uint64()
+		chk := ECCEncode(data)
+		b1 := s.Intn(64)
+		b2 := s.Intn(64)
+		if b1 == b2 {
+			continue
+		}
+		corrupted := data ^ (1 << b1) ^ (1 << b2)
+		_, res := ECCDecode(corrupted, chk)
+		if res != ECCDetectedUncorrectable {
+			t.Fatalf("double error (%d,%d) on %#x: result %v", b1, b2, data, res)
+		}
+	}
+}
+
+func TestECCCheckBitErrorRecognized(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	chk := ECCEncode(data)
+	for bit := uint(0); bit < 8; bit++ {
+		got, res := ECCDecode(data, chk^(1<<bit))
+		if res != ECCCorrected {
+			t.Fatalf("check-bit %d error: result %v", bit, res)
+		}
+		if got != data {
+			t.Fatalf("check-bit %d error corrupted data to %#x", bit, got)
+		}
+	}
+}
+
+func TestECCDataPositionsAreValid(t *testing.T) {
+	seen := map[int]bool{}
+	for i, p := range eccDataPos {
+		if p <= 0 || p > 72 {
+			t.Fatalf("data bit %d at invalid position %d", i, p)
+		}
+		if p&(p-1) == 0 {
+			t.Fatalf("data bit %d at parity position %d", i, p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate position %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestModuleOnDieECCMasksOneFlip(t *testing.T) {
+	// A disturber that flips exactly one data bit in the victim row:
+	// with on-die ECC the read must return clean data while the raw
+	// stored data is corrupted.
+	cd := &countingDisturber{minHammers: 1}
+	m, err := NewModule(ModuleConfig{
+		Geometry:  Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:    DDR4Timing(),
+		Disturber: cd,
+		OnDieECC:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &driver{m: m, t: t}
+	want := uint64(0xffffffffffffffff)
+	d.openWriteClose(0, 10, 0, want)
+	tm := m.Timing()
+	d.step(tm.TRC)
+	d.must(Command{Op: OpAct, Bank: 0, Row: 9})
+	d.step(tm.TRAS)
+	d.must(Command{Op: OpPre, Bank: 0})
+	if got := d.openReadClose(0, 10, 0); got != want {
+		t.Fatalf("ECC read = %#x, want corrected %#x", got, want)
+	}
+	if m.Stats().ECCCorrected != 1 {
+		t.Fatalf("ECCCorrected = %d, want 1", m.Stats().ECCCorrected)
+	}
+	if raw := m.PeekRow(0, 10); raw[0] == want {
+		t.Fatal("stored data should remain corrupted (ECC corrects the read, not the array)")
+	}
+}

@@ -1,0 +1,590 @@
+package dram
+
+import (
+	"errors"
+	"testing"
+)
+
+// testModule builds a small module with a NopDisturber and a direct
+// remap, for protocol/timing tests.
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 2, RowsPerBank: 64, SubarrayRows: 32, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// driver issues legally-timed commands against a module.
+type driver struct {
+	m   *Module
+	now Picos
+	t   *testing.T
+}
+
+func (d *driver) step(delta Picos) { d.now += delta }
+
+func (d *driver) must(cmd Command) uint64 {
+	d.t.Helper()
+	v, err := d.m.Exec(cmd, d.now)
+	if err != nil {
+		d.t.Fatalf("%s at t=%d: %v", cmd, d.now, err)
+	}
+	return v
+}
+
+// openWriteClose writes one beat into (bank,row,col) with legal timing.
+func (d *driver) openWriteClose(bank, row, col int, data uint64) {
+	tm := d.m.Timing()
+	d.step(tm.TRC)
+	actAt := d.now
+	d.must(Command{Op: OpAct, Bank: bank, Row: row})
+	d.step(tm.TRCD)
+	d.must(Command{Op: OpWr, Bank: bank, Col: col, Data: data})
+	// PRE must respect both tRAS (from ACT) and tWR (from WR).
+	preAt := d.now + tm.TWR
+	if min := actAt + tm.TRAS; preAt < min {
+		preAt = min
+	}
+	d.now = preAt
+	d.must(Command{Op: OpPre, Bank: bank})
+	d.step(tm.TRP)
+}
+
+// openReadClose reads one beat from (bank,row,col) with legal timing.
+func (d *driver) openReadClose(bank, row, col int) uint64 {
+	tm := d.m.Timing()
+	d.step(tm.TRC)
+	actAt := d.now
+	d.must(Command{Op: OpAct, Bank: bank, Row: row})
+	d.step(tm.TRCD)
+	v := d.must(Command{Op: OpRd, Bank: bank, Col: col})
+	// PRE must respect both tRAS (from ACT) and tRTP (from RD).
+	preAt := d.now + tm.TRTP
+	if min := actAt + tm.TRAS; preAt < min {
+		preAt = min
+	}
+	d.now = preAt
+	d.must(Command{Op: OpPre, Bank: bank})
+	d.step(tm.TRP)
+	return v
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := testModule(t)
+	d := &driver{m: m, t: t}
+	want := uint64(0xdeadbeefcafef00d)
+	d.openWriteClose(0, 5, 3, want)
+	if got := d.openReadClose(0, 5, 3); got != want {
+		t.Fatalf("read back %#x, want %#x", got, want)
+	}
+	// Unwritten columns read zero.
+	if got := d.openReadClose(0, 5, 2); got != 0 {
+		t.Fatalf("unwritten column = %#x, want 0", got)
+	}
+}
+
+func TestMultipleColumnsIndependent(t *testing.T) {
+	m := testModule(t)
+	d := &driver{m: m, t: t}
+	tm := m.Timing()
+	d.step(tm.TRC)
+	d.must(Command{Op: OpAct, Bank: 1, Row: 7})
+	d.step(tm.TRCD)
+	for col := 0; col < 8; col++ {
+		d.must(Command{Op: OpWr, Bank: 1, Col: col, Data: uint64(col) * 0x1111111111111111})
+		d.step(tm.TCCD)
+	}
+	d.step(tm.TWR)
+	d.must(Command{Op: OpPre, Bank: 1})
+	for col := 0; col < 8; col++ {
+		if got := d.openReadClose(1, 7, col); got != uint64(col)*0x1111111111111111 {
+			t.Fatalf("col %d = %#x", col, got)
+		}
+	}
+}
+
+func TestActOnActiveBankFails(t *testing.T) {
+	m := testModule(t)
+	d := &driver{m: m, t: t}
+	d.step(m.Timing().TRC)
+	d.must(Command{Op: OpAct, Bank: 0, Row: 1})
+	d.step(m.Timing().TRC)
+	_, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 2}, d.now)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected protocol error, got %v", err)
+	}
+}
+
+func TestReadFromPrechargedBankFails(t *testing.T) {
+	m := testModule(t)
+	_, err := m.Exec(Command{Op: OpRd, Bank: 0, Col: 0}, 1000)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected protocol error, got %v", err)
+	}
+}
+
+func TestTimingViolations(t *testing.T) {
+	tm := DDR4Timing()
+	cases := []struct {
+		name  string
+		param string
+		run   func(m *Module) error
+	}{
+		{"tRAS", "tRAS", func(m *Module) error {
+			if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+				return err
+			}
+			_, err := m.Exec(Command{Op: OpPre, Bank: 0}, tm.TRAS-1)
+			return err
+		}},
+		{"tRP", "tRP", func(m *Module) error {
+			if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+				return err
+			}
+			if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, tm.TRAS); err != nil {
+				return err
+			}
+			_, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 2}, tm.TRAS+tm.TRP-1)
+			return err
+		}},
+		{"tRCD", "tRCD", func(m *Module) error {
+			if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+				return err
+			}
+			_, err := m.Exec(Command{Op: OpRd, Bank: 0, Col: 0}, tm.TRCD-1)
+			return err
+		}},
+		// tRC is only separately observable when tRC > tRAS+tRP; this
+		// case is exercised by TestTRCIndependentlyEnforced below.
+		{"tCCD", "tCCD", func(m *Module) error {
+			if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+				return err
+			}
+			if _, err := m.Exec(Command{Op: OpRd, Bank: 0, Col: 0}, tm.TRCD); err != nil {
+				return err
+			}
+			_, err := m.Exec(Command{Op: OpRd, Bank: 0, Col: 1}, tm.TRCD+tm.TCCD-1)
+			return err
+		}},
+		{"tRRD", "tRRD", func(m *Module) error {
+			if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+				return err
+			}
+			_, err := m.Exec(Command{Op: OpAct, Bank: 1, Row: 1}, tm.TRRD-1)
+			return err
+		}},
+		{"tWR", "tWR", func(m *Module) error {
+			if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+				return err
+			}
+			// Write late enough that only tWR (not tRAS) gates PRE.
+			if _, err := m.Exec(Command{Op: OpWr, Bank: 0, Col: 0, Data: 1}, tm.TRAS); err != nil {
+				return err
+			}
+			_, err := m.Exec(Command{Op: OpPre, Bank: 0}, tm.TRAS+tm.TWR-1)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := testModule(t)
+			err := c.run(m)
+			var te *TimingError
+			if !errors.As(err, &te) {
+				t.Fatalf("expected timing error, got %v", err)
+			}
+			if te.Param != c.param {
+				t.Fatalf("violated %s, want %s", te.Param, c.param)
+			}
+		})
+	}
+}
+
+func TestTRCIndependentlyEnforced(t *testing.T) {
+	// With tRC > tRAS+tRP, an ACT that satisfies tRP can still violate
+	// tRC.
+	tm := DDR4Timing()
+	tm.TRC = tm.TRAS + tm.TRP + PicosFromNs(10)
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   tm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, tm.TRAS); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Exec(Command{Op: OpAct, Bank: 0, Row: 2}, tm.TRAS+tm.TRP)
+	var te *TimingError
+	if !errors.As(err, &te) || te.Param != "tRC" {
+		t.Fatalf("expected tRC violation, got %v", err)
+	}
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 2}, tm.TRC); err != nil {
+		t.Fatalf("ACT at tRC should be legal: %v", err)
+	}
+}
+
+func TestNopAlwaysLegal(t *testing.T) {
+	m := testModule(t)
+	if _, err := m.Exec(Command{Op: OpNop}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreToIdleBankIsNop(t *testing.T) {
+	m := testModule(t)
+	if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, 0); err != nil {
+		t.Fatalf("PRE to idle bank should be legal: %v", err)
+	}
+}
+
+func TestPreAllClosesEveryBank(t *testing.T) {
+	m := testModule(t)
+	tm := m.Timing()
+	var now Picos
+	for b := 0; b < 2; b++ {
+		if _, err := m.Exec(Command{Op: OpAct, Bank: b, Row: 1}, now); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRRD
+	}
+	now += tm.TRAS
+	if _, err := m.Exec(Command{Op: OpPreAll}, now); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 2; b++ {
+		if m.ActiveRow(b) != -1 {
+			t.Fatalf("bank %d still active after PREA", b)
+		}
+	}
+}
+
+func TestRefRequiresIdleBanks(t *testing.T) {
+	m := testModule(t)
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Exec(Command{Op: OpRef}, m.Timing().TRAS)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected protocol error for REF with open bank, got %v", err)
+	}
+}
+
+func TestRefBlocksActivationsForTRFC(t *testing.T) {
+	m := testModule(t)
+	tm := m.Timing()
+	if _, err := m.Exec(Command{Op: OpRef}, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 0}, tm.TRFC-1)
+	var te *TimingError
+	if !errors.As(err, &te) || te.Param != "tRFC" {
+		t.Fatalf("expected tRFC violation, got %v", err)
+	}
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 0}, tm.TRFC); err != nil {
+		t.Fatalf("ACT after tRFC should be legal: %v", err)
+	}
+}
+
+func TestOutOfRangeAddresses(t *testing.T) {
+	m := testModule(t)
+	for _, cmd := range []Command{
+		{Op: OpAct, Bank: 99, Row: 0},
+		{Op: OpAct, Bank: 0, Row: 9999},
+		{Op: OpAct, Bank: -1, Row: 0},
+		{Op: OpAct, Bank: 0, Row: -1},
+	} {
+		if _, err := m.Exec(cmd, 0); err == nil {
+			t.Fatalf("expected error for %s", cmd)
+		}
+	}
+	// Column range checked when bank active.
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec(Command{Op: OpRd, Bank: 0, Col: 999}, m.Timing().TRCD); err == nil {
+		t.Fatal("expected column range error")
+	}
+}
+
+func TestLedgerAccumulationOnHammer(t *testing.T) {
+	m := testModule(t)
+	tm := m.Timing()
+	var now Picos
+	const hammers = 10
+	// Double-sided hammer of victim row 10 via rows 9 and 11.
+	for i := 0; i < hammers; i++ {
+		for _, agg := range []int{9, 11} {
+			if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: agg}, now); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, now+tm.TRAS); err != nil {
+				t.Fatal(err)
+			}
+			now += tm.TRC
+		}
+	}
+	led := m.PeekLedger(0, 10)
+	if led.Dist[0].Count != 2*hammers {
+		t.Fatalf("victim distance-1 count = %d, want %d", led.Dist[0].Count, 2*hammers)
+	}
+	// Rows 8 and 12 (the single-sided victims, ±2 from the double-sided
+	// victim) see distance-1 aggression from their adjacent aggressor
+	// only; the far aggressor is at distance 3, beyond the model radius.
+	for _, r := range []int{8, 12} {
+		l := m.PeekLedger(0, r)
+		if l.Dist[0].Count != hammers {
+			t.Fatalf("row %d distance-1 count = %d, want %d", r, l.Dist[0].Count, hammers)
+		}
+		if l.Dist[1].Count != 0 {
+			t.Fatalf("row %d distance-2 count = %d, want 0", r, l.Dist[1].Count)
+		}
+	}
+	// Rows 7 and 13 are at distance 2 from the near aggressor.
+	for _, r := range []int{7, 13} {
+		if l := m.PeekLedger(0, r); l.Dist[1].Count != hammers {
+			t.Fatalf("row %d distance-2 count = %d, want %d", r, l.Dist[1].Count, hammers)
+		}
+	}
+	// Each aggressor is at distance 2 from the other, but its own
+	// ledger resets every time it is itself activated, so after the
+	// final PRE of row 11 only row 9's ledger holds one recorded
+	// activation (and vice-versa ordering leaves row 11 with none
+	// pending beyond the last exchange).
+	if l := m.PeekLedger(0, 9); l.Dist[1].Count != 1 {
+		t.Fatalf("aggressor 9 distance-2 count = %d, want 1", l.Dist[1].Count)
+	}
+	// On-time recording: average on-time must equal tRAS.
+	if got := led.Dist[0].AvgOnNs(); got != tm.TRAS.Nanoseconds() {
+		t.Fatalf("avg on-time = %v ns, want %v", got, tm.TRAS.Nanoseconds())
+	}
+}
+
+func TestLedgerResetOnVictimActivation(t *testing.T) {
+	m := testModule(t)
+	tm := m.Timing()
+	var now Picos
+	for _, agg := range []int{9, 11} {
+		if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: agg}, now); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, now+tm.TRAS); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRC
+	}
+	if m.PeekLedger(0, 10).Total() == 0 {
+		t.Fatal("victim should have accumulated aggression")
+	}
+	// Activating the victim restores its charge.
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 10}, now); err != nil {
+		t.Fatal(err)
+	}
+	if m.PeekLedger(0, 10).Total() != 0 {
+		t.Fatal("victim ledger should reset on activation")
+	}
+}
+
+func TestDisturbanceStopsAtSubarrayBoundary(t *testing.T) {
+	m := testModule(t) // 32-row subarrays
+	tm := m.Timing()
+	var now Picos
+	// Hammer row 31 (last row of subarray 0).
+	for i := 0; i < 5; i++ {
+		if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 31}, now); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, now+tm.TRAS); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRC
+	}
+	if m.PeekLedger(0, 30).Total() == 0 {
+		t.Fatal("row 30 (same subarray) should accumulate")
+	}
+	if m.PeekLedger(0, 32).Total() != 0 {
+		t.Fatal("row 32 (next subarray) must not accumulate")
+	}
+	if m.PeekLedger(0, 33).Total() != 0 {
+		t.Fatal("row 33 (next subarray) must not accumulate")
+	}
+}
+
+func TestTemperatureRecordedInLedger(t *testing.T) {
+	m := testModule(t)
+	tm := m.Timing()
+	m.SetTemperature(85)
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, tm.TRAS); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PeekLedger(0, 10).Dist[0].AvgTempC(); got != 85 {
+		t.Fatalf("recorded temperature = %v, want 85", got)
+	}
+}
+
+func TestRemapAppliedToActivations(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 32, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+		Remap:    MirrorRemap{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical 8 maps to physical 15 under MirrorRemap.
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 8}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ActiveRow(0); got != 15 {
+		t.Fatalf("active physical row = %d, want 15", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := testModule(t)
+	d := &driver{m: m, t: t}
+	d.openWriteClose(0, 1, 0, 42)
+	d.openReadClose(0, 1, 0)
+	s := m.Stats()
+	if s.Acts != 2 || s.Pres != 2 || s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// countingDisturber flips the first bit of every sensed row that has
+// at least minHammers recorded distance-1 activations.
+type countingDisturber struct {
+	minHammers int64
+	calls      int
+}
+
+func (c *countingDisturber) Disturb(ctx DisturbContext) int {
+	c.calls++
+	if ctx.Ledger.Dist[0].Count >= c.minHammers {
+		ctx.Data[0] ^= 1
+		return 1
+	}
+	return 0
+}
+
+func TestDisturberInvokedOnSense(t *testing.T) {
+	cd := &countingDisturber{minHammers: 4}
+	m, err := NewModule(ModuleConfig{
+		Geometry:  Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:    DDR4Timing(),
+		Disturber: cd,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Timing()
+	d := &driver{m: m, t: t}
+	d.openWriteClose(0, 10, 0, 0) // victim stores zeros
+	var hammered Picos
+	// 4 single-sided hammers on row 9.
+	for i := 0; i < 4; i++ {
+		d.step(tm.TRC)
+		d.must(Command{Op: OpAct, Bank: 0, Row: 9})
+		d.step(tm.TRAS)
+		d.must(Command{Op: OpPre, Bank: 0})
+		hammered += tm.TRC
+	}
+	// Reading the victim activates (senses) it: flip applied.
+	got := d.openReadClose(0, 10, 0)
+	if got != 1 {
+		t.Fatalf("victim data = %#x, want bit flip to 1", got)
+	}
+	if m.Stats().FlipsInjected != 1 {
+		t.Fatalf("FlipsInjected = %d", m.Stats().FlipsInjected)
+	}
+	// Re-reading without further hammering: no new flips (ledger reset).
+	got = d.openReadClose(0, 10, 0)
+	if got != 1 {
+		t.Fatalf("flip should persist in stored data, got %#x", got)
+	}
+}
+
+func TestRefreshClearsLedgers(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 8, SubarrayRows: 8, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Timing()
+	var now Picos
+	if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 3}, now); err != nil {
+		t.Fatal(err)
+	}
+	now += tm.TRAS
+	if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, now); err != nil {
+		t.Fatal(err)
+	}
+	now += tm.TRP
+	if m.PeekLedger(0, 2).Total() == 0 {
+		t.Fatal("row 2 should have aggression")
+	}
+	// The 8-row bank refreshes fully after 8 REFs (1 row per REF).
+	for i := 0; i < 8; i++ {
+		if _, err := m.Exec(Command{Op: OpRef}, now); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRFC
+	}
+	if m.PeekLedger(0, 2).Total() != 0 {
+		t.Fatal("refresh should clear accumulated aggression")
+	}
+}
+
+func TestBeatExtractInsertSubWord(t *testing.T) {
+	// x4 chips, 8 chips: 32-bit beats exercise sub-word paths.
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 8, SubarrayRows: 8, Chips: 8, ChipWidth: 4, ColumnsPerRow: 16},
+		Timing:   DDR4Timing(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &driver{m: m, t: t}
+	d.openWriteClose(0, 1, 0, 0xAAAAAAAA)
+	d.openWriteClose(0, 1, 1, 0x55555555)
+	d.openWriteClose(0, 1, 3, 0xFFFFFFFF)
+	if got := d.openReadClose(0, 1, 0); got != 0xAAAAAAAA {
+		t.Fatalf("col0 = %#x", got)
+	}
+	if got := d.openReadClose(0, 1, 1); got != 0x55555555 {
+		t.Fatalf("col1 = %#x", got)
+	}
+	if got := d.openReadClose(0, 1, 2); got != 0 {
+		t.Fatalf("col2 = %#x", got)
+	}
+	if got := d.openReadClose(0, 1, 3); got != 0xFFFFFFFF {
+		t.Fatalf("col3 = %#x", got)
+	}
+}
+
+func TestNewModuleRejectsWideBeat(t *testing.T) {
+	_, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 8, SubarrayRows: 8, Chips: 16, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+	})
+	if err == nil {
+		t.Fatal("expected error for beat > 64 bits")
+	}
+}

@@ -1,0 +1,92 @@
+package dram
+
+import "fmt"
+
+// RemapScheme is a DRAM-internal logical→physical row-address mapping.
+// Manufacturers remap controller-visible row addresses for routing and
+// post-repair reasons; the mapping must be reverse engineered before
+// physically adjacent aggressor rows can be chosen (§4.2).
+//
+// Implementations must be bijections on [0, rows).
+type RemapScheme interface {
+	// ToPhysical converts a controller-visible row address to the
+	// internal physical row index.
+	ToPhysical(logical int) int
+	// ToLogical inverts ToPhysical.
+	ToLogical(physical int) int
+	// Name identifies the scheme.
+	Name() string
+}
+
+// DirectRemap maps logical addresses to identical physical addresses.
+type DirectRemap struct{}
+
+// ToPhysical implements RemapScheme.
+func (DirectRemap) ToPhysical(l int) int { return l }
+
+// ToLogical implements RemapScheme.
+func (DirectRemap) ToLogical(p int) int { return p }
+
+// Name implements RemapScheme.
+func (DirectRemap) Name() string { return "direct" }
+
+// MirrorRemap models address mirroring observed in real modules: within
+// every block of 16 rows, the upper 8 rows appear in reversed order
+// (physical = logical XOR 7 when bit 3 is set). Self-inverse.
+type MirrorRemap struct{}
+
+// ToPhysical implements RemapScheme.
+func (MirrorRemap) ToPhysical(l int) int {
+	if l&8 != 0 {
+		return l ^ 7
+	}
+	return l
+}
+
+// ToLogical implements RemapScheme.
+func (m MirrorRemap) ToLogical(p int) int { return m.ToPhysical(p) }
+
+// Name implements RemapScheme.
+func (MirrorRemap) Name() string { return "mirror" }
+
+// ScrambleRemap models low-bit scrambling: a fixed permutation of the
+// low 3 address bits applied uniformly (a simplified version of the
+// remappings recovered from real chips).
+type ScrambleRemap struct {
+	perm [8]int
+	inv  [8]int
+}
+
+// NewScrambleRemap builds a ScrambleRemap from a permutation of 0..7.
+func NewScrambleRemap(perm [8]int) (*ScrambleRemap, error) {
+	var s ScrambleRemap
+	seen := [8]bool{}
+	for i, p := range perm {
+		if p < 0 || p > 7 || seen[p] {
+			return nil, fmt.Errorf("dram: invalid low-bit permutation %v", perm)
+		}
+		seen[p] = true
+		s.perm[i] = p
+		s.inv[p] = i
+	}
+	return &s, nil
+}
+
+// ToPhysical implements RemapScheme.
+func (s *ScrambleRemap) ToPhysical(l int) int { return l&^7 | s.perm[l&7] }
+
+// ToLogical implements RemapScheme.
+func (s *ScrambleRemap) ToLogical(p int) int { return p&^7 | s.inv[p&7] }
+
+// Name implements RemapScheme.
+func (s *ScrambleRemap) Name() string { return "scramble" }
+
+// DefaultScramble returns the low-bit permutation used by the
+// manufacturer-C-like profile: {0,1,3,2,5,4,6,7}.
+func DefaultScramble() *ScrambleRemap {
+	s, err := NewScrambleRemap([8]int{0, 1, 3, 2, 5, 4, 6, 7})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func checkBijection(t *testing.T, s RemapScheme, rows int) {
+	t.Helper()
+	seen := make(map[int]bool, rows)
+	for l := 0; l < rows; l++ {
+		p := s.ToPhysical(l)
+		if p < 0 || p >= rows {
+			t.Fatalf("%s: ToPhysical(%d) = %d out of range", s.Name(), l, p)
+		}
+		if seen[p] {
+			t.Fatalf("%s: physical %d hit twice", s.Name(), p)
+		}
+		seen[p] = true
+		if back := s.ToLogical(p); back != l {
+			t.Fatalf("%s: ToLogical(ToPhysical(%d)) = %d", s.Name(), l, back)
+		}
+	}
+}
+
+func TestRemapSchemesAreBijections(t *testing.T) {
+	for _, s := range []RemapScheme{DirectRemap{}, MirrorRemap{}, DefaultScramble()} {
+		checkBijection(t, s, 1024)
+	}
+}
+
+func TestMirrorRemapKnownValues(t *testing.T) {
+	m := MirrorRemap{}
+	cases := map[int]int{0: 0, 7: 7, 8: 15, 15: 8, 9: 14, 16: 16, 24: 31}
+	for l, p := range cases {
+		if got := m.ToPhysical(l); got != p {
+			t.Fatalf("mirror ToPhysical(%d) = %d, want %d", l, got, p)
+		}
+	}
+}
+
+func TestScrambleRemapKnownValues(t *testing.T) {
+	s := DefaultScramble()
+	cases := map[int]int{0: 0, 1: 1, 2: 3, 3: 2, 4: 5, 5: 4, 6: 6, 7: 7, 10: 11, 16: 16}
+	for l, p := range cases {
+		if got := s.ToPhysical(l); got != p {
+			t.Fatalf("scramble ToPhysical(%d) = %d, want %d", l, got, p)
+		}
+	}
+}
+
+func TestNewScrambleRemapRejectsNonPermutation(t *testing.T) {
+	if _, err := NewScrambleRemap([8]int{0, 0, 1, 2, 3, 4, 5, 6}); err == nil {
+		t.Fatal("expected error for duplicate entry")
+	}
+	if _, err := NewScrambleRemap([8]int{0, 1, 2, 3, 4, 5, 6, 9}); err == nil {
+		t.Fatal("expected error for out-of-range entry")
+	}
+}
+
+func TestRemapRoundTripProperty(t *testing.T) {
+	schemes := []RemapScheme{DirectRemap{}, MirrorRemap{}, DefaultScramble()}
+	if err := quick.Check(func(raw uint16, which uint8) bool {
+		s := schemes[int(which)%len(schemes)]
+		l := int(raw)
+		return s.ToLogical(s.ToPhysical(l)) == l
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

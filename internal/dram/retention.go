@@ -1,0 +1,101 @@
+package dram
+
+import (
+	"math"
+
+	"rowhammer/internal/rng"
+)
+
+// RetentionConfig enables data-retention failure modeling. The study
+// keeps every test short enough that retention errors cannot pollute
+// RowHammer measurements (§4.2); enabling this model lets experiments
+// verify that property instead of assuming it.
+//
+// Each cell draws a retention time from a lognormal distribution with
+// a weak-cell tail (the classic DRAM retention distribution): almost
+// all cells retain far beyond the 64 ms refresh window, a tiny
+// fraction fail shortly after it.
+type RetentionConfig struct {
+	// MedianSeconds is the bulk distribution's median retention time
+	// (room temperature; seconds). Typical modern DRAM: >64 s.
+	MedianSeconds float64
+	// Sigma is the lognormal sigma of the bulk distribution.
+	Sigma float64
+	// WeakFrac is the fraction of cells in the weak tail.
+	WeakFrac float64
+	// WeakMedianSeconds is the weak tail's median retention time.
+	WeakMedianSeconds float64
+	// TempCoeffPerC halves... scales retention exponentially with
+	// temperature: retention × exp(-TempCoeffPerC × (T - 45 °C)).
+	// The literature reports roughly a 2× loss per 10 °C
+	// (coefficient ≈ 0.069).
+	TempCoeffPerC float64
+}
+
+// DefaultRetentionConfig returns a configuration matching published
+// retention characterizations: virtually no failures within 64 ms,
+// a weak tail starting near a few hundred ms.
+func DefaultRetentionConfig() RetentionConfig {
+	return RetentionConfig{
+		MedianSeconds:     64,
+		Sigma:             1.0,
+		WeakFrac:          1e-5,
+		WeakMedianSeconds: 0.5,
+		TempCoeffPerC:     0.069,
+	}
+}
+
+// retention models per-cell retention failures.
+type retention struct {
+	cfg  RetentionConfig
+	seed uint64
+}
+
+// cellRetentionSeconds returns a cell's retention time at the
+// reference temperature (45 °C).
+func (r *retention) cellRetentionSeconds(bank, row, bit int) float64 {
+	h := rng.Hash64(r.seed, 0x2e7e, uint64(bank), uint64(row), uint64(bit))
+	median := r.cfg.MedianSeconds
+	if rng.Uniform01(rng.Hash64(h, 1)) < r.cfg.WeakFrac {
+		median = r.cfg.WeakMedianSeconds
+	}
+	z := rng.NormalFromHash(rng.Hash64(h, 2), rng.Hash64(h, 3))
+	return median * math.Exp(r.cfg.Sigma*z)
+}
+
+// decayed reports whether a cell loses its charge after holding for
+// the given duration at the given temperature.
+func (r *retention) decayed(bank, row, bit int, held Picos, tempC float64) bool {
+	if held <= 0 {
+		return false
+	}
+	t := r.cellRetentionSeconds(bank, row, bit)
+	t *= math.Exp(-r.cfg.TempCoeffPerC * (tempC - 45))
+	return float64(held)/1e12 > t
+}
+
+// applyRetention injects retention failures into a row's data given
+// how long the row has been unrefreshed. Only charged cells decay
+// (true-cells storing 1, anti-cells storing 0); orientation reuses the
+// cell's identity hash so the retention and RowHammer models agree on
+// which state is charged.
+func (m *Module) applyRetention(bank, phys int, data []uint64, held Picos) int {
+	if m.ret == nil {
+		return 0
+	}
+	flips := 0
+	rowBits := m.geo.RowBits()
+	for bit := 0; bit < rowBits; bit++ {
+		word, off := bit/64, uint(bit%64)
+		stored := data[word] >> off & 1
+		charged := rng.Hash64(m.retOrientSeed, uint64(bank), uint64(phys), uint64(bit)) & 1
+		if stored != charged {
+			continue
+		}
+		if m.ret.decayed(bank, phys, bit, held, m.tempC) {
+			data[word] ^= 1 << off
+			flips++
+		}
+	}
+	return flips
+}

@@ -1,0 +1,150 @@
+package dram
+
+import (
+	"testing"
+
+	"rowhammer/internal/rng"
+)
+
+// TestRandomLegalCommandStream drives the module with a long random
+// but legally-scheduled command stream and checks that (1) the module
+// never reports a protocol or timing error, and (2) with no disturber
+// every read returns exactly what was last written — whatever the
+// interleaving of banks, rows, refreshes and precharges.
+func TestRandomLegalCommandStream(t *testing.T) {
+	g := Geometry{Banks: 4, RowsPerBank: 128, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 16}
+	m, err := NewModule(ModuleConfig{Geometry: g, Timing: DDR4Timing(), OnDieECC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Timing()
+	s := rng.NewStream(0xfeed)
+
+	// Shadow model of expected contents: (bank, physRow, col) → beat.
+	shadow := make(map[[3]int]uint64)
+
+	// Per-bank scheduler state.
+	type bankSched struct {
+		open      bool
+		row       int
+		earliest  Picos // earliest next command for this bank
+		actAt     Picos
+		lastColAt Picos
+		everCol   bool
+		lastRdAt  Picos
+		lastWrAt  Picos
+		everRd    bool
+		everWr    bool
+	}
+	banks := make([]bankSched, g.Banks)
+	now := Picos(0)
+	lastActAny := Picos(-1 << 40)
+
+	max := func(a, b Picos) Picos {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	issue := func(cmd Command, at Picos) uint64 {
+		t.Helper()
+		v, err := m.Exec(cmd, at)
+		if err != nil {
+			t.Fatalf("stream error at %d: %v (cmd %s)", at, err, cmd)
+		}
+		if at > now {
+			now = at
+		}
+		now += tm.TCK
+		return v
+	}
+
+	const steps = 20000
+	reads, writes := 0, 0
+	for i := 0; i < steps; i++ {
+		b := s.Intn(g.Banks)
+		bs := &banks[b]
+		switch op := s.Intn(10); {
+		case op < 3 && !bs.open: // ACT
+			at := max(now, max(bs.earliest, lastActAny+tm.TRRD))
+			row := s.Intn(g.RowsPerBank)
+			issue(Command{Op: OpAct, Bank: b, Row: row}, at)
+			bs.open = true
+			bs.row = row
+			bs.actAt = at
+			bs.everCol = false
+			bs.everRd, bs.everWr = false, false
+			lastActAny = at
+		case op < 6 && bs.open: // WR
+			at := max(now, bs.actAt+tm.TRCD)
+			if bs.everCol {
+				at = max(at, bs.lastColAt+tm.TCCD)
+			}
+			col := s.Intn(g.ColumnsPerRow)
+			data := s.Uint64()
+			issue(Command{Op: OpWr, Bank: b, Col: col, Data: data}, at)
+			phys := m.Remap().ToPhysical(bs.row)
+			shadow[[3]int{b, phys, col}] = data
+			bs.lastColAt, bs.everCol = at, true
+			bs.lastWrAt, bs.everWr = at, true
+			writes++
+		case op < 9 && bs.open: // RD
+			at := max(now, bs.actAt+tm.TRCD)
+			if bs.everCol {
+				at = max(at, bs.lastColAt+tm.TCCD)
+			}
+			col := s.Intn(g.ColumnsPerRow)
+			got := issue(Command{Op: OpRd, Bank: b, Col: col}, at)
+			phys := m.Remap().ToPhysical(bs.row)
+			if want := shadow[[3]int{b, phys, col}]; got != want {
+				t.Fatalf("step %d: read b%d r%d(phys %d) c%d = %#x, want %#x",
+					i, b, bs.row, phys, col, got, want)
+			}
+			bs.lastColAt, bs.everCol = at, true
+			bs.lastRdAt, bs.everRd = at, true
+			reads++
+		case bs.open: // PRE
+			at := max(now, bs.actAt+tm.TRAS)
+			if bs.everRd {
+				at = max(at, bs.lastRdAt+tm.TRTP)
+			}
+			if bs.everWr {
+				at = max(at, bs.lastWrAt+tm.TWR)
+			}
+			issue(Command{Op: OpPre, Bank: b}, at)
+			bs.open = false
+			bs.earliest = max(at+tm.TRP, bs.actAt+tm.TRC)
+		default: // occasionally REF (needs all banks idle)
+			if s.Intn(50) != 0 {
+				continue
+			}
+			at := now
+			allIdle := true
+			for bi := range banks {
+				if banks[bi].open {
+					allIdle = false
+					break
+				}
+				at = max(at, banks[bi].earliest)
+			}
+			if !allIdle {
+				continue
+			}
+			issue(Command{Op: OpRef}, at)
+			for bi := range banks {
+				banks[bi].earliest = max(banks[bi].earliest, at+tm.TRFC)
+			}
+			lastActAny = max(lastActAny, at+tm.TRFC-tm.TRRD)
+		}
+	}
+	if reads < 1000 || writes < 1000 {
+		t.Fatalf("stream too thin: %d reads, %d writes", reads, writes)
+	}
+	st := m.Stats()
+	if st.ECCUncorrectable != 0 {
+		t.Fatalf("spurious uncorrectable ECC words: %d", st.ECCUncorrectable)
+	}
+	if st.FlipsInjected != 0 {
+		t.Fatalf("flips injected with NopDisturber: %d", st.FlipsInjected)
+	}
+}

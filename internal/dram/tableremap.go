@@ -1,0 +1,176 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TableRemap is an explicit logical→physical mapping table — the form
+// a reverse-engineering procedure produces when the DRAM's internal
+// scheme matches no known candidate. It implements RemapScheme.
+type TableRemap struct {
+	toPhys []int
+	toLog  []int
+}
+
+// NewTableRemap builds a TableRemap from an explicit logical→physical
+// table, validating that it is a bijection.
+func NewTableRemap(toPhys []int) (*TableRemap, error) {
+	n := len(toPhys)
+	tr := &TableRemap{toPhys: make([]int, n), toLog: make([]int, n)}
+	seen := make([]bool, n)
+	for l, p := range toPhys {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("dram: mapping entry %d out of range", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("dram: physical row %d mapped twice", p)
+		}
+		seen[p] = true
+		tr.toPhys[l] = p
+		tr.toLog[p] = l
+	}
+	return tr, nil
+}
+
+// ToPhysical implements RemapScheme.
+func (t *TableRemap) ToPhysical(l int) int {
+	if l < 0 || l >= len(t.toPhys) {
+		return l
+	}
+	return t.toPhys[l]
+}
+
+// ToLogical implements RemapScheme.
+func (t *TableRemap) ToLogical(p int) int {
+	if p < 0 || p >= len(t.toLog) {
+		return p
+	}
+	return t.toLog[p]
+}
+
+// Name implements RemapScheme.
+func (t *TableRemap) Name() string { return "table" }
+
+// ReconstructOrder turns measured adjacency (logical row → its one or
+// two physically adjacent logical rows) into a physical ordering of
+// the rows involved: physically, rows form a path, so the adjacency
+// graph must be a simple path whose two endpoints have degree one.
+//
+// The returned slice lists logical rows in physical order. The
+// orientation is canonicalized so the end with the smaller logical
+// address comes first (the measurement cannot distinguish a path from
+// its reverse).
+func ReconstructOrder(adjacency map[int][]int) ([]int, error) {
+	if len(adjacency) == 0 {
+		return nil, fmt.Errorf("dram: empty adjacency")
+	}
+	// Symmetrize: measurement may record a neighbor in one direction
+	// only (e.g. edge rows probed from one side).
+	adj := make(map[int]map[int]bool)
+	link := func(a, b int) {
+		if adj[a] == nil {
+			adj[a] = make(map[int]bool)
+		}
+		adj[a][b] = true
+	}
+	for row, ns := range adjacency {
+		for _, n := range ns {
+			link(row, n)
+			link(n, row)
+		}
+	}
+	// A path has exactly two degree-1 endpoints; every other node has
+	// degree 2.
+	var ends []int
+	for row, ns := range adj {
+		switch len(ns) {
+		case 1:
+			ends = append(ends, row)
+		case 2:
+		default:
+			return nil, fmt.Errorf("dram: row %d has %d neighbors; not a path", row, len(ns))
+		}
+	}
+	if len(ends) != 2 {
+		return nil, fmt.Errorf("dram: adjacency has %d endpoints, want 2 (disconnected or cyclic)", len(ends))
+	}
+	sort.Ints(ends)
+	// Walk from the canonical endpoint.
+	order := []int{ends[0]}
+	prev := -1
+	cur := ends[0]
+	for {
+		next := -1
+		for n := range adj[cur] {
+			if n != prev {
+				next = n
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		order = append(order, next)
+		prev, cur = cur, next
+	}
+	if len(order) != len(adj) {
+		return nil, fmt.Errorf("dram: walked %d of %d rows; adjacency disconnected", len(order), len(adj))
+	}
+	return order, nil
+}
+
+// TableFromOrder builds a logical→physical TableRemap from a physical
+// ordering of logical rows anchored at physical index base: the i-th
+// row of the order sits at physical row base+i. Rows outside the
+// order map identity. totalRows sizes the table.
+func TableFromOrder(order []int, base, totalRows int) (*TableRemap, error) {
+	if base < 0 || base+len(order) > totalRows {
+		return nil, fmt.Errorf("dram: order [%d, %d) outside %d rows", base, base+len(order), totalRows)
+	}
+	toPhys := make([]int, totalRows)
+	for i := range toPhys {
+		toPhys[i] = -1
+	}
+	usedPhys := make([]bool, totalRows)
+	for i, logical := range order {
+		if logical < 0 || logical >= totalRows {
+			return nil, fmt.Errorf("dram: logical row %d out of range", logical)
+		}
+		if toPhys[logical] != -1 {
+			return nil, fmt.Errorf("dram: logical row %d appears twice", logical)
+		}
+		toPhys[logical] = base + i
+		usedPhys[base+i] = true
+	}
+	// Identity for unprobed rows, displacing conflicts into the
+	// remaining free physical slots in ascending order.
+	var free []int
+	for p := 0; p < totalRows; p++ {
+		if !usedPhys[p] {
+			free = append(free, p)
+		}
+	}
+	fi := 0
+	for l := 0; l < totalRows; l++ {
+		if toPhys[l] != -1 {
+			continue
+		}
+		if l < len(usedPhys) && !usedPhys[l] {
+			// Identity slot still free: prefer it.
+			toPhys[l] = l
+			usedPhys[l] = true
+			continue
+		}
+		// Slot taken: use the next free physical index.
+		for fi < len(free) && usedPhys[free[fi]] {
+			fi++
+		}
+		if fi >= len(free) {
+			return nil, fmt.Errorf("dram: ran out of physical slots")
+		}
+		toPhys[l] = free[fi]
+		usedPhys[free[fi]] = true
+	}
+	return NewTableRemap(toPhys)
+}

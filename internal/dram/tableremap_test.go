@@ -1,0 +1,173 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rowhammer/internal/rng"
+)
+
+func TestNewTableRemapBijection(t *testing.T) {
+	tr, err := NewTableRemap([]int{2, 0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, tr, 4)
+	if tr.ToPhysical(0) != 2 || tr.ToLogical(2) != 0 {
+		t.Fatal("mapping wrong")
+	}
+}
+
+func TestNewTableRemapRejectsInvalid(t *testing.T) {
+	if _, err := NewTableRemap([]int{0, 0, 1}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if _, err := NewTableRemap([]int{0, 5}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// oracleAdjacency builds the adjacency map a perfect single-sided
+// probe of every row in [lo, hi) under scheme s would produce.
+func oracleAdjacency(s RemapScheme, lo, hi int) map[int][]int {
+	adj := make(map[int][]int)
+	for l := lo; l < hi; l++ {
+		p := s.ToPhysical(l)
+		for _, np := range []int{p - 1, p + 1} {
+			nl := s.ToLogical(np)
+			if nl >= lo && nl < hi && np >= s.ToPhysical(lo)-64 {
+				// Keep neighbors inside the probed block.
+				inBlock := false
+				for m := lo; m < hi; m++ {
+					if m == nl {
+						inBlock = true
+						break
+					}
+				}
+				if inBlock {
+					adj[l] = append(adj[l], nl)
+				}
+			}
+		}
+	}
+	return adj
+}
+
+func TestReconstructOrderRecoversSchemes(t *testing.T) {
+	for _, s := range []RemapScheme{DirectRemap{}, MirrorRemap{}, DefaultScramble()} {
+		// Probe a 32-row block whose physical image is the same block
+		// (all three schemes permute within 16-row groups).
+		adj := oracleAdjacency(s, 0, 32)
+		order, err := ReconstructOrder(adj)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(order) != 32 {
+			t.Fatalf("%s: recovered %d rows", s.Name(), len(order))
+		}
+		// The recovered order must list logical rows in physical
+		// sequence (or its exact reverse; canonicalized by endpoint).
+		forward := true
+		if s.ToPhysical(order[0]) > s.ToPhysical(order[1]) {
+			forward = false
+		}
+		for i := 1; i < len(order); i++ {
+			d := s.ToPhysical(order[i]) - s.ToPhysical(order[i-1])
+			if forward && d != 1 || !forward && d != -1 {
+				t.Fatalf("%s: order not physically contiguous at %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+func TestReconstructOrderRejectsNonPath(t *testing.T) {
+	// A cycle.
+	if _, err := ReconstructOrder(map[int][]int{0: {1, 2}, 1: {2, 0}, 2: {0, 1}}); err == nil {
+		t.Fatal("expected error for a cycle")
+	}
+	// Disconnected.
+	if _, err := ReconstructOrder(map[int][]int{0: {1}, 2: {3}}); err == nil {
+		t.Fatal("expected error for disconnected components")
+	}
+	// A star.
+	if _, err := ReconstructOrder(map[int][]int{0: {1, 2, 3}}); err == nil {
+		t.Fatal("expected error for a degree-3 node")
+	}
+	if _, err := ReconstructOrder(nil); err == nil {
+		t.Fatal("expected error for empty adjacency")
+	}
+}
+
+func TestTableFromOrderRoundTrip(t *testing.T) {
+	// Recover MirrorRemap's first 16 rows and verify the resulting
+	// table matches the real scheme on that block.
+	real := MirrorRemap{}
+	adj := oracleAdjacency(real, 0, 16)
+	order, err := ReconstructOrder(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor: the block's physical base is 0.
+	tr, err := TableFromOrder(order, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, tr, 64)
+	// Physical adjacency must agree with the real scheme: rows that
+	// are physically adjacent under the table are physically adjacent
+	// in reality (orientation-insensitive check).
+	for i := 1; i < 16; i++ {
+		a := tr.ToLogical(i - 1)
+		b := tr.ToLogical(i)
+		d := real.ToPhysical(a) - real.ToPhysical(b)
+		if d != 1 && d != -1 {
+			t.Fatalf("table neighbors %d,%d not physically adjacent (Δ=%d)", a, b, d)
+		}
+	}
+}
+
+func TestTableFromOrderValidation(t *testing.T) {
+	if _, err := TableFromOrder([]int{0, 1}, 63, 64); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := TableFromOrder([]int{1, 1}, 0, 8); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if _, err := TableFromOrder([]int{9}, 0, 8); err == nil {
+		t.Fatal("expected out-of-range logical row error")
+	}
+}
+
+func TestTableFromOrderPropertyBijection(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		s := rng.NewStream(seed)
+		const total = 40
+		n := 4 + s.Intn(12)
+		base := s.Intn(total - n)
+		// A random set of logical rows as the order.
+		perm := make([]int, total)
+		s.Perm(perm)
+		order := perm[:n]
+		tr, err := TableFromOrder(order, base, total)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, total)
+		for l := 0; l < total; l++ {
+			p := tr.ToPhysical(l)
+			if p < 0 || p >= total || seen[p] || tr.ToLogical(p) != l {
+				return false
+			}
+			seen[p] = true
+		}
+		// Ordered rows sit at base+i.
+		for i, l := range order {
+			if tr.ToPhysical(l) != base+i {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package dram
+
+import "testing"
+
+func TestTRRSamplerTracksHotRow(t *testing.T) {
+	cfg := TRRConfig{TableSize: 4, SampleProb: 1, Threshold: 100, Seed: 1}
+	s := newTRRSampler(cfg, 0)
+	for i := 0; i < 150; i++ {
+		s.observe(42)
+	}
+	v := s.victims()
+	if len(v) != 4 {
+		t.Fatalf("victims = %v, want 4 neighbors of row 42", v)
+	}
+	want := map[int]bool{40: true, 41: true, 43: true, 44: true}
+	for _, r := range v {
+		if !want[r] {
+			t.Fatalf("unexpected victim %d", r)
+		}
+	}
+	// Counter cleared: no repeated victims without further activity.
+	if v := s.victims(); len(v) != 0 {
+		t.Fatalf("victims after clear = %v", v)
+	}
+}
+
+func TestTRRSamplerBelowThresholdSilent(t *testing.T) {
+	cfg := TRRConfig{TableSize: 4, SampleProb: 1, Threshold: 100, Seed: 1}
+	s := newTRRSampler(cfg, 0)
+	for i := 0; i < 99; i++ {
+		s.observe(42)
+	}
+	if v := s.victims(); len(v) != 0 {
+		t.Fatalf("victims = %v below threshold", v)
+	}
+}
+
+func TestTRRSamplerFIFOEviction(t *testing.T) {
+	cfg := TRRConfig{TableSize: 2, SampleProb: 1, Threshold: 10, Seed: 1}
+	s := newTRRSampler(cfg, 0)
+	for i := 0; i < 5; i++ {
+		s.observe(1)
+	}
+	s.observe(2) // fills table: [1, 2]
+	s.observe(3) // FIFO evicts row 1 (oldest): [2, 3]
+	// Row 1's accumulated count is gone; re-tracking starts from 1.
+	for i := 0; i < 9; i++ {
+		s.observe(1) // first inserts (evicting 2), then counts up to 9
+	}
+	if v := s.victims(); len(v) != 0 {
+		t.Fatalf("victims = %v; eviction should have reset row 1's count", v)
+	}
+	s.observe(1) // reaches the threshold of 10
+	v := s.victims()
+	want := map[int]bool{-1: true, 0: true, 2: true, 3: true}
+	if len(v) != 4 {
+		t.Fatalf("victims = %v, want the 4 neighbors of row 1", v)
+	}
+	for _, r := range v {
+		if !want[r] {
+			t.Fatalf("victims %v should be the neighbors of row 1 only", v)
+		}
+	}
+}
+
+func TestTRRSamplerChurnPreventsTracking(t *testing.T) {
+	// The TRRespass weakness: with more hot rows than table entries,
+	// FIFO churn keeps every count far below the threshold.
+	cfg := TRRConfig{TableSize: 4, SampleProb: 1, Threshold: 100, Seed: 1}
+	s := newTRRSampler(cfg, 0)
+	for round := 0; round < 1000; round++ {
+		for row := 10; row < 18; row++ { // 8 hot rows, 4 entries
+			s.observe(row)
+		}
+	}
+	if v := s.victims(); len(v) != 0 {
+		t.Fatalf("sampler tracked through churn: victims %v", v)
+	}
+}
+
+func TestTRRNeutralizedWithoutREF(t *testing.T) {
+	// The paper's methodology: never issuing REF keeps TRR from ever
+	// refreshing victims, so ledgers accumulate unbounded.
+	trrCfg := TRRConfig{TableSize: 4, SampleProb: 1, Threshold: 8, Seed: 1}
+	m, err := NewModule(ModuleConfig{
+		Geometry: Geometry{Banks: 1, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   DDR4Timing(),
+		TRR:      &trrCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := m.Timing()
+	var now Picos
+	const hammers = 50
+	for i := 0; i < hammers; i++ {
+		if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 9}, now); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRAS
+		if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, now); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRP
+	}
+	if got := m.PeekLedger(0, 10).Dist[0].Count; got != hammers {
+		t.Fatalf("without REF, ledger = %d, want %d (TRR must not fire)", got, hammers)
+	}
+	if m.Stats().TRRRefreshes != 0 {
+		t.Fatal("TRR refreshed without REF")
+	}
+	// Now issue a REF: TRR fires and clears the victim ledgers.
+	for i := 0; i < 10; i++ {
+		if _, err := m.Exec(Command{Op: OpAct, Bank: 0, Row: 9}, now); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRAS
+		if _, err := m.Exec(Command{Op: OpPre, Bank: 0}, now); err != nil {
+			t.Fatal(err)
+		}
+		now += tm.TRP
+	}
+	if _, err := m.Exec(Command{Op: OpRef}, now); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().TRRRefreshes == 0 {
+		t.Fatal("TRR should refresh victims on REF")
+	}
+	if got := m.PeekLedger(0, 10).Total(); got != 0 {
+		t.Fatalf("TRR refresh should clear victim ledger, got %d", got)
+	}
+}

@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	rh "rowhammer"
+	"rowhammer/internal/dram"
+	"rowhammer/internal/softmc"
+	"rowhammer/internal/stats"
+)
+
+// The paper's aggressor-time grids (§6): on-time 34.5→154.5 ns in
+// 30 ns steps, off-time 16.5→40.5 ns in 6 ns steps.
+var (
+	aggOnGridNs  = []float64{34.5, 64.5, 94.5, 124.5, 154.5}
+	aggOffGridNs = []float64{16.5, 22.5, 28.5, 34.5, 40.5}
+)
+
+// Fig6Result verifies the command timing of the three §6 test types.
+type Fig6Result struct {
+	// Spacings[test] lists ACT→PRE and PRE→ACT distances measured
+	// from the executor trace, for "baseline", "aggressor-on",
+	// "aggressor-off".
+	OnSpacing, OffSpacing map[string]dram.Picos
+}
+
+// Fig6 builds the three §6 command sequences and measures the
+// ACT→PRE / PRE→ACT spacings from the executor trace.
+func Fig6(cfg Config) (Fig6Result, error) {
+	cfg = cfg.normalize()
+	res := Fig6Result{
+		OnSpacing:  make(map[string]dram.Picos),
+		OffSpacing: make(map[string]dram.Picos),
+	}
+	b, err := rh.NewBench(rh.BenchConfig{Profile: rh.ProfileByName("A"), Seed: cfg.Seed, Geometry: cfg.Geometry})
+	if err != nil {
+		return res, err
+	}
+	tm := b.Timing()
+	tests := []struct {
+		name    string
+		on, off dram.Picos
+	}{
+		{"baseline", tm.TRAS, tm.TRP},
+		{"aggressor-on", dram.PicosFromNs(154.5), tm.TRP},
+		{"aggressor-off", tm.TRAS, dram.PicosFromNs(40.5)},
+	}
+	for _, tc := range tests {
+		bld := softmc.NewBuilder(tm.TCK)
+		// Settle any pending tRP/tRC from the previous sequence.
+		bld.Wait(tm.TRC)
+		bld.Act(0, 9).Wait(tc.on).Pre(0).Wait(tc.off).
+			Act(0, 11).Wait(tc.on).Pre(0).Wait(tc.off).
+			Act(0, 9).Wait(tc.on).Pre(0)
+		b.Exec.SetTrace(true)
+		tr, err := b.Exec.Run(bld.Program())
+		if err != nil {
+			return res, err
+		}
+		b.Exec.SetTrace(false)
+		// Trace: ACT PRE ACT PRE ACT PRE.
+		res.OnSpacing[tc.name] = tr.Trace[1].At - tr.Trace[0].At
+		res.OffSpacing[tc.name] = tr.Trace[2].At - tr.Trace[1].At
+	}
+	return res, nil
+}
+
+// RunFig6 prints the measured command spacings.
+func RunFig6(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig6(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "test\ttAggOn (ACT→PRE)\ttAggOff (PRE→ACT)")
+	for _, name := range []string{"baseline", "aggressor-on", "aggressor-off"} {
+		fmt.Fprintf(w, "%s\t%.1f ns\t%.1f ns\n", name,
+			res.OnSpacing[name].Nanoseconds(), res.OffSpacing[name].Nanoseconds())
+	}
+	return w.Flush()
+}
+
+// aggSweepRows is the per-module victim budget of §6 sweeps.
+const aggSweepRows = 12
+
+// AggTimePoint summarizes one grid value for one manufacturer.
+type AggTimePoint struct {
+	ValueNs float64
+	// BERs and HCs are per-(module,row) samples.
+	BERs []float64
+	HCs  []float64
+	// Box/letter statistics for the figure rendering.
+	BERBox stats.BoxPlot
+	HCLV   stats.LetterValues
+}
+
+// AggTimeResult is a full §6 sweep for all manufacturers.
+type AggTimeResult struct {
+	Mfrs   []string
+	Points [][]AggTimePoint // [mfr][gridIdx]
+}
+
+// aggSweep runs the §6 measurement over a timing grid; onSweep selects
+// the aggressor-on grid (vs off).
+//
+// The sweep uses wide (≥8K-bit) rows: BER amplification factors up to
+// ~10× need cell-count headroom on the weakest rows, which narrow
+// test-geometry rows would saturate.
+func aggSweep(cfg Config, gridNs []float64, onSweep bool) (AggTimeResult, error) {
+	cfg = cfg.normalize()
+	if cfg.Geometry.ColumnsPerRow < 128 {
+		cfg.Geometry.ColumnsPerRow = 128
+	}
+	var res AggTimeResult
+	perMfr, err := mapMfrs(func(mfr string) ([]AggTimePoint, error) {
+		bs, err := benches(cfg, mfr)
+		if err != nil {
+			return nil, err
+		}
+		rows := sampleRows(cfg, aggSweepRows)
+		points := make([]AggTimePoint, len(gridNs))
+		for gi, v := range gridNs {
+			points[gi].ValueNs = v
+		}
+		for _, b := range bs {
+			t := rh.NewTester(b)
+			pat, err := wcdp(t, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for gi, v := range gridNs {
+				onNs, offNs := 0.0, 0.0
+				if onSweep {
+					onNs = v
+				} else {
+					offNs = v
+				}
+				for _, row := range rows {
+					hr, err := t.BER(rh.HammerConfig{
+						Bank: 0, VictimPhys: row, Hammers: cfg.Scale.Hammers,
+						AggOnNs: onNs, AggOffNs: offNs, Pattern: pat,
+					}, cfg.Scale.Repetitions)
+					if err != nil {
+						return nil, err
+					}
+					points[gi].BERs = append(points[gi].BERs, float64(hr.Victim.Count()))
+					hc, err := t.HCFirstMin(rh.HCFirstConfig{
+						Bank: 0, VictimPhys: row, MaxHammers: cfg.Scale.MaxHammers,
+						AggOnNs: onNs, AggOffNs: offNs, Pattern: pat,
+					}, cfg.Scale.Repetitions)
+					if err != nil {
+						return nil, err
+					}
+					if hc.Found {
+						points[gi].HCs = append(points[gi].HCs, float64(hc.HCfirst))
+					}
+				}
+			}
+		}
+		for gi := range points {
+			if len(points[gi].BERs) > 0 {
+				points[gi].BERBox, _ = stats.NewBoxPlot(points[gi].BERs)
+			}
+			if len(points[gi].HCs) > 0 {
+				points[gi].HCLV, _ = stats.NewLetterValues(points[gi].HCs, 2)
+			}
+		}
+		return points, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	res.Points = perMfr
+	return res, nil
+}
+
+// AggOnSweep measures Figs. 7 and 8.
+func AggOnSweep(cfg Config) (AggTimeResult, error) { return aggSweep(cfg, aggOnGridNs, true) }
+
+// AggOffSweep measures Figs. 9 and 10.
+func AggOffSweep(cfg Config) (AggTimeResult, error) { return aggSweep(cfg, aggOffGridNs, false) }
+
+// MeanBERRatio returns mean BER at the last grid point over the first.
+func (r AggTimeResult) MeanBERRatio(mfrIdx int) float64 {
+	pts := r.Points[mfrIdx]
+	base := stats.Mean(pts[0].BERs)
+	if base == 0 {
+		return 0
+	}
+	return stats.Mean(pts[len(pts)-1].BERs) / base
+}
+
+// MeanHCChange returns the fractional mean HCfirst change from the
+// first to the last grid point.
+func (r AggTimeResult) MeanHCChange(mfrIdx int) float64 {
+	pts := r.Points[mfrIdx]
+	base := stats.Mean(pts[0].HCs)
+	if base == 0 {
+		return 0
+	}
+	return stats.Mean(pts[len(pts)-1].HCs)/base - 1
+}
+
+// CVChange returns the fractional change of the BER coefficient of
+// variation from the first to the last grid point (Obsv. 9/11).
+func (r AggTimeResult) CVChange(mfrIdx int) float64 {
+	pts := r.Points[mfrIdx]
+	base := stats.CV(pts[0].BERs)
+	if base == 0 {
+		return 0
+	}
+	return stats.CV(pts[len(pts)-1].BERs)/base - 1
+}
+
+func printAggBER(cfg Config, res AggTimeResult, label string) error {
+	for i, mfr := range res.Mfrs {
+		fmt.Fprintf(cfg.Out, "Mfr. %s (mean BER ratio last/first: %.1fx)\n", mfr, res.MeanBERRatio(i))
+		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "%s\tmin\tQ1\tmedian\tQ3\tmax\tmean\n", label)
+		for _, p := range res.Points[i] {
+			fmt.Fprintf(w, "%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\n",
+				p.ValueNs, p.BERBox.Min, p.BERBox.Q1, p.BERBox.Median, p.BERBox.Q3, p.BERBox.Max, stats.Mean(p.BERs))
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+func printAggHC(cfg Config, res AggTimeResult, label string) error {
+	for i, mfr := range res.Mfrs {
+		fmt.Fprintf(cfg.Out, "Mfr. %s (mean HCfirst change: %+.1f%%)\n", mfr, 100*res.MeanHCChange(i))
+		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "%s\tmedian HCfirst\tquartile box\tsamples\n", label)
+		for _, p := range res.Points[i] {
+			box := "-"
+			if len(p.HCLV.Boxes) > 0 {
+				box = fmt.Sprintf("[%.0f, %.0f]", p.HCLV.Boxes[0][0], p.HCLV.Boxes[0][1])
+			}
+			fmt.Fprintf(w, "%.1f\t%.0f\t%s\t%d\n", p.ValueNs, p.HCLV.Median, box, len(p.HCs))
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// RunFig7 prints BER vs aggressor on-time.
+func RunFig7(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := AggOnSweep(cfg)
+	if err != nil {
+		return err
+	}
+	return printAggBER(cfg, res, "tAggOn(ns)")
+}
+
+// RunFig8 prints HCfirst vs aggressor on-time.
+func RunFig8(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := AggOnSweep(cfg)
+	if err != nil {
+		return err
+	}
+	return printAggHC(cfg, res, "tAggOn(ns)")
+}
+
+// RunFig9 prints BER vs aggressor off-time.
+func RunFig9(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := AggOffSweep(cfg)
+	if err != nil {
+		return err
+	}
+	return printAggBER(cfg, res, "tAggOff(ns)")
+}
+
+// RunFig10 prints HCfirst vs aggressor off-time.
+func RunFig10(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := AggOffSweep(cfg)
+	if err != nil {
+		return err
+	}
+	return printAggHC(cfg, res, "tAggOff(ns)")
+}

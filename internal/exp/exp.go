@@ -1,0 +1,154 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (§5–§8), each re-measuring the artifact through the full
+// command-level methodology and printing the same rows/series the
+// paper reports. Compute functions return typed results so tests can
+// assert the reproduced trends; Run methods print them.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	rh "rowhammer"
+	"rowhammer/internal/rng"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale bounds the measurement work.
+	Scale rh.Scale
+	// Seed derives per-module seeds.
+	Seed uint64
+	// Out receives the printed artifact.
+	Out io.Writer
+	// Geometry of the modules under test; zero value selects the
+	// reduced-scale DDR4 geometry.
+	Geometry rh.Geometry
+}
+
+// normalize fills config defaults.
+func (c Config) normalize() Config {
+	if c.Scale == (rh.Scale{}) {
+		c.Scale = rh.DefaultScale()
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.Geometry == (rh.Geometry{}) {
+		c.Geometry = rh.DefaultDDR4Geometry()
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Experiment is one runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table2", "Table 2/4: tested DRAM module inventory", RunTable2},
+		{"table3", "Table 3: cells flipping at all in-range temperatures", RunTable3},
+		{"fig3", "Fig. 3: vulnerable temperature range clusters", RunFig3},
+		{"fig4", "Fig. 4: BER change vs temperature", RunFig4},
+		{"fig5", "Fig. 5: HCfirst change distribution vs temperature", RunFig5},
+		{"fig6", "Fig. 6: aggressor on/off-time command timing", RunFig6},
+		{"fig7", "Fig. 7: BER vs aggressor on-time", RunFig7},
+		{"fig8", "Fig. 8: HCfirst vs aggressor on-time", RunFig8},
+		{"fig9", "Fig. 9: BER vs aggressor off-time", RunFig9},
+		{"fig10", "Fig. 10: HCfirst vs aggressor off-time", RunFig10},
+		{"fig11", "Fig. 11: HCfirst distribution across rows", RunFig11},
+		{"fig12", "Fig. 12: bit flips across columns", RunFig12},
+		{"fig13", "Fig. 13: column vulnerability vs cross-chip variation", RunFig13},
+		{"fig14", "Fig. 14: subarray min-vs-avg HCfirst regression", RunFig14},
+		{"fig15", "Fig. 15: subarray HCfirst similarity (Bhattacharyya)", RunFig15},
+		{"atk1", "Attack Improvement 1: temperature-targeted row choice", RunAttack1},
+		{"atk2", "Attack Improvement 2: temperature-triggered attack", RunAttack2},
+		{"atk3", "Attack Improvement 3: extended aggressor on-time", RunAttack3},
+		{"def1", "Defense Improvement 1: row-aware thresholds", RunDefense1},
+		{"def2", "Defense Improvement 2: subarray-sampled profiling", RunDefense2},
+		{"def3", "Defense Improvement 3: temperature-aware row retirement", RunDefense3},
+		{"def4", "Defense Improvement 4: cooling reduces BER", RunDefense4},
+		{"def5", "Defense Improvement 5: row open-time limiting", RunDefense5},
+		{"def6", "Defense Improvement 6: column-aware ECC", RunDefense6},
+		{"ddr3", "Extension: Obsv. 2 verified on DDR3 SODIMMs", RunDDR3},
+		{"manysided", "Extension: many-sided (TRRespass-style) attack vs TRR", RunManySided},
+		{"interference", "Extension: §4.2 interference-isolation checklist", RunInterference},
+		{"defcompare", "Extension: mechanism scorecard (coverage, overhead, area)", RunDefCompare},
+		{"wcdp", "Extension: worst-case data pattern survey (§4.2, Table 1)", RunWCDP},
+	}
+}
+
+// ByID returns the experiment with the given id, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+// moduleSeed derives the seed of module instance i of a manufacturer.
+func moduleSeed(cfg Config, mfr string, i int) uint64 {
+	return rng.Hash64(cfg.Seed, uint64(mfr[0]), uint64(i))
+}
+
+// benches builds the configured number of module benches for one
+// manufacturer.
+func benches(cfg Config, mfr string) ([]*rh.Bench, error) {
+	n := cfg.Scale.ModulesPerMfr
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*rh.Bench, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := rh.NewBench(rh.BenchConfig{
+			Profile:  rh.ProfileByName(mfr),
+			Seed:     moduleSeed(cfg, mfr, i),
+			Geometry: cfg.Geometry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// mfrNames lists the manufacturers in paper order.
+var mfrNames = []string{"A", "B", "C", "D"}
+
+// sampleRows subsamples the scale's region rows down to at most n,
+// evenly spaced, preserving region coverage.
+func sampleRows(cfg Config, n int) []int {
+	rows := cfg.Scale.RegionRows(cfg.Geometry)
+	if n <= 0 || len(rows) <= n {
+		return rows
+	}
+	out := make([]int, 0, n)
+	step := float64(len(rows)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, rows[int(float64(i)*step)])
+	}
+	return out
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}

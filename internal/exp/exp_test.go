@@ -1,0 +1,532 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	rh "rowhammer"
+)
+
+// tinyConfig keeps experiment tests fast while preserving the trends.
+func tinyConfig() Config {
+	return Config{
+		Scale: rh.Scale{
+			RowsPerRegion: 10,
+			Regions:       2,
+			Hammers:       150_000,
+			MaxHammers:    512_000,
+			Repetitions:   1,
+			ModulesPerMfr: 2,
+		},
+		Seed: 0x5eed,
+		Geometry: rh.Geometry{
+			Banks: 1, RowsPerBank: 512, SubarrayRows: 128,
+			Chips: 8, ChipWidth: 8, ColumnsPerRow: 32,
+		},
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// Every table and figure of the evaluation must be present.
+	for _, id := range []string{
+		"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"atk1", "atk2", "atk3", "def1", "def2", "def3", "def4", "def5", "def6",
+	} {
+		if !ids[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if ByID("fig11") == nil || ByID("nope") != nil {
+		t.Fatal("ByID lookup broken")
+	}
+}
+
+func TestTable2Inventory(t *testing.T) {
+	res := Table2()
+	if res.DDR4Chips != 248 || res.DDR3Chips != 24 {
+		t.Fatalf("chip counts %d/%d, want 248/24", res.DDR4Chips, res.DDR3Chips)
+	}
+	if res.DDR4Modules != 22 || res.DDR3Modules != 3 {
+		t.Fatalf("module counts %d/%d, want 22/3", res.DDR4Modules, res.DDR3Modules)
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	cfg.Out = &buf
+	if err := RunTable2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "248 DDR4 chips") {
+		t.Fatalf("output missing totals:\n%s", buf.String())
+	}
+}
+
+func TestTable3NoGapDominates(t *testing.T) {
+	res, err := Table3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mfrs) != 4 {
+		t.Fatalf("mfrs = %v", res.Mfrs)
+	}
+	for i, mfr := range res.Mfrs {
+		if res.NoGapFrac[i] < 0.9 {
+			t.Errorf("mfr %s: no-gap fraction %.3f, want > 0.9 (paper ≈0.98-0.99)", mfr, res.NoGapFrac[i])
+		}
+	}
+}
+
+func TestFig3ClusterShape(t *testing.T) {
+	res, err := Fig3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		m := res.Matrices[i]
+		if m.Total == 0 {
+			t.Fatalf("mfr %s: no vulnerable cells", mfr)
+		}
+		// Obsv. 2: the full-range cluster is the largest single
+		// cluster for every manufacturer (paper: 9.6%–29.8%).
+		full := m.FullRangeFraction()
+		if full < 0.04 {
+			t.Errorf("mfr %s: full-range fraction %.3f too small", mfr, full)
+		}
+	}
+	// Obsv. 3: narrow-range cells exist but are a small minority.
+	for i, mfr := range res.Mfrs {
+		if n := res.Matrices[i].NarrowRangeFraction(); n > 0.5 {
+			t.Errorf("mfr %s: single-temperature cells %.2f, want minority", mfr, n)
+		}
+	}
+}
+
+func TestFig4TemperatureTrends(t *testing.T) {
+	res, err := Fig4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		at90 := res.TrendAt(i, 90)
+		switch mfr {
+		case "B":
+			if at90 >= 0 {
+				t.Errorf("Mfr B BER change at 90 °C = %+.2f, want negative", at90)
+			}
+		default:
+			if at90 <= 0 {
+				t.Errorf("Mfr %s BER change at 90 °C = %+.2f, want positive", mfr, at90)
+			}
+		}
+	}
+	// Mfr D shows the strongest increase (paper ≈ +200%).
+	if res.TrendAt(3, 90) <= res.TrendAt(2, 90) {
+		t.Errorf("Mfr D trend %.2f should exceed Mfr C %.2f", res.TrendAt(3, 90), res.TrendAt(2, 90))
+	}
+}
+
+func TestFig5HCFirstChange(t *testing.T) {
+	res, err := Fig5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		if len(res.Change90[i]) == 0 {
+			t.Fatalf("mfr %s: no rows measured", mfr)
+		}
+		// Obsv. 5: both directions occur — crossings well inside
+		// (0, 100).
+		if res.Cross90[i] <= 5 || res.Cross90[i] >= 95 {
+			t.Errorf("mfr %s: 50→90 crossing P%.0f, want interior", mfr, res.Cross90[i])
+		}
+		// Obsv. 7: larger temperature change ⇒ larger cumulative
+		// magnitude (paper: ≈4×).
+		if res.MagnitudeRatio[i] <= 1 {
+			t.Errorf("mfr %s: magnitude ratio %.2f, want > 1", mfr, res.MagnitudeRatio[i])
+		}
+	}
+}
+
+func TestFig6CommandTimings(t *testing.T) {
+	res, err := Fig6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.OnSpacing["baseline"].Nanoseconds(); got != 34.5 {
+		t.Fatalf("baseline tAggOn = %v", got)
+	}
+	if got := res.OnSpacing["aggressor-on"].Nanoseconds(); got != 154.5 {
+		t.Fatalf("aggressor-on tAggOn = %v", got)
+	}
+	if got := res.OffSpacing["aggressor-off"].Nanoseconds(); got != 40.5 {
+		t.Fatalf("aggressor-off tAggOff = %v", got)
+	}
+	if got := res.OffSpacing["baseline"].Nanoseconds(); got != 16.5 {
+		t.Fatalf("baseline tAggOff = %v", got)
+	}
+}
+
+func TestFig7And8AggressorOnTrends(t *testing.T) {
+	res, err := AggOnSweep(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		if r := res.MeanBERRatio(i); r <= 1.5 {
+			t.Errorf("mfr %s: BER ratio %.2f at 154.5 ns, want > 1.5 (paper 3.1–10.2x)", mfr, r)
+		}
+		if c := res.MeanHCChange(i); c >= -0.1 {
+			t.Errorf("mfr %s: HCfirst change %+.2f, want < -0.1 (paper −28%%…−40%%)", mfr, c)
+		}
+	}
+	// Mfr A has the strongest BER response (paper 10.2×) and B the
+	// weakest (3.1×).
+	if res.MeanBERRatio(0) <= res.MeanBERRatio(1) {
+		t.Errorf("Mfr A BER ratio %.1f should exceed Mfr B %.1f", res.MeanBERRatio(0), res.MeanBERRatio(1))
+	}
+}
+
+func TestFig9And10AggressorOffTrends(t *testing.T) {
+	res, err := AggOffSweep(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		pts := res.Points[i]
+		if len(pts[0].BERs) == 0 {
+			t.Fatalf("mfr %s: no baseline samples", mfr)
+		}
+		if r := res.MeanBERRatio(i); r >= 0.7 {
+			t.Errorf("mfr %s: BER ratio %.2f at 40.5 ns, want < 0.7 (paper ÷2.9–6.3)", mfr, r)
+		}
+		if c := res.MeanHCChange(i); c <= 0.1 {
+			t.Errorf("mfr %s: HCfirst change %+.2f, want > +0.1 (paper +25%%…+50%%)", mfr, c)
+		}
+	}
+}
+
+func TestFig11RowVariation(t *testing.T) {
+	res, err := Fig11(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		s := res.Summary[i]
+		if s.Vulnerable < 5 {
+			t.Fatalf("mfr %s: only %d vulnerable rows", mfr, s.Vulnerable)
+		}
+		if s.RatioP95 < 1.0 {
+			t.Errorf("mfr %s: P95 ratio %.2f < 1", mfr, s.RatioP95)
+		}
+		// Ratios are ordered by construction: deeper percentiles sit
+		// closer to the minimum.
+		if !(s.RatioP99 <= s.RatioP95 && s.RatioP95 <= s.RatioP90) {
+			t.Errorf("mfr %s: ratio ordering violated: %+v", mfr, s)
+		}
+	}
+}
+
+func TestFig12And13ColumnVariation(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Obsv. 13: Mfr B (low column sigma) has far fewer zero-flip
+	// columns than A/C.
+	byName := map[string]int{}
+	for i, m := range res.Mfrs {
+		byName[m] = i
+	}
+	if res.ZeroFrac[byName["B"]] >= res.ZeroFrac[byName["A"]] {
+		t.Errorf("Mfr B zero-columns %.2f should be below Mfr A %.2f",
+			res.ZeroFrac[byName["B"]], res.ZeroFrac[byName["A"]])
+	}
+
+	f13, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Obsv. 14: B is design-dominated (low cross-chip variation), A is
+	// process-dominated (high cross-chip variation). At test scale the
+	// mean CV is the robust version of the paper's CV=0/CV=1 bucket
+	// masses.
+	if f13.MeanCV[byName["B"]] >= f13.MeanCV[byName["A"]] {
+		t.Errorf("Mfr B mean cross-chip CV %.2f should be below Mfr A %.2f",
+			f13.MeanCV[byName["B"]], f13.MeanCV[byName["A"]])
+	}
+	// A's heavy column factors concentrate flips in few columns.
+	if f13.ColumnSkew[byName["B"]] >= f13.ColumnSkew[byName["A"]] {
+		t.Errorf("Mfr B column skew %.2f should be below Mfr A %.2f",
+			f13.ColumnSkew[byName["B"]], f13.ColumnSkew[byName["A"]])
+	}
+}
+
+func TestFig14SubarrayRegression(t *testing.T) {
+	res, err := Fig14(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		fit := res.Fits[i]
+		if fit.Slope <= 0 || fit.Slope >= 1.2 {
+			t.Errorf("mfr %s: slope %.2f outside plausible range (min cannot exceed avg)", mfr, fit.Slope)
+		}
+		if len(res.Subarrays[i]) < 4 {
+			t.Errorf("mfr %s: only %d subarray points", mfr, len(res.Subarrays[i]))
+		}
+		// Obsv. 15: the minimum is well below the average in every
+		// subarray.
+		for _, s := range res.Subarrays[i] {
+			if s.Min > s.Avg {
+				t.Fatalf("mfr %s: subarray %d min %.0f above avg %.0f", mfr, s.Subarray, s.Min, s.Avg)
+			}
+		}
+	}
+}
+
+func TestFig15SubarraySimilarity(t *testing.T) {
+	res, err := Fig15(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		if len(res.SameModule[i]) == 0 || len(res.DiffModule[i]) == 0 {
+			t.Fatalf("mfr %s: missing pair populations", mfr)
+		}
+		// Obsv. 16: same-module subarrays are at least as similar as
+		// different-module subarrays. The separation scales with
+		// module-to-module variation, so it is only individually
+		// assertable for the high-variation manufacturers (B, C);
+		// for A and D at this sample size the populations overlap.
+		switch mfr {
+		case "B", "C":
+			if res.P5Same[i] <= res.P5Diff[i] {
+				t.Errorf("mfr %s: P5 same %.3f not above P5 diff %.3f", mfr, res.P5Same[i], res.P5Diff[i])
+			}
+		default:
+			if res.P5Same[i] < res.P5Diff[i]-0.2 {
+				t.Errorf("mfr %s: P5 same %.3f far below P5 diff %.3f", mfr, res.P5Same[i], res.P5Diff[i])
+			}
+		}
+	}
+}
+
+func TestAttack1InformedChoice(t *testing.T) {
+	res, err := Attack1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		if res.InformedHC[i] > res.MedianHC[i] {
+			t.Errorf("mfr %s: informed HC %d above median %d", mfr, res.InformedHC[i], res.MedianHC[i])
+		}
+		if res.Reduction[i] < 0 {
+			t.Errorf("mfr %s: negative reduction", mfr)
+		}
+	}
+}
+
+func TestAttack2TriggerCensus(t *testing.T) {
+	res, err := Attack2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AboveCellFrac <= 0 {
+		t.Fatal("no at-or-above sensor cells found")
+	}
+	if res.TriggerFound && !res.Valid {
+		t.Fatalf("trigger found but misbehaved: below=%v above=%v", res.FiredBelow, res.FiredAbove)
+	}
+}
+
+func TestAttack3ExtendedOnTime(t *testing.T) {
+	res, err := Attack3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mfrs) == 0 {
+		t.Fatal("no manufacturers measured")
+	}
+	for i, mfr := range res.Mfrs {
+		if res.HCReduction[i] <= 0.05 {
+			t.Errorf("mfr %s: HC reduction %.2f, want > 0.05 (paper ≈36%%)", mfr, res.HCReduction[i])
+		}
+		if res.BERRatio[i] > 0 && res.BERRatio[i] <= 1 {
+			t.Errorf("mfr %s: BER ratio %.2f, want > 1 (paper 3.2–10.2x)", mfr, res.BERRatio[i])
+		}
+		if !res.BaselinePrevented[i] {
+			t.Errorf("mfr %s: defense failed to stop the baseline attack", mfr)
+		}
+		if !res.ExtendedDefeats[i] {
+			t.Errorf("mfr %s: extended attack did not defeat the threshold defense", mfr)
+		}
+	}
+}
+
+func TestDefense1RowAwareSavings(t *testing.T) {
+	res, err := Defense1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		if res.P5HC[i] <= res.WorstHC[i] {
+			t.Errorf("mfr %s: P5 HC not above worst case", mfr)
+		}
+		// At test scale the measured P5/worst ratio understates the
+		// paper's 2× (few rows ⇒ the empirical P5 hugs the min), so
+		// only the direction is asserted here; EXPERIMENTS.md records
+		// the full-scale values.
+		if res.GrapheneReduction[i] <= 0 {
+			t.Errorf("mfr %s: Graphene saving %.2f, want positive", mfr, res.GrapheneReduction[i])
+		}
+		if res.BHReduction[i] <= 0 {
+			t.Errorf("mfr %s: BlockHammer saving %.2f, want positive", mfr, res.BHReduction[i])
+		}
+		// Graphene benefits more from threshold relaxation than
+		// BlockHammer (steeper area law).
+		if res.GrapheneReduction[i] <= res.BHReduction[i] {
+			t.Errorf("mfr %s: Graphene saving %.2f should exceed BlockHammer %.2f",
+				mfr, res.GrapheneReduction[i], res.BHReduction[i])
+		}
+		if res.PARARelaxed[i] >= res.PARABase[i] {
+			t.Errorf("mfr %s: relaxed PARA slowdown not lower", mfr)
+		}
+	}
+}
+
+func TestDefense2SampledProfiling(t *testing.T) {
+	res, err := Defense2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mfrs) == 0 {
+		t.Fatal("no results")
+	}
+	for i, mfr := range res.Mfrs {
+		if res.Speedup[i] < 2 {
+			t.Errorf("mfr %s: speedup %.0f < 2", mfr, res.Speedup[i])
+		}
+		if res.RelError[i] < -0.6 || res.RelError[i] > 0.6 {
+			t.Errorf("mfr %s: estimate off by %+.0f%%", mfr, 100*res.RelError[i])
+		}
+	}
+}
+
+func TestDefense3Retirement(t *testing.T) {
+	res, err := Defense3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProfiledRows == 0 {
+		t.Fatal("no rows profiled")
+	}
+	if res.Coverage < 0.999 {
+		t.Fatalf("retirement coverage %.3f, want 1.0 (policy built from the same profile)", res.Coverage)
+	}
+}
+
+func TestDefense4Cooling(t *testing.T) {
+	res, err := Defense4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for i, m := range res.Mfrs {
+		byName[m] = i
+	}
+	if res.BERReduction[byName["A"]] <= 0 {
+		t.Errorf("Mfr A cooling reduction %.2f, want positive (paper ≈25%%)", res.BERReduction[byName["A"]])
+	}
+	if res.BERReduction[byName["B"]] >= 0 {
+		t.Errorf("Mfr B cooling reduction %.2f, want negative (B worsens when cooled)", res.BERReduction[byName["B"]])
+	}
+}
+
+func TestDefense5OpenTimeLimiter(t *testing.T) {
+	res, err := Defense5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtendedHC >= res.BaselineHC {
+		t.Fatalf("extended attack HC %d not below baseline %d", res.ExtendedHC, res.BaselineHC)
+	}
+	if res.LimitedHC != res.BaselineHC {
+		t.Fatalf("limiter should restore baseline HCfirst: %d vs %d", res.LimitedHC, res.BaselineHC)
+	}
+	if res.ExtraActs == 0 {
+		t.Fatal("limiter cost not accounted")
+	}
+	// Scheduler proxy: a bounded open time costs a benign streaming
+	// workload some latency, far below a closed-page policy, while
+	// enforcing the cap.
+	if res.BenignSlowdown < 0 || res.BenignSlowdown > 0.5 {
+		t.Fatalf("benign slowdown %.2f implausible", res.BenignSlowdown)
+	}
+	if res.MaxRowOpenNsCapped <= 0 {
+		t.Fatal("cap bound not measured")
+	}
+}
+
+func TestDefense6ColumnAwareECC(t *testing.T) {
+	res, err := Defense6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mfr := range res.Mfrs {
+		if res.ExposureRatio[i] >= 1 {
+			t.Errorf("mfr %s: column-aware ECC exposure ratio %.2f, want < 1", mfr, res.ExposureRatio[i])
+		}
+	}
+}
+
+func TestRunAllPrintersProduceOutput(t *testing.T) {
+	// Smoke-run the cheap printers end to end.
+	for _, id := range []string{"table2", "fig6"} {
+		e := ByID(id)
+		var buf bytes.Buffer
+		cfg := tinyConfig()
+		cfg.Out = &buf
+		if err := e.Run(cfg); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestCheapPrintersSmoke(t *testing.T) {
+	// End-to-end smoke of printers not covered elsewhere; the heavy
+	// sweep printers share their compute paths with the tested
+	// compute functions.
+	for _, id := range []string{"wcdp", "defcompare", "manysided", "interference", "def5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e := ByID(id)
+			if e == nil {
+				t.Fatalf("experiment %s missing", id)
+			}
+			var buf bytes.Buffer
+			cfg := tinyConfig()
+			cfg.Out = &buf
+			if err := e.Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}

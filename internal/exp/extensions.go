@@ -1,0 +1,278 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	rh "rowhammer"
+	"rowhammer/internal/attack"
+	"rowhammer/internal/dram"
+	"rowhammer/internal/softmc"
+)
+
+// Extension experiments beyond the paper's numbered artifacts, within
+// its scope: the DDR3 verification the paper mentions for Obsv. 2, a
+// TRRespass-style many-sided attack against the in-DRAM TRR sampler
+// (§2.3 background), and the §4.2 interference checklist.
+
+// DDR3Result verifies Obsv. 2 on DDR3 SODIMM benches: a significant
+// fraction of vulnerable cells flips at all tested temperatures.
+type DDR3Result struct {
+	Mfrs          []string
+	FullRangeFrac []float64
+	NoGapFrac     []float64
+	Vulnerable    []int
+}
+
+// DDR3 sweeps DDR3 modules (manufacturers A–C have DDR3 SODIMMs in
+// Table 2) across the study temperatures.
+func DDR3(cfg Config) (DDR3Result, error) {
+	cfg = cfg.normalize()
+	var res DDR3Result
+	for _, mfr := range []string{"A", "B", "C"} {
+		geo := cfg.Geometry
+		b, err := rh.NewBench(rh.BenchConfig{
+			Profile:  rh.ProfileByName(mfr),
+			Seed:     moduleSeed(cfg, mfr, 100), // distinct from DDR4 instances
+			Geometry: geo,
+			Timing:   rh.DDR3Timing(),
+		})
+		if err != nil {
+			return res, err
+		}
+		t := rh.NewTester(b)
+		sweep, err := t.TemperatureSweep(rh.TempSweepConfig{
+			Bank:        0,
+			Victims:     sampleRows(cfg, tempSweepRows),
+			Hammers:     2 * cfg.Scale.Hammers,
+			Pattern:     rh.PatCheckered,
+			Repetitions: cfg.Scale.Repetitions,
+		})
+		if err != nil {
+			return res, err
+		}
+		m := sweep.ClusterByRange()
+		res.Mfrs = append(res.Mfrs, mfr)
+		res.FullRangeFrac = append(res.FullRangeFrac, m.FullRangeFraction())
+		res.NoGapFrac = append(res.NoGapFrac, m.NoGapFraction())
+		res.Vulnerable = append(res.Vulnerable, m.Total)
+	}
+	return res, nil
+}
+
+// RunDDR3 prints the DDR3 verification.
+func RunDDR3(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := DDR3(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr (DDR3)\tvulnerable cells\tfull-range fraction\tno-gap fraction")
+	for i, mfr := range res.Mfrs {
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", mfr, res.Vulnerable[i],
+			pct(res.FullRangeFrac[i]), pct(res.NoGapFrac[i]))
+	}
+	return w.Flush()
+}
+
+// ManySidedResult compares double-sided and TRRespass-style many-sided
+// attacks against a TRR-protected module under a realistic refresh
+// stream.
+type ManySidedResult struct {
+	// DoubleFlips/ManyFlips are victim bit flips under each pattern.
+	DoubleFlips, ManyFlips int
+	// TRRRefreshesDouble/Many count targeted refreshes TRR performed.
+	TRRRefreshesDouble, TRRRefreshesMany int64
+}
+
+// trrAttack hammers a TRR-protected module with refresh commands
+// interleaved at a realistic cadence, using the given aggressor set.
+// rounds is the number of passes over the aggressor list, so the
+// victim's nominal double-sided exposure is identical across patterns
+// (each pass activates its two adjacent aggressors once).
+func trrAttack(cfg Config, aggressors []int, victim int, rounds int64) (int, int64, error) {
+	trr := dram.TRRConfig{TableSize: 4, SampleProb: 1.0 / 9, Threshold: 12_000, Seed: 3}
+	b, err := rh.NewBench(rh.BenchConfig{
+		Profile:  rh.ProfileByName("A"),
+		Seed:     moduleSeed(cfg, "A", 7),
+		Geometry: cfg.Geometry,
+		TRR:      &trr,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	t := rh.NewTester(b)
+	if err := t.InitPattern(0, victim, rh.PatCheckered); err != nil {
+		return 0, 0, err
+	}
+	b.Model.SetSalt(1)
+	defer b.Model.SetSalt(0)
+
+	tm := b.Timing()
+	ex := b.Exec
+	const chunk = int64(1024)
+	logical := make([]int, len(aggressors))
+	for i, a := range aggressors {
+		logical[i] = t.LogicalRow(a)
+	}
+	for issued := int64(0); issued < rounds; issued += chunk {
+		n := chunk
+		if issued+n > rounds {
+			n = rounds - issued
+		}
+		bld := softmc.NewBuilder(tm.TCK)
+		bld.Hammer(0, logical, n, tm.TRAS, tm.TRP)
+		if _, err := ex.Run(bld.Program()); err != nil {
+			return 0, 0, err
+		}
+		// A defended system refreshes continuously: issue a burst of
+		// REFs after each chunk (TRR rides on REF).
+		rb := softmc.NewBuilder(tm.TCK)
+		rb.Wait(tm.TRP)
+		for i := 0; i < 4; i++ {
+			rb.Ref().Wait(tm.TRFC)
+		}
+		if _, err := ex.Run(rb.Program()); err != nil {
+			return 0, 0, err
+		}
+	}
+	flips, err := t.ReadFlips(0, victim, victim, rh.PatCheckered)
+	if err != nil {
+		return 0, 0, err
+	}
+	return flips.Count(), b.Module.Stats().TRRRefreshes, nil
+}
+
+// ManySided runs the comparison.
+func ManySided(cfg Config) (ManySidedResult, error) {
+	cfg = cfg.normalize()
+	var res ManySidedResult
+	// Keep the victim (and the many-sided decoy window) clear of
+	// subarray edges.
+	victim := cfg.Geometry.RowsPerBank/2 + 17
+	const rounds = 250_000
+	var err error
+	res.DoubleFlips, res.TRRRefreshesDouble, err = trrAttack(cfg,
+		attack.AggressorRows(attack.DoubleSided, victim, 0), victim, rounds)
+	if err != nil {
+		return res, err
+	}
+	res.ManyFlips, res.TRRRefreshesMany, err = trrAttack(cfg,
+		attack.AggressorRows(attack.ManySided, victim, 8), victim, rounds)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunManySided prints the TRR-evasion comparison.
+func RunManySided(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := ManySided(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "double-sided vs TRR: %d victim flips (%d targeted refreshes)\n",
+		res.DoubleFlips, res.TRRRefreshesDouble)
+	fmt.Fprintf(cfg.Out, "many-sided  vs TRR: %d victim flips (%d targeted refreshes)\n",
+		res.ManyFlips, res.TRRRefreshesMany)
+	return nil
+}
+
+// InterferenceResult is the §4.2 "disabling sources of interference"
+// checklist, verified by measurement.
+type InterferenceResult struct {
+	// HCfirstDuration is the longest single HCfirst test in DRAM time;
+	// the paper bounds tests to 64 ms.
+	HCfirstDuration dram.Picos
+	// RetentionFlips observed with the retention model *enabled*
+	// during a full HCfirst search (must be 0 for a valid
+	// methodology).
+	RetentionFlips int64
+	// TRRActivity with TRR silicon present but no REF issued (must be
+	// 0: §4.2 neutralizes TRR by withholding refresh).
+	TRRActivity int64
+	// ECCMasking: flips hidden by on-die ECC when enabled vs the
+	// paper's no-ECC modules (non-zero, demonstrating why the study
+	// excludes ECC modules).
+	ECCRawFlips, ECCVisibleFlips int
+}
+
+// Interference verifies the methodology's isolation properties.
+func Interference(cfg Config) (InterferenceResult, error) {
+	cfg = cfg.normalize()
+	var res InterferenceResult
+
+	// 1+2: retention-enabled bench; run an HCfirst search and verify
+	// the test stays inside the retention-safe window.
+	ret := dram.DefaultRetentionConfig()
+	trr := dram.DefaultTRRConfig()
+	b, err := rh.NewBench(rh.BenchConfig{
+		Profile:   rh.ProfileByName("A"),
+		Seed:      moduleSeed(cfg, "A", 11),
+		Geometry:  cfg.Geometry,
+		Retention: &ret,
+		TRR:       &trr,
+	})
+	if err != nil {
+		return res, err
+	}
+	t := rh.NewTester(b)
+	victim := sampleRows(cfg, 4)[1]
+	start := b.Exec.Now()
+	if _, err := t.Hammer(rh.HammerConfig{
+		Bank: 0, VictimPhys: victim, Hammers: cfg.Scale.MaxHammers,
+		Pattern: rh.PatCheckered, Trial: 1,
+	}); err != nil {
+		return res, err
+	}
+	res.HCfirstDuration = b.Exec.Now() - start
+	res.RetentionFlips = b.Module.Stats().RetentionFlips
+	res.TRRActivity = b.Module.Stats().TRRRefreshes
+
+	// 3: ECC masking on an otherwise identical module.
+	mkFlips := func(ecc bool) (int, error) {
+		be, err := rh.NewBench(rh.BenchConfig{
+			Profile:  rh.ProfileByName("A"),
+			Seed:     moduleSeed(cfg, "A", 11),
+			Geometry: cfg.Geometry,
+			OnDieECC: ecc,
+		})
+		if err != nil {
+			return 0, err
+		}
+		te := rh.NewTester(be)
+		hr, err := te.Hammer(rh.HammerConfig{
+			Bank: 0, VictimPhys: victim, Hammers: cfg.Scale.Hammers,
+			Pattern: rh.PatCheckered, Trial: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return hr.Victim.Count(), nil
+	}
+	if res.ECCRawFlips, err = mkFlips(false); err != nil {
+		return res, err
+	}
+	if res.ECCVisibleFlips, err = mkFlips(true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunInterference prints the checklist.
+func RunInterference(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Interference(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "longest hammer test: %.1f ms of DRAM time (budget: 64 ms)\n",
+		float64(res.HCfirstDuration)/1e9)
+	fmt.Fprintf(cfg.Out, "retention flips during test (model enabled): %d\n", res.RetentionFlips)
+	fmt.Fprintf(cfg.Out, "TRR refreshes without REF commands: %d\n", res.TRRActivity)
+	fmt.Fprintf(cfg.Out, "ECC masking: %d raw flips → %d visible with on-die ECC\n",
+		res.ECCRawFlips, res.ECCVisibleFlips)
+	return nil
+}

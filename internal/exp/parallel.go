@@ -1,0 +1,26 @@
+package exp
+
+import "sync"
+
+// mapMfrs runs f for every manufacturer concurrently (each builds its
+// own module benches, so there is no shared mutable state) and returns
+// the results in paper order. The first error wins.
+func mapMfrs[T any](f func(mfr string) (T, error)) ([]T, error) {
+	out := make([]T, len(mfrNames))
+	errs := make([]error, len(mfrNames))
+	var wg sync.WaitGroup
+	for i, mfr := range mfrNames {
+		wg.Add(1)
+		go func(i int, mfr string) {
+			defer wg.Done()
+			out[i], errs[i] = f(mfr)
+		}(i, mfr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,524 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	rh "rowhammer"
+	"rowhammer/internal/stats"
+)
+
+// fig11Rows is the per-module victim budget for the row-variation
+// profile.
+const fig11Rows = 40
+
+// Fig11Result holds per-manufacturer row HCfirst profiles.
+type Fig11Result struct {
+	Mfrs []string
+	// Curves[mfr][module] is the descending HCfirst curve.
+	Curves [][][]float64
+	// Summary aggregates Obsv. 12's ratios across all modules of a
+	// manufacturer.
+	Summary []rh.RowVariationSummary
+}
+
+// Fig11 measures the distribution of HCfirst across rows.
+func Fig11(cfg Config) (Fig11Result, error) {
+	cfg = cfg.normalize()
+	var res Fig11Result
+	type mfrOut struct {
+		curves  [][]float64
+		summary rh.RowVariationSummary
+	}
+	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+		bs, err := benches(cfg, mfr)
+		if err != nil {
+			return mfrOut{}, err
+		}
+		rows := sampleRows(cfg, fig11Rows)
+		var out mfrOut
+		var all []rh.RowHC
+		for _, b := range bs {
+			t := rh.NewTester(b)
+			pat, err := wcdp(t, cfg)
+			if err != nil {
+				return out, err
+			}
+			profile, err := t.RowHCFirstProfile(0, rows, rh.HCFirstConfig{
+				Pattern: pat, MaxHammers: cfg.Scale.MaxHammers,
+			}, cfg.Scale.Repetitions)
+			if err != nil {
+				return out, err
+			}
+			out.curves = append(out.curves, rh.VulnerableHCs(profile))
+			all = append(all, profile...)
+		}
+		out.summary, err = rh.SummarizeRowVariation(all)
+		return out, err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	for _, o := range perMfr {
+		res.Curves = append(res.Curves, o.curves)
+		res.Summary = append(res.Summary, o.summary)
+	}
+	return res, nil
+}
+
+// RunFig11 prints the Fig. 11 percentile curves and Obsv. 12 ratios.
+func RunFig11(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig11(cfg)
+	if err != nil {
+		return err
+	}
+	for i, mfr := range res.Mfrs {
+		s := res.Summary[i]
+		fmt.Fprintf(cfg.Out, "Mfr. %s: min HCfirst %.0f; P99/P95/P90 ratios %.1fx/%.1fx/%.1fx (%d vulnerable rows)\n",
+			mfr, s.MinHC, s.RatioP99, s.RatioP95, s.RatioP90, s.Vulnerable)
+		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "module\tP1\tP25\tP50\tP75\tP99")
+		for mi, curve := range res.Curves[i] {
+			if len(curve) == 0 {
+				continue
+			}
+			asc := sortedCopy(curve)
+			fmt.Fprintf(w, "%s%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n", mfr, mi,
+				stats.Quantile(asc, 0.01), stats.Quantile(asc, 0.25), stats.Quantile(asc, 0.5),
+				stats.Quantile(asc, 0.75), stats.Quantile(asc, 0.99))
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// columnGeometry narrows the column space so column statistics are
+// dense at test scale (the paper accumulates over 24K rows; we
+// accumulate over a few hundred).
+func columnGeometry(g rh.Geometry) rh.Geometry {
+	g.ColumnsPerRow = 16
+	return g
+}
+
+// fig12Rows is the victim budget of the column analyses. Column
+// statistics need dense flip counts (the paper accumulates over 24K
+// rows), so the budget is independent of the scale's per-region row
+// count: victims are spread across the whole bank.
+const fig12Rows = 96
+
+// spreadRows selects up to n victim rows spread uniformly across the
+// bank, skipping subarray edges.
+func spreadRows(g rh.Geometry, n int) []int {
+	var rows []int
+	step := g.RowsPerBank / (n + 1)
+	if step < 1 {
+		step = 1
+	}
+	for r := step; r < g.RowsPerBank && len(rows) < n; r += step {
+		if r%g.SubarrayRows == 0 || r%g.SubarrayRows == g.SubarrayRows-1 {
+			continue
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Fig12Result holds per-manufacturer column flip counts.
+type Fig12Result struct {
+	Mfrs []string
+	Acc  []*rh.ColumnAccumulator
+	// ZeroFrac and HotFrac summarize Obsv. 13 (hot = >N flips where N
+	// scales with the accumulated total).
+	ZeroFrac, HotFrac []float64
+	HotThreshold      int
+}
+
+// Fig12 accumulates bit flips per (chip, array column).
+func Fig12(cfg Config) (Fig12Result, error) {
+	cfg = cfg.normalize()
+	cfg.Geometry = columnGeometry(cfg.Geometry)
+	res := Fig12Result{HotThreshold: 20}
+	accs, err := mapMfrs(func(mfr string) (*rh.ColumnAccumulator, error) {
+		bs, err := benches(cfg, mfr)
+		if err != nil {
+			return nil, err
+		}
+		acc := rh.NewColumnAccumulator(cfg.Geometry)
+		rows := spreadRows(cfg.Geometry, fig12Rows)
+		for _, b := range bs {
+			t := rh.NewTester(b)
+			pat, err := wcdp(t, cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Calibrate the hammer count so every manufacturer
+			// accumulates comparably dense counts (the paper gets
+			// density from 24K rows; we compensate with hammers).
+			hammers := cfg.Scale.Hammers
+			for ; hammers < cfg.Scale.MaxHammers; hammers = min64(2*hammers, cfg.Scale.MaxHammers) {
+				probe, err := t.Hammer(rh.HammerConfig{
+					Bank: 0, VictimPhys: rows[len(rows)/2], Hammers: hammers, Pattern: pat, Trial: 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if probe.Victim.Count() >= 25 {
+					break
+				}
+			}
+			for _, row := range rows {
+				hr, err := t.Hammer(rh.HammerConfig{
+					Bank: 0, VictimPhys: row, Hammers: hammers, Pattern: pat, Trial: 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(hr.Victim)
+				acc.Add(hr.SingleLo)
+				acc.Add(hr.SingleHi)
+			}
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	for _, acc := range accs {
+		res.Acc = append(res.Acc, acc)
+		res.ZeroFrac = append(res.ZeroFrac, acc.ZeroColumnFraction())
+		res.HotFrac = append(res.HotFrac, acc.HotColumnFraction(res.HotThreshold))
+	}
+	return res, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunFig12 prints the column heatmap summary.
+func RunFig12(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig12(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Mfr\tzero-flip columns\t>%d-flip columns\tmax column flips\n", res.HotThreshold)
+	for i, mfr := range res.Mfrs {
+		maxFlips := 0
+		for _, chip := range res.Acc[i].Counts {
+			for _, n := range chip {
+				if n > maxFlips {
+					maxFlips = n
+				}
+			}
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\n", mfr, pct(res.ZeroFrac[i]), pct(res.HotFrac[i]), maxFlips)
+	}
+	return w.Flush()
+}
+
+// Fig13Result holds the column-variation 2-D histograms.
+type Fig13Result struct {
+	Mfrs []string
+	// Hist[mfr][relVulnBucket][cvBucket], 11×11 as in the paper.
+	Hist [][][]int
+	// ZeroCVFrac is the share of vulnerable columns in the lowest CV
+	// bucket (design-dominated); OneCVFrac the share in the saturated
+	// top bucket (process-dominated).
+	ZeroCVFrac, OneCVFrac []float64
+	// MeanCV is the average cross-chip CV over vulnerable columns — a
+	// small-sample-robust summary of the design-vs-process split.
+	MeanCV []float64
+	// ColumnSkew is the mean over chips of the CV of per-column flip
+	// counts within the chip: high when a few columns dominate each
+	// chip's flips (heavy column-factor variation, Mfr A/C style).
+	// Note that CV of *pooled* totals would measure the opposite:
+	// pooling chips averages away process-induced variation but keeps
+	// design-induced stripes.
+	ColumnSkew []float64
+}
+
+// Fig13 clusters columns by relative vulnerability and cross-chip CV.
+func Fig13(cfg Config) (Fig13Result, error) {
+	cfg = cfg.normalize()
+	f12, err := Fig12(cfg)
+	if err != nil {
+		return Fig13Result{}, err
+	}
+	var res Fig13Result
+	for i, mfr := range f12.Mfrs {
+		rel, cv := f12.Acc[i].ColumnVariation()
+		// Only vulnerable columns participate (paper plots the
+		// population of columns with flips).
+		var relV, cvV []float64
+		zero, one := 0, 0
+		for c := range rel {
+			if rel[c] == 0 {
+				continue
+			}
+			relV = append(relV, rel[c])
+			cvV = append(cvV, cv[c])
+			if cv[c] < 1.0/11 {
+				zero++
+			}
+			if cv[c] >= 10.0/11 {
+				one++
+			}
+		}
+		var hist [][]int
+		if len(relV) > 0 {
+			hist = stats.Histogram2D(cvV, relV, 0, 1.0001, 11, 0, 1.0001, 11)
+		}
+		// Mean within-chip column skew.
+		var chipCVs []float64
+		for chip := range f12.Acc[i].Counts {
+			var counts []float64
+			for _, n := range f12.Acc[i].Counts[chip] {
+				counts = append(counts, float64(n))
+			}
+			chipCVs = append(chipCVs, stats.CV(counts))
+		}
+		n := float64(max1(len(relV)))
+		res.Mfrs = append(res.Mfrs, mfr)
+		res.Hist = append(res.Hist, hist)
+		res.ZeroCVFrac = append(res.ZeroCVFrac, float64(zero)/n)
+		res.OneCVFrac = append(res.OneCVFrac, float64(one)/n)
+		res.MeanCV = append(res.MeanCV, stats.Mean(cvV))
+		res.ColumnSkew = append(res.ColumnSkew, stats.Mean(chipCVs))
+	}
+	return res, nil
+}
+
+// RunFig13 prints the Fig. 13 cluster summary.
+func RunFig13(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig13(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr\tCV≈0 columns (design)\tCV≈1 columns (process)\tmean cross-chip CV\tcolumn skew")
+	for i, mfr := range res.Mfrs {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%.2f\n", mfr,
+			pct(res.ZeroCVFrac[i]), pct(res.OneCVFrac[i]), res.MeanCV[i], res.ColumnSkew[i])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The paper's 11×11 bucket grid (rows: relative vulnerability,
+	// high to low; columns: CV 0→1), in percent of vulnerable columns.
+	for i, mfr := range res.Mfrs {
+		if res.Hist[i] == nil {
+			continue
+		}
+		total := 0
+		for _, row := range res.Hist[i] {
+			for _, n := range row {
+				total += n
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(cfg.Out, "\nMfr. %s bucket grid (rows: rel. vulnerability 1.0→0.0; cols: CV 0.0→1.0)\n", mfr)
+		hw := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+		for yi := len(res.Hist[i]) - 1; yi >= 0; yi-- {
+			for xi, n := range res.Hist[i][yi] {
+				if xi > 0 {
+					fmt.Fprint(hw, "\t")
+				}
+				if n == 0 {
+					fmt.Fprint(hw, ".")
+				} else {
+					fmt.Fprintf(hw, "%.1f%%", 100*float64(n)/float64(total))
+				}
+			}
+			fmt.Fprintln(hw)
+		}
+		if err := hw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subarrayRowBudget is rows profiled per subarray.
+const subarrayRowBudget = 10
+
+// profileSubarrays measures per-subarray HCfirst statistics for every
+// module of a manufacturer.
+func profileSubarrays(cfg Config, mfr string) ([][]rh.SubarrayStat, error) {
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	// Sample rows from every subarray.
+	var rows []int
+	for sub := 0; sub < g.Subarrays(); sub++ {
+		base := sub * g.SubarrayRows
+		step := g.SubarrayRows / (subarrayRowBudget + 1)
+		if step < 1 {
+			step = 1
+		}
+		for k := 1; k <= subarrayRowBudget; k++ {
+			r := base + k*step
+			if r >= base+g.SubarrayRows-1 {
+				break
+			}
+			rows = append(rows, r)
+		}
+	}
+	var out [][]rh.SubarrayStat
+	for _, b := range bs {
+		t := rh.NewTester(b)
+		pat, err := wcdp(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		profile, err := t.RowHCFirstProfile(0, rows, rh.HCFirstConfig{
+			Pattern: pat, MaxHammers: cfg.Scale.MaxHammers,
+		}, cfg.Scale.Repetitions)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rh.GroupBySubarray(g, profile))
+	}
+	return out, nil
+}
+
+// Fig14Result holds the subarray min-vs-avg regression per
+// manufacturer.
+type Fig14Result struct {
+	Mfrs []string
+	// Subarrays[mfr] pools every module's subarray stats.
+	Subarrays [][]rh.SubarrayStat
+	Fits      []stats.LinearFit
+}
+
+// Fig14 regresses subarray minimum HCfirst on subarray average.
+func Fig14(cfg Config) (Fig14Result, error) {
+	cfg = cfg.normalize()
+	var res Fig14Result
+	type mfrOut struct {
+		pooled []rh.SubarrayStat
+		fit    stats.LinearFit
+	}
+	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+		perModule, err := profileSubarrays(cfg, mfr)
+		if err != nil {
+			return mfrOut{}, err
+		}
+		var out mfrOut
+		for _, subs := range perModule {
+			out.pooled = append(out.pooled, subs...)
+		}
+		out.fit, err = rh.FitSubarrayMinVsAvg(out.pooled)
+		return out, err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	for _, o := range perMfr {
+		res.Subarrays = append(res.Subarrays, o.pooled)
+		res.Fits = append(res.Fits, o.fit)
+	}
+	return res, nil
+}
+
+// RunFig14 prints the Fig. 14 regression.
+func RunFig14(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig14(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr\tfit\tR²\tsubarrays")
+	for i, mfr := range res.Mfrs {
+		f := res.Fits[i]
+		fmt.Fprintf(w, "%s\ty=%.2fx%+.0f\t%.2f\t%d\n", mfr, f.Slope, f.Intercept, f.R2, f.N)
+	}
+	return w.Flush()
+}
+
+// Fig15Result compares subarray HCfirst distributions within and
+// across modules.
+type Fig15Result struct {
+	Mfrs []string
+	// SameModule/DiffModule[mfr] are the pairwise Bhattacharyya
+	// coefficients (1.0 = identical distributions).
+	SameModule, DiffModule [][]float64
+	// P5Same/P5Diff are the 5th percentiles of each population.
+	P5Same, P5Diff []float64
+}
+
+// Fig15 computes similarity of subarray HCfirst distributions.
+func Fig15(cfg Config) (Fig15Result, error) {
+	cfg = cfg.normalize()
+	var res Fig15Result
+	type mfrOut struct{ same, diff []float64 }
+	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+		perModule, err := profileSubarrays(cfg, mfr)
+		if err != nil {
+			return mfrOut{}, err
+		}
+		var same, diff []float64
+		for mi, subsA := range perModule {
+			for ai := range subsA {
+				for bi := ai + 1; bi < len(subsA); bi++ {
+					same = append(same, rh.SubarraySimilarity(subsA[ai], subsA[bi]))
+				}
+				for mj := mi + 1; mj < len(perModule); mj++ {
+					for _, sb := range perModule[mj] {
+						diff = append(diff, rh.SubarraySimilarity(subsA[ai], sb))
+					}
+				}
+			}
+		}
+		return mfrOut{same: same, diff: diff}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	p5 := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Percentile(xs, 5)
+	}
+	for _, o := range perMfr {
+		res.SameModule = append(res.SameModule, o.same)
+		res.DiffModule = append(res.DiffModule, o.diff)
+		res.P5Same = append(res.P5Same, p5(o.same))
+		res.P5Diff = append(res.P5Diff, p5(o.diff))
+	}
+	return res, nil
+}
+
+// RunFig15 prints the similarity comparison.
+func RunFig15(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig15(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr\tP5 BDnorm same module\tP5 BDnorm different modules\tpairs (same/diff)")
+	for i, mfr := range res.Mfrs {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%d/%d\n", mfr, res.P5Same[i], res.P5Diff[i],
+			len(res.SameModule[i]), len(res.DiffModule[i]))
+	}
+	return w.Flush()
+}

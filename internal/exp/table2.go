@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	rh "rowhammer"
+)
+
+// Table2Result is the tested-module inventory (Tables 2 and 4).
+type Table2Result struct {
+	DDR4Chips, DDR3Chips     int
+	DDR4Modules, DDR3Modules int
+	Rows                     []Table2Row
+}
+
+// Table2Row is one inventory line.
+type Table2Row struct {
+	Mfr      string
+	Type     string
+	ChipID   string
+	ModuleID string
+	Freq     int
+	DateCode string
+	Density  string
+	DieRev   string
+	Org      string
+	Modules  int
+	Chips    int
+}
+
+// Table2 assembles the inventory from the manufacturer profiles.
+func Table2() Table2Result {
+	var res Table2Result
+	for _, p := range rh.Profiles() {
+		for _, m := range p.Modules {
+			res.Rows = append(res.Rows, Table2Row{
+				Mfr: p.Name, Type: m.Type, ChipID: m.ChipID, ModuleID: m.ModuleID,
+				Freq: m.FreqMTs, DateCode: m.DateCode, Density: m.Density,
+				DieRev: m.DieRev, Org: m.Org, Modules: m.NumModules, Chips: m.NumChips,
+			})
+			switch m.Type {
+			case "DDR4":
+				res.DDR4Chips += m.NumChips
+				res.DDR4Modules += m.NumModules
+			case "DDR3":
+				res.DDR3Chips += m.NumChips
+				res.DDR3Modules += m.NumModules
+			}
+		}
+	}
+	return res
+}
+
+// RunTable2 prints Tables 2/4.
+func RunTable2(cfg Config) error {
+	cfg = cfg.normalize()
+	res := Table2()
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr\tType\tChip\tModule\tMT/s\tDate\tDensity\tDie\tOrg\t#Mod\t#Chips")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%d\t%d\n",
+			r.Mfr, r.Type, r.ChipID, r.ModuleID, r.Freq, r.DateCode, r.Density, r.DieRev, r.Org, r.Modules, r.Chips)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "Total: %d DDR4 chips (%d modules), %d DDR3 chips (%d modules)\n",
+		res.DDR4Chips, res.DDR4Modules, res.DDR3Chips, res.DDR3Modules)
+	return nil
+}

@@ -1,0 +1,394 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	rh "rowhammer"
+	"rowhammer/internal/stats"
+)
+
+// wcdp finds a module's worst-case data pattern on a small victim
+// sample (§4.2), used by every characterization experiment.
+func wcdp(t *rh.Tester, cfg Config) (rh.PatternKind, error) {
+	victims := sampleRows(cfg, 3)
+	if len(victims) == 0 {
+		return rh.PatCheckered, fmt.Errorf("exp: no victim rows available")
+	}
+	return t.WorstCasePattern(0, victims, cfg.Scale.Hammers)
+}
+
+// tempSweepRows is the per-module victim budget of temperature sweeps.
+const tempSweepRows = 24
+
+// runTempSweeps sweeps every module of a manufacturer across the
+// study temperatures.
+func runTempSweeps(cfg Config, mfr string) ([]*rh.TempSweepResult, error) {
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return nil, err
+	}
+	rows := sampleRows(cfg, tempSweepRows)
+	var out []*rh.TempSweepResult
+	for _, b := range bs {
+		t := rh.NewTester(b)
+		pat, err := wcdp(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := t.TemperatureSweep(rh.TempSweepConfig{
+			Bank:    0,
+			Victims: rows,
+			// 2x the BER hammer count: the paper picks 150K as "high
+			// enough to provide a large number of bit flips in all
+			// modules"; the steep-tailed simulated Mfr B needs the
+			// doubling for dense per-cell statistics at test scale.
+			Hammers:     2 * cfg.Scale.Hammers,
+			Pattern:     pat,
+			Repetitions: cfg.Scale.Repetitions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
+// mergeClusters sums per-module cluster matrices.
+func mergeClusters(sweeps []*rh.TempSweepResult) *rh.TempClusterMatrix {
+	var merged *rh.TempClusterMatrix
+	for _, s := range sweeps {
+		m := s.ClusterByRange()
+		if merged == nil {
+			merged = m
+			continue
+		}
+		for hi := range m.Counts {
+			for lo := range m.Counts[hi] {
+				merged.Counts[hi][lo] += m.Counts[hi][lo]
+			}
+		}
+		merged.NoGap += m.NoGap
+		merged.OneGap += m.OneGap
+		merged.MoreGap += m.MoreGap
+		merged.Total += m.Total
+	}
+	if merged == nil {
+		merged = &rh.TempClusterMatrix{Temps: rh.StudyTemps()}
+	}
+	return merged
+}
+
+// Table3Result holds the per-manufacturer no-gap fractions.
+type Table3Result struct {
+	Mfrs      []string
+	NoGapFrac []float64
+}
+
+// Table3 measures the fraction of vulnerable cells that flip at every
+// temperature point within their vulnerable range.
+func Table3(cfg Config) (Table3Result, error) {
+	cfg = cfg.normalize()
+	var res Table3Result
+	fracs, err := mapMfrs(func(mfr string) (float64, error) {
+		sweeps, err := runTempSweeps(cfg, mfr)
+		if err != nil {
+			return 0, err
+		}
+		return mergeClusters(sweeps).NoGapFraction(), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	res.NoGapFrac = fracs
+	return res, nil
+}
+
+// RunTable3 prints Table 3.
+func RunTable3(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Table3(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr. A\tMfr. B\tMfr. C\tMfr. D")
+	for i := range res.Mfrs {
+		fmt.Fprintf(w, "%s", pct(res.NoGapFrac[i]))
+		if i < len(res.Mfrs)-1 {
+			fmt.Fprint(w, "\t")
+		}
+	}
+	fmt.Fprintln(w)
+	return w.Flush()
+}
+
+// Fig3Result holds the per-manufacturer cluster matrices.
+type Fig3Result struct {
+	Mfrs     []string
+	Matrices []*rh.TempClusterMatrix
+}
+
+// Fig3 clusters vulnerable cells by their vulnerable temperature
+// range.
+func Fig3(cfg Config) (Fig3Result, error) {
+	cfg = cfg.normalize()
+	var res Fig3Result
+	mats, err := mapMfrs(func(mfr string) (*rh.TempClusterMatrix, error) {
+		sweeps, err := runTempSweeps(cfg, mfr)
+		if err != nil {
+			return nil, err
+		}
+		return mergeClusters(sweeps), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	res.Matrices = mats
+	return res, nil
+}
+
+// RunFig3 prints the Fig. 3 matrices.
+func RunFig3(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig3(cfg)
+	if err != nil {
+		return err
+	}
+	for i, mfr := range res.Mfrs {
+		m := res.Matrices[i]
+		fmt.Fprintf(cfg.Out, "Mfr. %s (vulnerable cells: %d)\n", mfr, m.Total)
+		w := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+		fmt.Fprint(w, "Hi\\Lo")
+		for _, t := range m.Temps {
+			fmt.Fprintf(w, "\t%.0f", t)
+		}
+		fmt.Fprintln(w)
+		for hi := range m.Temps {
+			fmt.Fprintf(w, "%.0f", m.Temps[hi])
+			for lo := 0; lo <= hi; lo++ {
+				fmt.Fprintf(w, "\t%s", pct(m.Fraction(lo, hi)))
+			}
+			fmt.Fprintln(w)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "No gaps: %s  1 gap: %s  full range: %s  single temp: %s\n\n",
+			pct(m.NoGapFraction()), pct(float64(m.OneGap)/float64(max1(m.Total))),
+			pct(m.FullRangeFraction()), pct(m.NarrowRangeFraction()))
+	}
+	return nil
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Fig4Point is BER change at one temperature for one victim distance.
+type Fig4Point struct {
+	TempC      float64
+	Distance   int // 0 or ±2
+	MeanChange float64
+	CI95       float64
+}
+
+// Fig4Result holds per-manufacturer BER-vs-temperature series.
+type Fig4Result struct {
+	Mfrs   []string
+	Series [][]Fig4Point
+}
+
+// Fig4 measures the percentage change in BER with temperature
+// relative to the mean BER at 50 °C, per victim distance.
+func Fig4(cfg Config) (Fig4Result, error) {
+	cfg = cfg.normalize()
+	var res Fig4Result
+	perMfr, err := mapMfrs(func(mfr string) ([]Fig4Point, error) {
+		sweeps, err := runTempSweeps(cfg, mfr)
+		if err != nil {
+			return nil, err
+		}
+		var series []Fig4Point
+		for _, dist := range []int{-2, 0, 2} {
+			count := func(hr rh.HammerResult) float64 {
+				switch dist {
+				case -2:
+					return float64(hr.SingleLo.Count())
+				case 2:
+					return float64(hr.SingleHi.Count())
+				default:
+					return float64(hr.Victim.Count())
+				}
+			}
+			// Baseline: mean across all samples at 50 °C.
+			var base []float64
+			for _, s := range sweeps {
+				for _, hr := range s.Flips[0] {
+					base = append(base, count(hr))
+				}
+			}
+			mean50 := stats.Mean(base)
+			if mean50 == 0 {
+				continue
+			}
+			temps := sweeps[0].Temps
+			for ti, temp := range temps {
+				var changes []float64
+				for _, s := range sweeps {
+					for _, hr := range s.Flips[ti] {
+						changes = append(changes, count(hr)/mean50-1)
+					}
+				}
+				m, ci := stats.MeanCI95(changes)
+				series = append(series, Fig4Point{TempC: temp, Distance: dist, MeanChange: m, CI95: ci})
+			}
+		}
+		return series, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	res.Series = perMfr
+	return res, nil
+}
+
+// TrendAt returns the mean BER change at the given temperature for
+// distance 0, or 0 when absent.
+func (r Fig4Result) TrendAt(mfrIdx int, tempC float64) float64 {
+	for _, p := range r.Series[mfrIdx] {
+		if p.Distance == 0 && p.TempC == tempC {
+			return p.MeanChange
+		}
+	}
+	return 0
+}
+
+// RunFig4 prints the Fig. 4 series.
+func RunFig4(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig4(cfg)
+	if err != nil {
+		return err
+	}
+	for i, mfr := range res.Mfrs {
+		fmt.Fprintf(cfg.Out, "Mfr. %s\n", mfr)
+		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "dist\ttemp\tBER change\t95% CI")
+		for _, p := range res.Series[i] {
+			fmt.Fprintf(w, "%+d\t%.0f\t%+.1f%%\t±%.1f%%\n", p.Distance, p.TempC, 100*p.MeanChange, 100*p.CI95)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// fig5Rows is the per-module victim budget of the Fig. 5 measurement.
+const fig5Rows = 16
+
+// Fig5Result holds the HCfirst-change distributions.
+type Fig5Result struct {
+	Mfrs []string
+	// Change55/Change90[mfr] are per-row fractional HCfirst changes
+	// going 50→55 °C and 50→90 °C.
+	Change55, Change90 [][]float64
+	// Crossing percentiles (share of rows with *increased* HCfirst).
+	Cross55, Cross90 []float64
+	// MagnitudeRatio is cumulative |change| at 90 over 55 (Obsv. 7).
+	MagnitudeRatio []float64
+}
+
+// Fig5 measures the distribution of HCfirst change when temperature
+// rises from 50 °C to 55 °C and to 90 °C.
+func Fig5(cfg Config) (Fig5Result, error) {
+	cfg = cfg.normalize()
+	var res Fig5Result
+	temps := []float64{50, 55, 90}
+	type changes struct{ c55, c90 []float64 }
+	perMfr, err := mapMfrs(func(mfr string) (changes, error) {
+		bs, err := benches(cfg, mfr)
+		if err != nil {
+			return changes{}, err
+		}
+		rows := sampleRows(cfg, fig5Rows)
+		var c changes
+		for _, b := range bs {
+			t := rh.NewTester(b)
+			pat, err := wcdp(t, cfg)
+			if err != nil {
+				return c, err
+			}
+			hc, err := t.HCFirstAtTemps(0, rows, temps, rh.HCFirstConfig{
+				Pattern:    pat,
+				MaxHammers: cfg.Scale.MaxHammers,
+			}, cfg.Scale.Repetitions)
+			if err != nil {
+				return c, err
+			}
+			for ri := range rows {
+				base := hc[0][ri]
+				if base <= 0 {
+					continue
+				}
+				if hc[1][ri] > 0 {
+					c.c55 = append(c.c55, float64(hc[1][ri]-base)/float64(base))
+				}
+				if hc[2][ri] > 0 {
+					c.c90 = append(c.c90, float64(hc[2][ri]-base)/float64(base))
+				}
+			}
+		}
+		return c, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	for _, c := range perMfr {
+		res.Change55 = append(res.Change55, c.c55)
+		res.Change90 = append(res.Change90, c.c90)
+		res.Cross55 = append(res.Cross55, stats.CrossingPercentile(c.c55))
+		res.Cross90 = append(res.Cross90, stats.CrossingPercentile(c.c90))
+		ratio := 0.0
+		if m55 := stats.CumulativeMagnitude(c.c55); m55 > 0 {
+			// Normalize per-row so unequal sample sizes don't skew.
+			ratio = (stats.CumulativeMagnitude(c.c90) / float64(max1(len(c.c90)))) /
+				(m55 / float64(max1(len(c.c55))))
+		}
+		res.MagnitudeRatio = append(res.MagnitudeRatio, ratio)
+	}
+	return res, nil
+}
+
+// RunFig5 prints the Fig. 5 summary.
+func RunFig5(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := Fig5(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr\tP(HC↑) 50→55\tP(HC↑) 50→90\t|Δ| ratio 90/55\tmedian Δ55\tmedian Δ90")
+	for i, mfr := range res.Mfrs {
+		med := func(xs []float64) float64 {
+			if len(xs) == 0 {
+				return 0
+			}
+			return stats.Median(xs)
+		}
+		fmt.Fprintf(w, "%s\tP%.0f\tP%.0f\t%.1fx\t%+.1f%%\t%+.1f%%\n",
+			mfr, res.Cross55[i], res.Cross90[i], res.MagnitudeRatio[i],
+			100*med(res.Change55[i]), 100*med(res.Change90[i]))
+	}
+	return w.Flush()
+}

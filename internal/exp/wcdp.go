@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	rh "rowhammer"
+)
+
+// WCDPResult records which Table 1 data pattern is the worst case for
+// each module — the §4.2 methodology step the characterization
+// experiments rely on.
+type WCDPResult struct {
+	Mfrs []string
+	// Patterns[mfr][module] is the winning pattern.
+	Patterns [][]rh.PatternKind
+	// Gain[mfr] is flips under the WCDP over flips under the weakest
+	// pattern (add-one smoothed: sparse modules can have zero-flip
+	// weakest patterns).
+	Gain []float64
+}
+
+// WCDP surveys the worst-case data pattern across modules.
+func WCDP(cfg Config) (WCDPResult, error) {
+	cfg = cfg.normalize()
+	var res WCDPResult
+	type mfrOut struct {
+		pats []rh.PatternKind
+		gain float64
+	}
+	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+		bs, err := benches(cfg, mfr)
+		if err != nil {
+			return mfrOut{}, err
+		}
+		victims := sampleRows(cfg, 6)
+		var out mfrOut
+		bestSum, worstSum := 0, 0
+		for _, b := range bs {
+			t := rh.NewTester(b)
+			best, worst := -1, -1
+			var bestPat rh.PatternKind
+			for _, pat := range rh.AllPatterns {
+				total := 0
+				for _, v := range victims {
+					hr, err := t.Hammer(rh.HammerConfig{
+						Bank: 0, VictimPhys: v, Hammers: cfg.Scale.Hammers, Pattern: pat, Trial: 1,
+					})
+					if err != nil {
+						return out, err
+					}
+					total += hr.Victim.Count()
+				}
+				if best < 0 || total > best {
+					best, bestPat = total, pat
+				}
+				if worst < 0 || total < worst {
+					worst = total
+				}
+			}
+			out.pats = append(out.pats, bestPat)
+			bestSum += best
+			worstSum += worst
+		}
+		out.gain = float64(bestSum+1) / float64(worstSum+1)
+		return out, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Mfrs = mfrNames
+	for _, o := range perMfr {
+		res.Patterns = append(res.Patterns, o.pats)
+		res.Gain = append(res.Gain, o.gain)
+	}
+	return res, nil
+}
+
+// RunWCDP prints the pattern survey.
+func RunWCDP(cfg Config) error {
+	cfg = cfg.normalize()
+	res, err := WCDP(cfg)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Mfr\tper-module WCDP\tbest/worst pattern flip ratio")
+	for i, mfr := range res.Mfrs {
+		names := ""
+		for mi, p := range res.Patterns[i] {
+			if mi > 0 {
+				names += ", "
+			}
+			names += p.String()
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.1fx\n", mfr, names, res.Gain[i])
+	}
+	return w.Flush()
+}

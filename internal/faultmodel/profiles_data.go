@@ -1,0 +1,238 @@
+package faultmodel
+
+import "rowhammer/internal/dram"
+
+// tempClustersFromMatrix converts a Fig. 3-style lower-triangular
+// cluster matrix into TempClusters. rows[i] holds the percentages for
+// upper limit 50+5i °C, with entries for lower limits 50, 55, ...,
+// 50+5i °C.
+func tempClustersFromMatrix(rows [][]float64) []TempCluster {
+	var out []TempCluster
+	for i, row := range rows {
+		hi := 50 + 5*float64(i)
+		for j, pct := range row {
+			lo := 50 + 5*float64(j)
+			if pct > 0 {
+				out = append(out, TempCluster{LoC: lo, HiC: hi, Prob: pct / 100})
+			}
+		}
+	}
+	return out
+}
+
+// The Fig. 3 vulnerable-temperature-range matrices, transcribed from
+// the paper (percent of vulnerable cells per (lower, upper) cluster).
+var (
+	fig3MfrA = [][]float64{
+		{4.8},
+		{4.2, 0.3},
+		{4.4, 0.3, 0.3},
+		{4.0, 0.4, 0.2, 0.3},
+		{3.8, 0.4, 0.3, 0.2, 0.4},
+		{3.5, 0.5, 0.4, 0.4, 0.2, 0.3},
+		{3.0, 0.5, 0.5, 0.5, 0.3, 0.3, 0.3},
+		{2.7, 0.5, 0.5, 0.5, 0.4, 0.4, 0.3, 0.4},
+		{14.2, 3.7, 3.9, 5.0, 5.4, 6.2, 6.5, 7.0, 7.4},
+	}
+	fig3MfrB = [][]float64{
+		{7.0},
+		{6.4, 0.3},
+		{6.2, 0.2, 0.3},
+		{6.2, 0.2, 0.2, 0.3},
+		{5.4, 0.3, 0.2, 0.2, 0.3},
+		{4.7, 0.3, 0.3, 0.2, 0.1, 0.2},
+		{4.4, 0.4, 0.4, 0.3, 0.2, 0.2, 0.2},
+		{3.8, 0.4, 0.4, 0.3, 0.3, 0.2, 0.1, 0.2},
+		{17.4, 3.1, 3.7, 3.9, 4.1, 4.5, 3.9, 4.0, 4.3},
+	}
+	fig3MfrC = [][]float64{
+		{4.8},
+		{3.4, 0.4},
+		{4.3, 0.4, 0.3},
+		{3.8, 0.6, 0.3, 0.4},
+		{3.1, 0.5, 0.3, 0.3, 0.4},
+		{3.1, 0.7, 0.5, 0.5, 0.3, 0.4},
+		{2.6, 0.7, 0.5, 0.6, 0.5, 0.3, 0.4},
+		{2.2, 0.6, 0.5, 0.6, 0.5, 0.5, 0.4, 0.5},
+		{9.6, 3.8, 3.6, 5.2, 6.0, 5.9, 7.9, 8.7, 9.0},
+	}
+	fig3MfrD = [][]float64{
+		{4.3},
+		{3.7, 0.3},
+		{4.0, 0.1, 0.2},
+		{4.0, 0.1, 0.1, 0.2},
+		{3.3, 0.1, 0.1, 0.1, 0.2},
+		{3.4, 0.2, 0.1, 0.1, 0.1, 0.2},
+		{3.3, 0.2, 0.2, 0.1, 0.1, 0.1, 0.2},
+		{3.1, 0.2, 0.2, 0.2, 0.1, 0.1, 0.1, 0.3},
+		{29.8, 4.1, 4.1, 4.4, 4.7, 4.6, 4.8, 5.0, 5.2},
+	}
+)
+
+// Row-weakness quantile functions. A/B/C share the wide heavy-tailed
+// shape behind Fig. 11's 1.6×/2.0×/2.2× percentile ratios; D's rows
+// vary much less (its Fig. 11/14 curves are flat), which also yields
+// Fig. 14's steeper min-vs-avg slope for D.
+var (
+	wideRowQuantiles = []QuantilePoint{
+		{0, 1.0}, {0.01, 1.6}, {0.05, 2.0}, {0.10, 2.2}, {0.25, 2.3},
+		{0.50, 2.45}, {0.75, 2.7}, {0.90, 3.0}, {0.99, 3.8}, {1, 5.0},
+	}
+	narrowRowQuantiles = []QuantilePoint{
+		{0, 1.0}, {0.01, 1.15}, {0.05, 1.25}, {0.10, 1.3}, {0.25, 1.4},
+		{0.50, 1.5}, {0.75, 1.65}, {0.90, 1.8}, {0.99, 2.1}, {1, 2.5},
+	}
+)
+
+// Profiles returns the four calibrated manufacturer profiles.
+// The returned slice is freshly allocated; callers may modify it.
+func Profiles() []*Profile {
+	return []*Profile{MfrA(), MfrB(), MfrC(), MfrD()}
+}
+
+// ProfileByName returns the profile with the given letter name, or nil.
+func ProfileByName(name string) *Profile {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// MfrA returns the Micron-like profile: BER strongly increasing with
+// temperature, strongest tAggOn response (BER ×10.2), mostly
+// process-induced column variation, 27.8% flip-free columns.
+func MfrA() *Profile {
+	return &Profile{
+		Name:    "A",
+		MfrLike: "Micron-like",
+
+		RowHCQuantiles: wideRowQuantiles,
+		BaseHC:         45e3,
+		ModuleSigma:    0.35,
+		TailAlpha:      5.0,
+		VulnFrac:       1.0,
+
+		TempClusters:  tempClustersFromMatrix(fig3MfrA),
+		GapProb:       0.009, // Table 3: 99.1% flip at all in-range temps
+		TempSlope:     0.0012,
+		InflectionLoC: 43, InflectionHiC: 103,
+		InflectionCurvature: 0.10,
+
+		OnTimeGainPerNs:   0.00556, // HCfirst −40.0% at +120 ns
+		OffTimeDecayPerNs: 0.0141,  // HCfirst +33.8% at +24 ns
+
+		ColSigma:         0.40,
+		ColProcessWeight: 0.90,
+
+		Remap: dram.DirectRemap{},
+		Modules: []ModuleInfo{
+			{Type: "DDR4", ChipID: "MT40A2G4WE-083E:B", Vendor: "Micron", ModuleID: "MTA18ASF2G72PZ-2G3B1QG", FreqMTs: 2400, DateCode: "1911", Density: "8Gb", DieRev: "B", Org: "x4", NumModules: 6, NumChips: 96},
+			{Type: "DDR4", ChipID: "MT40A2G4WE-083E:B", Vendor: "Micron", ModuleID: "MTA18ASF2G72PZ-2G3B1QG", FreqMTs: 2400, DateCode: "1843", Density: "8Gb", DieRev: "B", Org: "x4", NumModules: 2, NumChips: 32},
+			{Type: "DDR4", ChipID: "MT40A2G4WE-083E:B", Vendor: "Micron", ModuleID: "MTA18ASF2G72PZ-2G3B1QG", FreqMTs: 2400, DateCode: "1844", Density: "8Gb", DieRev: "B", Org: "x4", NumModules: 1, NumChips: 16},
+			{Type: "DDR3", ChipID: "MT41K512M8DA-107:P", Vendor: "Crucial", ModuleID: "CT51264BF160BJ.M8FP", FreqMTs: 1600, DateCode: "1703", Density: "4Gb", DieRev: "P", Org: "x8", NumModules: 1, NumChips: 8},
+		},
+	}
+}
+
+// MfrB returns the Samsung-like profile: the only manufacturer whose
+// BER *decreases* with temperature; weakest tAggOn response; almost
+// purely design-induced column variation (every column flips).
+func MfrB() *Profile {
+	return &Profile{
+		Name:    "B",
+		MfrLike: "Samsung-like",
+
+		RowHCQuantiles: wideRowQuantiles,
+		BaseHC:         33e3,
+		ModuleSigma:    0.55,
+		TailAlpha:      4.0,
+		VulnFrac:       1.0,
+
+		TempClusters:  tempClustersFromMatrix(fig3MfrB),
+		GapProb:       0.011, // Table 3: 98.9%
+		TempSlope:     0.0,
+		InflectionLoC: 30, InflectionHiC: 90,
+		InflectionCurvature: 0.10,
+
+		OnTimeGainPerNs:   0.00329, // HCfirst −28.3%
+		OffTimeDecayPerNs: 0.0103,  // HCfirst +24.7%
+
+		ColSigma:         0.08,
+		ColProcessWeight: 0.10,
+
+		Remap: dram.MirrorRemap{},
+		Modules: []ModuleInfo{
+			{Type: "DDR4", ChipID: "K4A4G085WF-BCTD", Vendor: "G.SKILL", ModuleID: "F4-2400C17S-8GNT", FreqMTs: 2400, DateCode: "2021-01", Density: "4Gb", DieRev: "F", Org: "x8", NumModules: 4, NumChips: 32},
+			{Type: "DDR3", ChipID: "K4B4G0846Q", Vendor: "Samsung", ModuleID: "M471B5173QH0-YK0", FreqMTs: 1600, DateCode: "1416", Density: "4Gb", DieRev: "Q", Org: "x8", NumModules: 1, NumChips: 8},
+		},
+	}
+}
+
+// MfrC returns the SK-Hynix-like profile: moderate temperature
+// response, strongest tAggOff response (HCfirst +50.1%), mixed
+// design/process column variation, 31.1% flip-free columns.
+func MfrC() *Profile {
+	return &Profile{
+		Name:    "C",
+		MfrLike: "SK-Hynix-like",
+
+		RowHCQuantiles: wideRowQuantiles,
+		BaseHC:         48e3,
+		ModuleSigma:    0.35,
+		TailAlpha:      4.3,
+		VulnFrac:       1.0,
+
+		TempClusters:  tempClustersFromMatrix(fig3MfrC),
+		GapProb:       0.020, // Table 3: 98.0%
+		TempSlope:     -0.0011,
+		InflectionLoC: 28, InflectionHiC: 87,
+		InflectionCurvature: 0.10,
+
+		OnTimeGainPerNs:   0.00405, // HCfirst −32.7%
+		OffTimeDecayPerNs: 0.0209,  // HCfirst +50.1%
+
+		ColSigma:         0.45,
+		ColProcessWeight: 0.45,
+
+		Remap: dram.DefaultScramble(),
+		Modules: []ModuleInfo{
+			{Type: "DDR4", ChipID: "DWCW (partial marking)", Vendor: "G.SKILL", ModuleID: "F4-2400C17S-8GNT", FreqMTs: 2400, DateCode: "2042", Density: "4Gb", DieRev: "B", Org: "x8", NumModules: 5, NumChips: 40},
+			{Type: "DDR3", ChipID: "H5TC4G83BFR-PBA", Vendor: "SK Hynix", ModuleID: "HMT451S6BFR8A-PB", FreqMTs: 1600, DateCode: "1535", Density: "4Gb", DieRev: "B", Org: "x8", NumModules: 1, NumChips: 8},
+		},
+	}
+}
+
+// MfrD returns the Nanya-like profile: the strongest BER increase with
+// temperature (≈ +200% at 90 °C), narrow row-to-row variation (flat
+// Fig. 11 curves, steep Fig. 14 slope), highest absolute HCfirst.
+func MfrD() *Profile {
+	return &Profile{
+		Name:    "D",
+		MfrLike: "Nanya-like",
+
+		RowHCQuantiles: narrowRowQuantiles,
+		BaseHC:         85e3,
+		ModuleSigma:    0.08,
+		TailAlpha:      5.0,
+		VulnFrac:       1.0,
+
+		TempClusters:  tempClustersFromMatrix(fig3MfrD),
+		GapProb:       0.008, // Table 3: 99.2%
+		TempSlope:     0.0048,
+		InflectionLoC: 46, InflectionHiC: 106,
+		InflectionCurvature: 0.10,
+
+		OnTimeGainPerNs:   0.00496, // HCfirst −37.3%
+		OffTimeDecayPerNs: 0.0140,  // HCfirst +33.7%
+
+		ColSigma:         0.22,
+		ColProcessWeight: 0.60,
+
+		Remap: dram.DirectRemap{},
+		Modules: []ModuleInfo{
+			{Type: "DDR4", ChipID: "D1028AN9CPGRK", Vendor: "Kingston", ModuleID: "KVR24N17S8/8", FreqMTs: 2400, DateCode: "2046", Density: "8Gb", DieRev: "C", Org: "x8", NumModules: 4, NumChips: 32},
+		},
+	}
+}

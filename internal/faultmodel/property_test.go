@@ -1,0 +1,173 @@
+package faultmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rowhammer/internal/dram"
+)
+
+// Property tests on the fault model's core invariants.
+
+func TestPropertyTempFactorPositiveBounded(t *testing.T) {
+	for _, p := range Profiles() {
+		m := newTestModel(t, p, 101)
+		if err := quick.Check(func(rawT, rawInf uint16) bool {
+			tempC := 40 + float64(rawT%60)   // 40..100 °C
+			tinf := 20 + float64(rawInf%100) // 20..120 °C
+			f := m.tempFactor(tempC, tinf)
+			return f > 0 && f < 3
+		}, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("mfr %s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPropertyTempFactorPeaksAtInflection(t *testing.T) {
+	m := newTestModel(t, MfrB(), 103) // zero slope isolates the inflection term
+	const tinf = 70.0
+	peak := m.tempFactor(tinf, tinf)
+	for _, tempC := range []float64{50, 60, 80, 90} {
+		if f := m.tempFactor(tempC, tinf); f > peak {
+			t.Fatalf("factor at %v °C (%v) exceeds inflection peak (%v)", tempC, f, peak)
+		}
+	}
+}
+
+func TestPropertyOnOffFactorMonotone(t *testing.T) {
+	for _, p := range Profiles() {
+		m := newTestModel(t, p, 107)
+		prev := -1.0
+		for on := 34.5; on <= 154.5; on += 10 {
+			f := m.onOffFactor(on, 16.5)
+			if f <= 0 {
+				t.Fatalf("mfr %s: non-positive factor", p.Name)
+			}
+			if prev > 0 && f < prev {
+				t.Fatalf("mfr %s: on-time factor not monotone at %v", p.Name, on)
+			}
+			prev = f
+		}
+		prev = math.Inf(1)
+		for off := 16.5; off <= 40.5; off += 3 {
+			f := m.onOffFactor(34.5, off)
+			if f > prev {
+				t.Fatalf("mfr %s: off-time factor not monotone at %v", p.Name, off)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestPropertyOnOffFactorClamps(t *testing.T) {
+	m := newTestModel(t, MfrA(), 109)
+	// Absurd inputs must stay within the documented clamps.
+	if f := m.onOffFactor(1e6, 16.5); f <= 0 {
+		t.Fatalf("huge on-time factor %v", f)
+	}
+	if f := m.onOffFactor(34.5, 1e9); f < 0.05*0.2 {
+		t.Fatalf("huge off-time factor %v below clamp", f)
+	}
+	if f := m.onOffFactor(-100, -100); f <= 0 {
+		t.Fatalf("negative-time factor %v", f)
+	}
+}
+
+func TestPropertyCellThresholdTailExponent(t *testing.T) {
+	// The count of cells below h must grow ≈ h^alpha (the model's
+	// central calibration property).
+	m := newTestModel(t, MfrA(), 113)
+	alpha := MfrA().TailAlpha
+	geo := testGeometry()
+	count := func(h float64) int {
+		n := 0
+		for row := 8; row < 48; row++ {
+			base := m.RowBaseHC(0, row)
+			for bit := 0; bit < geo.RowBits(); bit += 7 { // sample
+				ci := m.Cell(0, row, bit)
+				if !math.IsInf(ci.ThresholdHC, 1) && ci.ThresholdHC/ci.ColumnFactor <= h*base {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	n1 := count(1.5)
+	n2 := count(3.0)
+	if n1 == 0 {
+		t.Skip("sample too sparse")
+	}
+	got := math.Log(float64(n2)/float64(n1)) / math.Log(2)
+	if math.Abs(got-alpha) > 0.8 {
+		t.Fatalf("measured tail exponent %.2f, want ≈%.1f", got, alpha)
+	}
+}
+
+func TestPropertyDisturbNeverFlipsTwice(t *testing.T) {
+	// A cell flips at most once per sense: flipping moves it out of
+	// its charged state, so re-evaluating the same data cannot flip it
+	// back within the same Disturb call. Verified by checking the flip
+	// count equals the Hamming distance of the data before/after.
+	m := newTestModel(t, MfrA(), 127)
+	geo := testGeometry()
+	data := make([]uint64, geo.RowWords())
+	for i := range data {
+		data[i] = 0x5555555555555555
+	}
+	before := make([]uint64, len(data))
+	copy(before, data)
+	agg := make([]uint64, geo.RowWords())
+	for i := range agg {
+		agg[i] = 0xaaaaaaaaaaaaaaaa
+	}
+	flips := m.Disturb(dram.DisturbContext{
+		Bank: 0, Row: 20, Ledger: mkLedger(400_000, 34.5, 16.5, 50),
+		Data: data, Geometry: geo,
+		NeighborData: func(int) []uint64 { return agg },
+	})
+	hamming := 0
+	for i := range data {
+		d := data[i] ^ before[i]
+		for d != 0 {
+			hamming++
+			d &= d - 1
+		}
+	}
+	if flips != hamming {
+		t.Fatalf("reported %d flips, Hamming distance %d", flips, hamming)
+	}
+}
+
+func TestPropertyEffectiveHammersMonotoneInCount(t *testing.T) {
+	m := newTestModel(t, MfrC(), 131)
+	if err := quick.Check(func(a, b uint16) bool {
+		ha := int64(a)%5000 + 1
+		hb := ha + int64(b)%5000 + 1
+		la := mkLedger(ha, 34.5, 16.5, 50)
+		lb := mkLedger(hb, 34.5, 16.5, 50)
+		return m.EffectiveHammers(lb, 70) >= m.EffectiveHammers(la, 70)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceTwoWeaker(t *testing.T) {
+	// Pure distance-2 aggression must be far weaker than distance-1.
+	m := newTestModel(t, MfrA(), 137)
+	mk := func(dist int, hammers int64) *dram.RowLedger {
+		led := &dram.RowLedger{}
+		led.Record(dist, dram.PicosFromNs(34.5), dram.PicosFromNs(16.5), 50)
+		d := &led.Dist[dist-1]
+		d.Count = hammers
+		d.SumOn = dram.Picos(hammers) * dram.PicosFromNs(34.5)
+		d.SumOff = dram.Picos(hammers) * dram.PicosFromNs(16.5)
+		d.SumTempMilliC = hammers * 50_000
+		return led
+	}
+	h1 := m.EffectiveHammers(mk(1, 10_000), 70)
+	h2 := m.EffectiveHammers(mk(2, 10_000), 70)
+	if h2*10 > h1 {
+		t.Fatalf("distance-2 effect %.1f not ≪ distance-1 %.1f", h2, h1)
+	}
+}

@@ -1,0 +1,199 @@
+// Package rowhammer implements the experimental methodology of
+// "A Deeper Look into RowHammer's Sensitivities: Experimental Analysis
+// of Real DRAM Chips and Implications on Future Attacks and Defenses"
+// (Orosa & Yağlıkçı et al., MICRO 2021) on top of a simulated SoftMC +
+// DRAM test bench.
+//
+// The package provides:
+//
+//   - Bench: one device under test — a DRAM module with its
+//     circuit-level fault model, a SoftMC-style command sequencer, and
+//     a PID-controlled thermal chamber.
+//   - Tester: the paper's §4.2 methodology — double-sided hammering
+//     with worst-case data patterns, BER measurement, HCfirst binary
+//     search, logical→physical mapping recovery, temperature sweeps,
+//     and the spatial-variation analyses.
+//
+// All results are deterministic for a given module seed and trial
+// number, which makes every experiment in the paper reproducible
+// bit-for-bit.
+package rowhammer
+
+import (
+	"fmt"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/faultmodel"
+	"rowhammer/internal/softmc"
+	"rowhammer/internal/thermal"
+)
+
+// BenchConfig configures one device under test.
+type BenchConfig struct {
+	// Profile selects the manufacturer fault profile (required).
+	Profile *faultmodel.Profile
+	// Seed identifies the module instance (process variation).
+	Seed uint64
+	// Geometry defaults to dram.DefaultDDR4Geometry().
+	Geometry dram.Geometry
+	// Timing defaults to dram.DDR4Timing().
+	Timing dram.Timing
+	// TRR enables in-DRAM target row refresh. The characterization
+	// methodology leaves it nil (and never refreshes), as in §4.2.
+	TRR *dram.TRRConfig
+	// OnDieECC enables the (72,64) SECDED code. Characterization
+	// modules have no ECC (§4.2).
+	OnDieECC bool
+	// Retention enables data-retention failure modeling; nil (off)
+	// matches §4.2's interference-free setup, and enabling it lets
+	// experiments verify that short tests stay retention-clean.
+	Retention *dram.RetentionConfig
+}
+
+// Bench is one DRAM module under test with its full instrumentation.
+type Bench struct {
+	Module  *dram.Module
+	Model   *faultmodel.Model
+	Exec    *softmc.Executor
+	Chamber *thermal.Chamber
+	Profile *faultmodel.Profile
+	Seed    uint64
+}
+
+// NewBench builds a device under test.
+func NewBench(cfg BenchConfig) (*Bench, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("rowhammer: BenchConfig.Profile is required")
+	}
+	if cfg.Geometry == (dram.Geometry{}) {
+		cfg.Geometry = dram.DefaultDDR4Geometry()
+	}
+	if cfg.Timing == (dram.Timing{}) {
+		cfg.Timing = dram.DDR4Timing()
+	}
+	model, err := faultmodel.NewModel(faultmodel.Config{
+		Profile:    cfg.Profile,
+		ModuleSeed: cfg.Seed,
+		Geometry:   cfg.Geometry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mod, err := dram.NewModule(dram.ModuleConfig{
+		Geometry:     cfg.Geometry,
+		Timing:       cfg.Timing,
+		Remap:        cfg.Profile.Remap,
+		Disturber:    model,
+		TRR:          cfg.TRR,
+		OnDieECC:     cfg.OnDieECC,
+		Retention:    cfg.Retention,
+		Seed:         cfg.Seed,
+		InitialTempC: 50,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{
+		Module:  mod,
+		Model:   model,
+		Exec:    softmc.NewExecutor(mod),
+		Chamber: thermal.NewChamber(cfg.Seed),
+		Profile: cfg.Profile,
+		Seed:    cfg.Seed,
+	}
+	if err := b.SetTemperature(50); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SetTemperature drives the thermal chamber to tempC, waits for the
+// closed loop to settle, and exposes the resulting die temperature to
+// the module.
+func (b *Bench) SetTemperature(tempC float64) error {
+	if err := b.Chamber.SetAndSettle(tempC); err != nil {
+		return err
+	}
+	b.Module.SetTemperature(b.Chamber.Plant.Temperature())
+	return nil
+}
+
+// Geometry returns the module geometry.
+func (b *Bench) Geometry() dram.Geometry { return b.Module.Geometry() }
+
+// Timing returns the module timing set.
+func (b *Bench) Timing() dram.Timing { return b.Module.Timing() }
+
+// Scale bounds the work each experiment does. The paper tests the
+// first/middle/last 8K rows of a bank with up to 512K hammers; the
+// defaults here are chosen so the full experiment suite runs in
+// minutes while remaining statistically stable.
+type Scale struct {
+	// RowsPerRegion is the number of victim rows tested per bank
+	// region.
+	RowsPerRegion int
+	// Regions is how many regions (first/middle/last) are tested.
+	Regions int
+	// Hammers is the hammer count of BER tests (paper: 150K).
+	Hammers int64
+	// MaxHammers caps HCfirst searches (paper: 512K).
+	MaxHammers int64
+	// Repetitions per test (paper: 5).
+	Repetitions int
+	// ModulesPerMfr is how many module instances are tested per
+	// manufacturer.
+	ModulesPerMfr int
+}
+
+// DefaultScale returns the test-suite scale.
+func DefaultScale() Scale {
+	return Scale{
+		RowsPerRegion: 48,
+		Regions:       3,
+		Hammers:       150_000,
+		MaxHammers:    512_000,
+		Repetitions:   3,
+		ModulesPerMfr: 2,
+	}
+}
+
+// PaperScale returns the full study scale (hours of CPU time).
+func PaperScale() Scale {
+	return Scale{
+		RowsPerRegion: 8192,
+		Regions:       3,
+		Hammers:       150_000,
+		MaxHammers:    512_000,
+		Repetitions:   5,
+		ModulesPerMfr: 4,
+	}
+}
+
+// RegionRows returns the physical victim rows of the scale's regions:
+// the paper tests the first, middle and last rows of a bank. Rows on
+// subarray edges (no in-subarray neighbor on both sides) are skipped,
+// since a double-sided attack needs both physical neighbors.
+func (s Scale) RegionRows(g dram.Geometry) []int {
+	starts := []int{0, (g.RowsPerBank - s.RowsPerRegion) / 2, g.RowsPerBank - s.RowsPerRegion}
+	if s.Regions < len(starts) {
+		starts = starts[:s.Regions]
+	}
+	var rows []int
+	seen := make(map[int]bool)
+	for _, start := range starts {
+		if start < 0 {
+			start = 0
+		}
+		for r := start; r < start+s.RowsPerRegion && r < g.RowsPerBank; r++ {
+			if seen[r] {
+				continue
+			}
+			if r%g.SubarrayRows == 0 || r%g.SubarrayRows == g.SubarrayRows-1 {
+				continue
+			}
+			seen[r] = true
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,210 @@
+package rowhammer
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// StudyTemps returns the paper's tested temperature grid:
+// 50–90 °C in 5 °C steps.
+func StudyTemps() []float64 {
+	var out []float64
+	for t := 50.0; t <= 90.0; t += 5 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// CellID identifies a DRAM cell within one bank.
+type CellID struct {
+	Row int
+	Bit int
+}
+
+// TempSweepConfig configures a temperature-sweep characterization.
+type TempSweepConfig struct {
+	Bank    int
+	Victims []int
+	// Temps defaults to StudyTemps().
+	Temps []float64
+	// Hammers per BER test (paper: 150K).
+	Hammers int64
+	Pattern PatternKind
+	// Repetitions per (victim, temperature); a cell counts as flipped
+	// at a temperature if it flips in any repetition.
+	Repetitions int
+}
+
+// TempSweepResult holds the raw sweep data.
+type TempSweepResult struct {
+	Temps []float64
+	Rows  []int
+	// Flips[ti][ri] is the worst-repetition result for Rows[ri] at
+	// Temps[ti].
+	Flips [][]HammerResult
+	// Cells maps every victim-row cell that flipped anywhere in the
+	// sweep to a bitmask over temperature indexes.
+	Cells map[CellID]uint32
+}
+
+// TemperatureSweep runs BER tests for every victim at every
+// temperature, recording per-cell flip observations (§5).
+func (t *Tester) TemperatureSweep(cfg TempSweepConfig) (*TempSweepResult, error) {
+	if len(cfg.Victims) == 0 {
+		return nil, fmt.Errorf("rowhammer: temperature sweep needs victim rows")
+	}
+	if len(cfg.Temps) == 0 {
+		cfg.Temps = StudyTemps()
+	}
+	if cfg.Repetitions < 1 {
+		cfg.Repetitions = 1
+	}
+	res := &TempSweepResult{
+		Temps: cfg.Temps,
+		Rows:  cfg.Victims,
+		Cells: make(map[CellID]uint32),
+	}
+	for ti, temp := range cfg.Temps {
+		if err := t.b.SetTemperature(temp); err != nil {
+			return nil, err
+		}
+		perRow := make([]HammerResult, len(cfg.Victims))
+		for ri, victim := range cfg.Victims {
+			var worst HammerResult
+			for rep := 0; rep < cfg.Repetitions; rep++ {
+				hr, err := t.Hammer(HammerConfig{
+					Bank:       cfg.Bank,
+					VictimPhys: victim,
+					Hammers:    cfg.Hammers,
+					Pattern:    cfg.Pattern,
+					Trial:      uint64(rep) + 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, bit := range hr.Victim.Bits {
+					res.Cells[CellID{Row: victim, Bit: bit}] |= 1 << uint(ti)
+				}
+				if rep == 0 || hr.Victim.Count() > worst.Victim.Count() {
+					worst = hr
+				}
+			}
+			perRow[ri] = worst
+		}
+		res.Flips = append(res.Flips, perRow)
+	}
+	// Restore the baseline temperature.
+	if err := t.b.SetTemperature(50); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TempClusterMatrix is the Fig. 3 artifact: vulnerable cells clustered
+// by the (lower, upper) bounds of their observed vulnerable
+// temperature range, plus Table 3's gap statistics.
+type TempClusterMatrix struct {
+	Temps []float64
+	// Counts[hiIdx][loIdx] is the number of cells whose observed range
+	// is [Temps[loIdx], Temps[hiIdx]] (lower-triangular: loIdx<=hiIdx).
+	Counts [][]int
+	// Gap statistics: cells flipping at every in-range temperature
+	// (NoGap), missing exactly one (OneGap), or more (MoreGap).
+	NoGap, OneGap, MoreGap int
+	Total                  int
+}
+
+// ClusterByRange computes the Fig. 3 cluster matrix from the sweep.
+func (r *TempSweepResult) ClusterByRange() *TempClusterMatrix {
+	n := len(r.Temps)
+	m := &TempClusterMatrix{Temps: r.Temps}
+	m.Counts = make([][]int, n)
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, n)
+	}
+	for _, mask := range r.Cells {
+		if mask == 0 {
+			continue
+		}
+		lo := bits.TrailingZeros32(mask)
+		hi := 31 - bits.LeadingZeros32(mask)
+		m.Counts[hi][lo]++
+		m.Total++
+		span := hi - lo + 1
+		gaps := span - bits.OnesCount32(mask)
+		switch gaps {
+		case 0:
+			m.NoGap++
+		case 1:
+			m.OneGap++
+		default:
+			m.MoreGap++
+		}
+	}
+	return m
+}
+
+// Fraction returns a cluster's share of the vulnerable population.
+func (m *TempClusterMatrix) Fraction(loIdx, hiIdx int) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Counts[hiIdx][loIdx]) / float64(m.Total)
+}
+
+// FullRangeFraction returns the share of cells vulnerable at every
+// tested temperature (Obsv. 2).
+func (m *TempClusterMatrix) FullRangeFraction() float64 {
+	return m.Fraction(0, len(m.Temps)-1)
+}
+
+// NarrowRangeFraction returns the share of cells vulnerable at exactly
+// one tested temperature (Obsv. 3).
+func (m *TempClusterMatrix) NarrowRangeFraction() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	n := 0
+	for i := range m.Temps {
+		n += m.Counts[i][i]
+	}
+	return float64(n) / float64(m.Total)
+}
+
+// NoGapFraction returns Table 3's statistic: the share of vulnerable
+// cells that flip at every temperature point inside their range.
+func (m *TempClusterMatrix) NoGapFraction() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.NoGap) / float64(m.Total)
+}
+
+// HCFirstAtTemps measures every row's HCfirst at each temperature
+// (the Fig. 5 measurement). Result indexing: [tempIdx][rowIdx]; an
+// unfound HCfirst is reported as 0.
+func (t *Tester) HCFirstAtTemps(bank int, rows []int, temps []float64, cfg HCFirstConfig, reps int) ([][]int64, error) {
+	out := make([][]int64, len(temps))
+	for ti, temp := range temps {
+		if err := t.b.SetTemperature(temp); err != nil {
+			return nil, err
+		}
+		out[ti] = make([]int64, len(rows))
+		for ri, row := range rows {
+			c := cfg
+			c.Bank = bank
+			c.VictimPhys = row
+			res, err := t.HCFirstMin(c, reps)
+			if err != nil {
+				return nil, err
+			}
+			if res.Found {
+				out[ti][ri] = res.HCfirst
+			}
+		}
+	}
+	if err := t.b.SetTemperature(50); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+package rowhammer
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/rng"
+	"rowhammer/internal/softmc"
+)
+
+// patternRadius is how many rows on each side of the victim are
+// initialized with the data pattern (Table 1: V±[1..8]).
+const patternRadius = 8
+
+// Tester drives the §4.2 RowHammer methodology against one bench.
+type Tester struct {
+	b *Bench
+	// rowMap translates physical row indexes to the logical addresses
+	// the controller must issue. It defaults to the module's real
+	// mapping (the oracle); RecoverMapping derives it experimentally.
+	rowMap dram.RemapScheme
+	// patternSeed feeds the random data pattern.
+	patternSeed uint64
+}
+
+// NewTester returns a Tester using the module's internal mapping as
+// the physical-address oracle (as if reverse engineering already ran;
+// use RecoverMapping to derive it from measurements instead).
+func NewTester(b *Bench) *Tester {
+	return &Tester{b: b, rowMap: b.Module.Remap(), patternSeed: rng.Hash64(b.Seed, 0xd7)}
+}
+
+// UseMapping overrides the physical→logical row mapping.
+func (t *Tester) UseMapping(m dram.RemapScheme) { t.rowMap = m }
+
+// Bench returns the device under test.
+func (t *Tester) Bench() *Bench { return t.b }
+
+// InitPattern writes the Table 1 pattern into the victim and its
+// ±8 physical neighbors (public entry point for attack/defense
+// harnesses built on top of the Tester).
+func (t *Tester) InitPattern(bank, victimPhys int, pat dram.PatternKind) error {
+	return t.writePattern(bank, victimPhys, pat)
+}
+
+// ReadFlips reads a physical row and returns the bits differing from
+// the pattern written for the given victim-relative position.
+func (t *Tester) ReadFlips(bank, phys, victimPhys int, pat dram.PatternKind) (FlipSet, error) {
+	return t.readRowFlips(bank, phys, victimPhys, pat)
+}
+
+// LogicalRow converts a physical row index to the controller-visible
+// address under the Tester's current mapping.
+func (t *Tester) LogicalRow(phys int) int { return t.logical(phys) }
+
+// logical converts a physical row index to its controller-visible
+// address.
+func (t *Tester) logical(phys int) int { return t.rowMap.ToLogical(phys) }
+
+// HammerConfig describes one double-sided RowHammer test.
+type HammerConfig struct {
+	Bank int
+	// VictimPhys is the physical row index of the double-sided victim.
+	VictimPhys int
+	// Hammers is the number of aggressor-pair activations.
+	Hammers int64
+	// AggOnNs/AggOffNs are the aggressor on/off times; zero means the
+	// timing minimums (tRAS/tRP), the paper's baseline.
+	AggOnNs, AggOffNs float64
+	// Pattern is the data pattern written to V±[0..8].
+	Pattern dram.PatternKind
+	// Trial salts measurement noise; each repetition uses a distinct
+	// trial number.
+	Trial uint64
+}
+
+// FlipSet records the bit flips observed in one row after a test.
+type FlipSet struct {
+	// Bits are the flipped bit indexes within the row.
+	Bits []int
+}
+
+// Count returns the number of flips.
+func (f FlipSet) Count() int { return len(f.Bits) }
+
+// HammerResult is the outcome of one double-sided test: flips in the
+// victim (distance 0) and in the two single-sided victims (±2).
+type HammerResult struct {
+	Victim    FlipSet
+	SingleLo  FlipSet // physical victim-2
+	SingleHi  FlipSet // physical victim+2
+	DurationP dram.Picos
+}
+
+// TotalFlips returns flips across all three observed rows.
+func (r HammerResult) TotalFlips() int {
+	return r.Victim.Count() + r.SingleLo.Count() + r.SingleHi.Count()
+}
+
+// validateVictim checks that a double-sided attack on the victim is
+// physically possible.
+func (t *Tester) validateVictim(bank, victim int) error {
+	g := t.b.Geometry()
+	if bank < 0 || bank >= g.Banks {
+		return fmt.Errorf("rowhammer: bank %d out of range", bank)
+	}
+	if victim < 1 || victim >= g.RowsPerBank-1 {
+		return fmt.Errorf("rowhammer: victim row %d has no physical neighbor", victim)
+	}
+	if !g.SameSubarray(victim-1, victim) || !g.SameSubarray(victim, victim+1) {
+		return fmt.Errorf("rowhammer: victim row %d sits on a subarray edge", victim)
+	}
+	return nil
+}
+
+// writePattern initializes the victim and its ±patternRadius physical
+// neighbors with the pattern, via regular WR commands.
+func (t *Tester) writePattern(bank, victim int, pat dram.PatternKind) error {
+	g := t.b.Geometry()
+	tm := t.b.Timing()
+	bld := softmc.NewBuilder(tm.TCK)
+	for phys := victim - patternRadius; phys <= victim+patternRadius; phys++ {
+		if phys < 0 || phys >= g.RowsPerBank {
+			continue
+		}
+		logical := t.logical(phys)
+		bld.Act(bank, logical).Wait(tm.TRCD)
+		dist := phys - victim
+		for col := 0; col < g.ColumnsPerRow; col++ {
+			bld.Wr(bank, col, pat.FillWord(t.patternSeed, bank, phys, dist, col))
+			bld.Wait(tm.TCCD)
+		}
+		bld.Wait(tm.TRAS). // generous: covers tWR and the tRAS remainder
+					Pre(bank).Wait(tm.TRP)
+	}
+	_, err := t.b.Exec.Run(bld.Program())
+	return err
+}
+
+// readRowFlips reads one physical row and returns the bits that differ
+// from the pattern it was initialized with. Reading activates the row,
+// which senses (and materializes) any accumulated disturbance first —
+// exactly as on hardware.
+func (t *Tester) readRowFlips(bank, phys, victim int, pat dram.PatternKind) (FlipSet, error) {
+	g := t.b.Geometry()
+	tm := t.b.Timing()
+	bld := softmc.NewBuilder(tm.TCK)
+	bld.Act(bank, t.logical(phys)).Wait(tm.TRCD)
+	for col := 0; col < g.ColumnsPerRow; col++ {
+		bld.Rd(bank, col)
+		bld.Wait(tm.TCCD)
+	}
+	bld.Wait(tm.TRAS).Pre(bank).Wait(tm.TRP)
+	res, err := t.b.Exec.Run(bld.Program())
+	if err != nil {
+		return FlipSet{}, err
+	}
+	dist := phys - victim
+	var flips FlipSet
+	for col, got := range res.Reads {
+		want := pat.FillWord(t.patternSeed, bank, phys, dist, col)
+		diff := got ^ want
+		for diff != 0 {
+			flips.Bits = append(flips.Bits, col*64+bits.TrailingZeros64(diff))
+			diff &= diff - 1
+		}
+	}
+	return flips, nil
+}
+
+// Hammer runs one complete double-sided RowHammer test: initialize
+// data, hammer, read back the double-sided and single-sided victims.
+func (t *Tester) Hammer(cfg HammerConfig) (HammerResult, error) {
+	if err := t.validateVictim(cfg.Bank, cfg.VictimPhys); err != nil {
+		return HammerResult{}, err
+	}
+	if cfg.Hammers < 0 {
+		return HammerResult{}, fmt.Errorf("rowhammer: negative hammer count")
+	}
+	t.b.Model.SetSalt(cfg.Trial)
+	defer t.b.Model.SetSalt(0)
+
+	if err := t.writePattern(cfg.Bank, cfg.VictimPhys, cfg.Pattern); err != nil {
+		return HammerResult{}, err
+	}
+
+	tm := t.b.Timing()
+	aggOn := tm.TRAS
+	if cfg.AggOnNs > 0 {
+		aggOn = dram.PicosFromNs(cfg.AggOnNs)
+	}
+	aggOff := tm.TRP
+	if cfg.AggOffNs > 0 {
+		aggOff = dram.PicosFromNs(cfg.AggOffNs)
+	}
+	aggressors := []int{t.logical(cfg.VictimPhys - 1), t.logical(cfg.VictimPhys + 1)}
+	bld := softmc.NewBuilder(tm.TCK)
+	bld.Hammer(cfg.Bank, aggressors, cfg.Hammers, aggOn, aggOff)
+	start := t.b.Exec.Now()
+	if _, err := t.b.Exec.Run(bld.Program()); err != nil {
+		return HammerResult{}, err
+	}
+
+	var out HammerResult
+	out.DurationP = t.b.Exec.Now() - start
+	var err error
+	if out.Victim, err = t.readRowFlips(cfg.Bank, cfg.VictimPhys, cfg.VictimPhys, cfg.Pattern); err != nil {
+		return out, err
+	}
+	g := t.b.Geometry()
+	if cfg.VictimPhys-2 >= 0 {
+		if out.SingleLo, err = t.readRowFlips(cfg.Bank, cfg.VictimPhys-2, cfg.VictimPhys, cfg.Pattern); err != nil {
+			return out, err
+		}
+	}
+	if cfg.VictimPhys+2 < g.RowsPerBank {
+		if out.SingleHi, err = t.readRowFlips(cfg.Bank, cfg.VictimPhys+2, cfg.VictimPhys, cfg.Pattern); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// WorstCasePattern finds the module's worst-case data pattern (WCDP):
+// the Table 1 pattern maximizing bit flips on the sampled victim rows
+// (§4.2).
+func (t *Tester) WorstCasePattern(bank int, victims []int, hammers int64) (dram.PatternKind, error) {
+	best := dram.PatColStripe
+	bestFlips := -1
+	for _, pat := range dram.AllPatterns {
+		total := 0
+		for _, v := range victims {
+			res, err := t.Hammer(HammerConfig{
+				Bank: bank, VictimPhys: v, Hammers: hammers, Pattern: pat, Trial: 1,
+			})
+			if err != nil {
+				return best, err
+			}
+			total += res.Victim.Count()
+		}
+		if total > bestFlips {
+			bestFlips = total
+			best = pat
+		}
+	}
+	return best, nil
+}
+
+// BER measures the bit error rate of a victim row: the number of
+// RowHammer bit flips at the given hammer count, using the worst case
+// over the configured repetitions (the paper repeats five times).
+func (t *Tester) BER(cfg HammerConfig, repetitions int) (HammerResult, error) {
+	if repetitions < 1 {
+		repetitions = 1
+	}
+	var worst HammerResult
+	for rep := 0; rep < repetitions; rep++ {
+		c := cfg
+		c.Trial = uint64(rep) + 1
+		res, err := t.Hammer(c)
+		if err != nil {
+			return worst, err
+		}
+		if rep == 0 || res.Victim.Count() > worst.Victim.Count() {
+			worst = res
+		}
+	}
+	return worst, nil
+}
