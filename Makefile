@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent packages: the campaign engine, the worker
+# pool it is built on, and the experiment drivers that fan out per
+# manufacturer.
+race:
+	$(GO) test -race ./internal/campaign/... ./internal/pool/... ./internal/exp/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench CampaignFleet -run '^$$' -benchtime 3x .
+
+check: build vet test race

@@ -6,13 +6,16 @@
 //	rhchar -list
 //	rhchar -exp fig11
 //	rhchar -exp all -scale default
-//	rhchar -exp fig3 -scale paper -seed 42
+//	rhchar -exp fig3 -scale paper -seed 42 -workers 8 -timeout 10m
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	rh "rowhammer"
@@ -21,10 +24,12 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id to run (or \"all\")")
-		scale = flag.String("scale", "default", "measurement scale: tiny, default, paper")
-		seed  = flag.Uint64("seed", 0x5eed, "master seed for module instances")
-		list  = flag.Bool("list", false, "list available experiments")
+		expID   = flag.String("exp", "", "experiment id to run (or \"all\")")
+		scale   = flag.String("scale", "default", "measurement scale: tiny, default, paper")
+		seed    = flag.Uint64("seed", 0x5eed, "master seed for module instances")
+		list    = flag.Bool("list", false, "list available experiments")
+		workers = flag.Int("workers", 0, "max concurrent manufacturers (0 = one per CPU)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -39,7 +44,7 @@ func main() {
 		return
 	}
 
-	cfg := exp.Config{Seed: *seed, Out: os.Stdout}
+	cfg := exp.Config{Seed: *seed, Out: os.Stdout, Workers: *workers}
 	switch *scale {
 	case "tiny":
 		cfg.Scale = rh.Scale{RowsPerRegion: 10, Regions: 2, Hammers: 150_000, MaxHammers: 512_000, Repetitions: 1, ModulesPerMfr: 2}
@@ -54,11 +59,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	run := func(e exp.Experiment) {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", e.ID, err)
+		if err := e.Run(ctx, cfg); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "rhchar: %s aborted: %v\n", e.ID, ctx.Err())
+			} else {
+				fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", e.ID, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,228 @@
+// Command rhfleet runs fleet-scale characterization campaigns: many
+// module instances per manufacturer, measured in parallel on a bounded
+// worker pool, with JSONL checkpointing so an interrupted campaign
+// resumes exactly where it stopped — and, because aggregation is
+// order-independent, produces a bit-identical fleet summary.
+//
+// Usage:
+//
+//	rhfleet -mfrs A,B,C,D -modules 16 -exp hcfirst -workers 8 -out fleet.jsonl
+//	rhfleet -exp ber -modules 8 -out ber.jsonl -summary ber-summary.json
+//	rhfleet -resume fleet.jsonl -mfrs A,B,C,D -modules 16 -exp hcfirst -out fleet.jsonl
+//	rhfleet -spec campaign.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	rh "rowhammer"
+)
+
+func main() {
+	var (
+		mfrs    = flag.String("mfrs", "A,B,C,D", "comma-separated manufacturer profiles")
+		modules = flag.Int("modules", 4, "module instances per manufacturer")
+		expKind = flag.String("exp", "hcfirst", "experiment kind: "+strings.Join(rh.CampaignKinds(), ", "))
+		seed    = flag.Uint64("seed", 0x5eed, "master seed (module seeds derive from it)")
+		scale   = flag.String("scale", "default", "measurement scale: tiny, default, paper")
+		temps   = flag.String("temps", "", "comma-separated BER temperature grid in °C (default: 50-90 in 5° steps)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
+		retries = flag.Int("retries", 1, "retries per failed job")
+		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = no limit)")
+		out     = flag.String("out", "fleet.jsonl", "JSONL checkpoint output path")
+		resume  = flag.String("resume", "", "resume from a JSONL checkpoint (skips completed jobs)")
+		sumOut  = flag.String("summary", "", "also write the fleet summary JSON to this path")
+		specIn  = flag.String("spec", "", "load the campaign spec from a JSON file (flags above are ignored)")
+		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*specIn, *mfrs, *modules, *expKind, *seed, *scale, *temps, *workers, *retries)
+	if err != nil {
+		fatal(err)
+	}
+	// Validate before touching the output file: a typo'd -exp must not
+	// truncate an existing checkpoint.
+	if err := validKind(spec.Kind); err != nil {
+		fatal(err)
+	}
+
+	resumeRecs := map[string]rh.CampaignRecord{}
+	if *resume != "" {
+		resumeRecs, err = rh.LoadCampaignCheckpoint(*resume)
+		if err != nil {
+			fatal(fmt.Errorf("loading resume checkpoint: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "rhfleet: resuming with %d checkpointed records from %s\n", len(resumeRecs), *resume)
+	}
+
+	// Append when resuming into the same file so the checkpoint stays a
+	// complete record of the campaign; otherwise start fresh.
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if *resume == *out {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(*out, mode, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := rh.CampaignOptions{Checkpoint: f, Resume: resumeRecs}
+	start := time.Now()
+	if !*quiet {
+		opts.Progress = func(done, total int, rec rh.CampaignRecord) {
+			status := "ok"
+			if rec.Err != "" {
+				status = "FAILED: " + rec.Err
+			}
+			fmt.Fprintf(os.Stderr, "rhfleet: [%d/%d] %-24s %s (%.1fs elapsed)\n",
+				done, total, rec.Key, status, time.Since(start).Seconds())
+		}
+	}
+
+	res, err := rh.RunCampaign(ctx, spec, opts)
+	if res != nil {
+		fmt.Fprintf(os.Stderr, "rhfleet: %d run, %d resumed, %d failed in %v\n",
+			res.Completed, res.Skipped, res.Failed, time.Since(start).Round(time.Millisecond))
+		summary, merr := res.Summary.MarshalIndent()
+		if merr != nil {
+			fatal(merr)
+		}
+		fmt.Println(string(summary))
+		if *sumOut != "" {
+			if werr := os.WriteFile(*sumOut, append(summary, '\n'), 0o644); werr != nil {
+				fatal(werr)
+			}
+		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "rhfleet: interrupted (%v); resume with -resume %s\n", err, *out)
+			os.Exit(3)
+		}
+		fatal(err)
+	}
+}
+
+// buildSpec assembles the campaign spec from a JSON file or flags.
+func buildSpec(specPath, mfrs string, modules int, kind string, seed uint64, scale, temps string, workers, retries int) (rh.CampaignSpec, error) {
+	var spec rh.CampaignSpec
+	if specPath != "" {
+		b, err := os.ReadFile(specPath)
+		if err != nil {
+			return spec, err
+		}
+		var js jsonSpec
+		if err := json.Unmarshal(b, &js); err != nil {
+			return spec, fmt.Errorf("parsing %s: %w", specPath, err)
+		}
+		return js.toSpec()
+	}
+	spec = rh.CampaignSpec{
+		Kind:          kind,
+		ModulesPerMfr: modules,
+		Seed:          seed,
+		Workers:       workers,
+		MaxRetries:    retries,
+	}
+	for _, m := range strings.Split(mfrs, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			spec.Mfrs = append(spec.Mfrs, m)
+		}
+	}
+	if temps != "" {
+		for _, t := range strings.Split(temps, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad -temps value %q: %w", t, err)
+			}
+			spec.Temps = append(spec.Temps, v)
+		}
+	}
+	if err := applyScale(&spec, scale); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// jsonSpec is the -spec file schema.
+type jsonSpec struct {
+	Kind          string    `json:"kind"`
+	Mfrs          []string  `json:"mfrs"`
+	ModulesPerMfr int       `json:"modules_per_mfr"`
+	Seed          uint64    `json:"seed"`
+	Scale         string    `json:"scale"`
+	Temps         []float64 `json:"temps"`
+	Workers       int       `json:"workers"`
+	MaxRetries    int       `json:"max_retries"`
+}
+
+func (js jsonSpec) toSpec() (rh.CampaignSpec, error) {
+	spec := rh.CampaignSpec{
+		Kind:          js.Kind,
+		Mfrs:          js.Mfrs,
+		ModulesPerMfr: js.ModulesPerMfr,
+		Seed:          js.Seed,
+		Temps:         js.Temps,
+		Workers:       js.Workers,
+		MaxRetries:    js.MaxRetries,
+	}
+	if js.Scale == "" {
+		js.Scale = "default"
+	}
+	err := applyScale(&spec, js.Scale)
+	return spec, err
+}
+
+// applyScale resolves a named measurement scale.
+func applyScale(spec *rh.CampaignSpec, name string) error {
+	switch name {
+	case "tiny":
+		spec.Scale = rh.Scale{RowsPerRegion: 10, Regions: 2, Hammers: 150_000, MaxHammers: 512_000, Repetitions: 1, ModulesPerMfr: 2}
+		spec.Geometry = rh.Geometry{Banks: 1, RowsPerBank: 512, SubarrayRows: 128, Chips: 8, ChipWidth: 8, ColumnsPerRow: 32}
+	case "default":
+		spec.Scale = rh.DefaultScale()
+	case "paper":
+		spec.Scale = rh.PaperScale()
+		spec.Geometry = rh.Geometry{Banks: 4, RowsPerBank: 65536, SubarrayRows: 512, Chips: 8, ChipWidth: 8, ColumnsPerRow: 128}
+	default:
+		return fmt.Errorf("unknown scale %q (tiny, default, paper)", name)
+	}
+	return nil
+}
+
+// validKind rejects unknown experiment kinds (empty defaults later).
+func validKind(kind string) error {
+	if kind == "" {
+		return nil
+	}
+	for _, k := range rh.CampaignKinds() {
+		if kind == k {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment kind %q (have %s)", kind, strings.Join(rh.CampaignKinds(), ", "))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rhfleet: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,176 @@
+package rowhammer
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"rowhammer/internal/campaign"
+)
+
+// Fleet campaigns: the population-scale front door of the package.
+// The paper's contribution is a 272-chip population study; RunCampaign
+// reproduces that shape of work — many module instances characterized
+// in parallel, checkpointed, and merged into order-independent fleet
+// statistics.
+
+// The campaign experiment kinds.
+const (
+	CampaignHCFirst = campaign.KindHCFirst
+	CampaignBER     = campaign.KindBER
+	CampaignWCDP    = campaign.KindWCDP
+	CampaignSpatial = campaign.KindSpatial
+)
+
+// CampaignKinds lists the supported per-module experiment kinds.
+func CampaignKinds() []string { return campaign.Kinds() }
+
+// CampaignRecord is one module's checkpointed measurement record.
+type CampaignRecord = campaign.Record
+
+// CampaignSummary is the order-independent fleet aggregate.
+type CampaignSummary = campaign.Summary
+
+// CampaignSpec declares a fleet characterization campaign.
+type CampaignSpec struct {
+	// Kind selects the per-module experiment (Campaign* constants);
+	// empty selects CampaignHCFirst.
+	Kind string
+	// Mfrs lists manufacturer profiles; empty selects A, B, C, D.
+	Mfrs []string
+	// ModulesPerMfr is the fleet width per manufacturer (default 4).
+	ModulesPerMfr int
+	// Seed is the master seed; module seeds derive via ModuleSeed.
+	Seed uint64
+	// Scale bounds per-module work; zero selects DefaultScale().
+	Scale Scale
+	// Geometry of the modules; zero selects DefaultDDR4Geometry().
+	Geometry Geometry
+	// Temps is the temperature grid of BER campaigns; empty selects
+	// StudyTemps().
+	Temps []float64
+	// Workers bounds the worker pool (< 1 selects NumCPU).
+	Workers int
+	// MaxRetries bounds per-job retries (default 1).
+	MaxRetries int
+}
+
+// CampaignOptions controls checkpointing and progress reporting.
+type CampaignOptions struct {
+	// Checkpoint, when non-nil, receives one JSONL record per finished
+	// job as it completes.
+	Checkpoint io.Writer
+	// Resume holds records of a previous run (LoadCampaignCheckpoint);
+	// their jobs are skipped.
+	Resume map[string]CampaignRecord
+	// Progress, when non-nil, is called after every finished job.
+	Progress func(done, total int, rec CampaignRecord)
+}
+
+// CampaignResult is the outcome of a campaign run.
+type CampaignResult struct {
+	// Records maps job key → record, including resumed records.
+	Records map[string]CampaignRecord
+	// Summary is the order-independent fleet aggregate of the records;
+	// interrupted+resumed campaigns produce bit-identical summaries to
+	// uninterrupted ones.
+	Summary CampaignSummary
+	// Completed counts jobs run by this invocation, Skipped jobs
+	// adopted from Resume, Failed jobs that exhausted retries.
+	Completed, Skipped, Failed int
+}
+
+// LoadCampaignCheckpoint reads a JSONL checkpoint file for
+// CampaignOptions.Resume. A missing file yields an empty map.
+func LoadCampaignCheckpoint(path string) (map[string]CampaignRecord, error) {
+	return campaign.LoadCheckpointFile(path)
+}
+
+// WriteCampaignRecord appends one record to a JSONL checkpoint stream.
+func WriteCampaignRecord(w io.Writer, rec CampaignRecord) error {
+	return campaign.WriteRecord(w, rec)
+}
+
+// RunCampaign expands the spec into per-module jobs, runs them on a
+// bounded worker pool with panic recovery and bounded retry, streams
+// records to the checkpoint, and aggregates the fleet summary. On
+// cancellation it returns the partial result together with ctx's
+// error; the checkpoint can be resumed via CampaignOptions.Resume.
+func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (*CampaignResult, error) {
+	scale := spec.Scale
+	if scale == (Scale{}) {
+		scale = DefaultScale()
+	}
+	geom := spec.Geometry
+	if geom == (Geometry{}) {
+		geom = DefaultDDR4Geometry()
+	}
+	cspec := campaign.Spec{
+		Kind:          spec.Kind,
+		Mfrs:          spec.Mfrs,
+		ModulesPerMfr: spec.ModulesPerMfr,
+		Seed:          spec.Seed,
+		Workers:       spec.Workers,
+		MaxRetries:    spec.MaxRetries,
+		Temps:         spec.Temps,
+	}
+	res, err := campaign.Run(ctx, cspec, campaign.Options{
+		Runner:     moduleRunner(scale, geom),
+		Checkpoint: opts.Checkpoint,
+		Done:       opts.Resume,
+		Progress:   opts.Progress,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return &CampaignResult{
+		Records:   res.Records,
+		Summary:   campaign.Aggregate(res),
+		Completed: res.Completed,
+		Skipped:   res.Skipped,
+		Failed:    res.Failed,
+	}, err
+}
+
+// moduleRunner builds the campaign runner that measures one real
+// module bench per job via the per-module measurement cores.
+func moduleRunner(scale Scale, geom Geometry) campaign.Runner {
+	return func(ctx context.Context, spec campaign.Spec, job campaign.Job) (campaign.Record, error) {
+		profile := ProfileByName(job.Mfr)
+		if profile == nil {
+			return campaign.Record{}, fmt.Errorf("rowhammer: unknown manufacturer profile %q", job.Mfr)
+		}
+		seed := ModuleSeed(spec.Seed, job.Mfr, job.Module)
+		b, err := NewBench(BenchConfig{Profile: profile, Seed: seed, Geometry: geom})
+		if err != nil {
+			return campaign.Record{}, err
+		}
+		t := NewTester(b)
+		scope := MeasureScope{Scale: scale, Temps: spec.Temps}
+
+		var pat PatternKind
+		var metrics map[string]float64
+		var series map[string][]float64
+		switch job.Kind {
+		case campaign.KindHCFirst:
+			pat, metrics, series, err = t.MeasureModuleHCFirst(ctx, scope)
+		case campaign.KindBER:
+			pat, metrics, series, err = t.MeasureModuleBER(ctx, scope)
+		case campaign.KindWCDP:
+			pat, metrics, series, err = t.MeasureModuleWCDP(ctx, scope)
+		case campaign.KindSpatial:
+			pat, metrics, series, err = t.MeasureModuleSpatial(ctx, scope)
+		default:
+			err = fmt.Errorf("rowhammer: unknown campaign kind %q", job.Kind)
+		}
+		if err != nil {
+			return campaign.Record{}, err
+		}
+		return campaign.Record{
+			Seed:    seed,
+			Pattern: pat.String(),
+			Metrics: metrics,
+			Series:  series,
+		}, nil
+	}
+}

@@ -1,0 +1,39 @@
+package rowhammer
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkCampaignFleet measures campaign throughput in jobs/sec on a
+// 32-module hcfirst fleet (8 modules x 4 mfrs), comparing a serial
+// worker pool against one worker per CPU. Run with:
+//
+//	go test -bench CampaignFleet -run '^$' .
+func BenchmarkCampaignFleet(b *testing.B) {
+	const modulesPerMfr = 8 // x4 mfrs = 32 modules
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := tinyFleetSpec(CampaignHCFirst, modulesPerMfr)
+			spec.Workers = workers
+			jobs := len(spec.Mfrs) * modulesPerMfr
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := RunCampaign(context.Background(), spec, CampaignOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != jobs {
+					b.Fatalf("completed %d jobs, want %d", res.Completed, jobs)
+				}
+			}
+			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		})
+	}
+}

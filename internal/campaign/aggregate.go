@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"rowhammer/internal/stats"
+)
+
+// MetricSummary pairs a metric name with its population statistics.
+type MetricSummary struct {
+	Metric string        `json:"metric"`
+	Stats  stats.Summary `json:"stats"`
+}
+
+// MfrSummary aggregates every successful module record of one
+// manufacturer.
+type MfrSummary struct {
+	Mfr     string          `json:"mfr"`
+	Modules int             `json:"modules"`
+	Metrics []MetricSummary `json:"metrics,omitempty"`
+}
+
+// Summary is the fleet-level aggregate of a campaign. It is computed
+// from the record *set* (sorted by job key, metric values sorted by
+// the summarizer), so it is invariant under completion order — the
+// property that makes interrupted+resumed campaigns bit-identical to
+// uninterrupted ones.
+type Summary struct {
+	Kind    string          `json:"kind"`
+	Seed    uint64          `json:"seed"`
+	Jobs    int             `json:"jobs"`
+	Done    int             `json:"done"`
+	Failed  int             `json:"failed"`
+	Mfrs    []MfrSummary    `json:"per_mfr,omitempty"`
+	Fleet   []MetricSummary `json:"fleet,omitempty"`
+	Pattern map[string]int  `json:"patterns,omitempty"`
+}
+
+// Aggregate merges the result's records into a fleet summary. Failed
+// records contribute to the Failed count only; their metrics are
+// excluded.
+func Aggregate(res *Result) Summary {
+	sum := Summary{
+		Kind: res.Spec.Kind,
+		Seed: res.Spec.Seed,
+		Jobs: len(Expand(res.Spec)),
+	}
+	// Canonical record order: sorted job keys.
+	perMfr := make(map[string]map[string][]float64) // mfr -> metric -> values
+	fleet := make(map[string][]float64)
+	modules := make(map[string]int)
+	patterns := make(map[string]int)
+	for _, key := range sortedKeys(res.Records) {
+		rec := res.Records[key]
+		if rec.Failed() {
+			sum.Failed++
+			continue
+		}
+		sum.Done++
+		modules[rec.Mfr]++
+		if rec.Pattern != "" {
+			patterns[rec.Pattern]++
+		}
+		if perMfr[rec.Mfr] == nil {
+			perMfr[rec.Mfr] = make(map[string][]float64)
+		}
+		for _, m := range sortedNames(rec.Metrics) {
+			v := rec.Metrics[m]
+			perMfr[rec.Mfr][m] = append(perMfr[rec.Mfr][m], v)
+			fleet[m] = append(fleet[m], v)
+		}
+	}
+	for _, mfr := range res.Spec.Mfrs {
+		byMetric, ok := perMfr[mfr]
+		if !ok {
+			continue
+		}
+		ms := MfrSummary{Mfr: mfr, Modules: modules[mfr]}
+		for _, m := range sortedNames(byMetric) {
+			ms.Metrics = append(ms.Metrics, MetricSummary{Metric: m, Stats: stats.Summarize(byMetric[m])})
+		}
+		sum.Mfrs = append(sum.Mfrs, ms)
+	}
+	for _, m := range sortedNames(fleet) {
+		sum.Fleet = append(sum.Fleet, MetricSummary{Metric: m, Stats: stats.Summarize(fleet[m])})
+	}
+	if len(patterns) > 0 {
+		sum.Pattern = patterns
+	}
+	return sum
+}
+
+// MarshalIndent renders the summary as deterministic, human-diffable
+// JSON: struct field order is fixed and all maps serialize with sorted
+// keys, so two summaries are bit-identical iff their contents are.
+func (s Summary) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders a compact fixed-order textual summary for terminals.
+func (s Summary) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %s: %d/%d jobs done", s.Kind, s.Done, s.Jobs)
+	if s.Failed > 0 {
+		fmt.Fprintf(&b, " (%d failed)", s.Failed)
+	}
+	b.WriteByte('\n')
+	for _, ms := range s.Mfrs {
+		fmt.Fprintf(&b, "  Mfr. %s (%d modules)\n", ms.Mfr, ms.Modules)
+		for _, m := range ms.Metrics {
+			fmt.Fprintf(&b, "    %-18s n=%-4d min=%.4g p50=%.4g p90=%.4g max=%.4g mean=%.4g\n",
+				m.Metric, m.Stats.N, m.Stats.Min, m.Stats.Median, m.Stats.P90, m.Stats.Max, m.Stats.Mean)
+		}
+	}
+	if len(s.Fleet) > 0 {
+		fmt.Fprintf(&b, "  fleet\n")
+		for _, m := range s.Fleet {
+			fmt.Fprintf(&b, "    %-18s n=%-4d min=%.4g p50=%.4g p90=%.4g max=%.4g mean=%.4g\n",
+				m.Metric, m.Stats.N, m.Stats.Min, m.Stats.Median, m.Stats.P90, m.Stats.Max, m.Stats.Mean)
+		}
+	}
+	return b.String()
+}
+
+// sortedNames returns a string-keyed map's keys in canonical order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,157 @@
+// Package campaign implements a deterministic fleet-characterization
+// engine: it expands a campaign specification (manufacturers × module
+// instances × experiment kind) into per-module jobs, runs them on a
+// bounded worker pool with cancellation, panic recovery and bounded
+// retry, streams completed records to a JSONL checkpoint, and merges
+// per-module records into order-independent fleet aggregates — so an
+// interrupted-and-resumed campaign produces bit-identical summaries to
+// an uninterrupted one.
+//
+// The package is measurement-agnostic: jobs are executed by a Runner
+// callback supplied by the caller (the public rowhammer.RunCampaign
+// API wires it to the per-module measurement cores), which keeps this
+// engine free of import cycles and lets tests inject fault-injecting
+// runners.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rowhammer/internal/pool"
+)
+
+// The built-in experiment kinds a campaign can run per module.
+// They mirror the paper's characterization axes: HCfirst sweeps
+// (Fig. 11), BER across a temperature grid (§5), worst-case data
+// pattern surveys (§4.2/Table 1), and spatial subarray profiles (§7).
+const (
+	KindHCFirst = "hcfirst"
+	KindBER     = "ber"
+	KindWCDP    = "wcdp"
+	KindSpatial = "spatial"
+)
+
+// Kinds lists the built-in experiment kinds.
+func Kinds() []string { return []string{KindHCFirst, KindBER, KindWCDP, KindSpatial} }
+
+// ValidKind reports whether kind names a built-in experiment kind.
+func ValidKind(kind string) bool {
+	for _, k := range Kinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Spec declares a fleet campaign. The zero value is normalized to a
+// four-manufacturer, four-modules-each HCfirst campaign.
+type Spec struct {
+	// Kind selects the per-module experiment (Kind* constants).
+	Kind string `json:"kind"`
+	// Mfrs lists the manufacturer profiles to cover.
+	Mfrs []string `json:"mfrs"`
+	// ModulesPerMfr is the number of module instances per manufacturer.
+	ModulesPerMfr int `json:"modules_per_mfr"`
+	// Seed is the master seed; per-module seeds are derived from it by
+	// the runner, which is what makes the whole campaign deterministic.
+	Seed uint64 `json:"seed"`
+	// Workers bounds the worker pool (< 1 selects NumCPU).
+	Workers int `json:"workers,omitempty"`
+	// MaxRetries is how many times a failed or panicked job is retried
+	// before it is reported as failed (default 1).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Temps is the temperature grid of BER campaigns; empty selects the
+	// runner's default grid.
+	Temps []float64 `json:"temps,omitempty"`
+}
+
+// Normalize fills Spec defaults and validates the kind.
+func (s Spec) Normalize() (Spec, error) {
+	if s.Kind == "" {
+		s.Kind = KindHCFirst
+	}
+	if !ValidKind(s.Kind) {
+		return s, fmt.Errorf("campaign: unknown experiment kind %q (have %s)",
+			s.Kind, strings.Join(Kinds(), ", "))
+	}
+	if len(s.Mfrs) == 0 {
+		s.Mfrs = []string{"A", "B", "C", "D"}
+	}
+	if s.ModulesPerMfr < 1 {
+		s.ModulesPerMfr = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 0x5eed
+	}
+	if s.Workers < 1 {
+		s.Workers = pool.DefaultWorkers()
+	}
+	if s.MaxRetries < 0 {
+		s.MaxRetries = 0
+	} else if s.MaxRetries == 0 {
+		s.MaxRetries = 1
+	}
+	return s, nil
+}
+
+// Job is one unit of campaign work: one experiment on one module
+// instance of one manufacturer.
+type Job struct {
+	Kind   string `json:"kind"`
+	Mfr    string `json:"mfr"`
+	Module int    `json:"module"`
+}
+
+// Key returns the job's stable identity, used for checkpoint matching
+// and order-independent aggregation.
+func (j Job) Key() string { return fmt.Sprintf("%s/%s/%d", j.Kind, j.Mfr, j.Module) }
+
+// Expand lists every job of the spec in a deterministic canonical
+// order (manufacturers as given, module indexes ascending).
+func Expand(spec Spec) []Job {
+	jobs := make([]Job, 0, len(spec.Mfrs)*spec.ModulesPerMfr)
+	for _, mfr := range spec.Mfrs {
+		for i := 0; i < spec.ModulesPerMfr; i++ {
+			jobs = append(jobs, Job{Kind: spec.Kind, Mfr: mfr, Module: i})
+		}
+	}
+	return jobs
+}
+
+// Record is the result of one job — the unit streamed to the JSONL
+// checkpoint. Metrics and Series use maps so every experiment kind
+// shares one schema; encoding/json sorts map keys, which keeps the
+// serialized form deterministic.
+type Record struct {
+	Key     string `json:"key"`
+	Kind    string `json:"kind"`
+	Mfr     string `json:"mfr"`
+	Module  int    `json:"module"`
+	Seed    uint64 `json:"seed"`
+	Pattern string `json:"pattern,omitempty"`
+	// Attempts is how many runs the job needed (retries included).
+	Attempts int `json:"attempts,omitempty"`
+	// Err is set when the job exhausted its retries; failed records are
+	// re-run on resume.
+	Err string `json:"err,omitempty"`
+	// Metrics holds the scalar measurements of the module.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Series holds vector measurements (e.g. per-temperature BER).
+	Series map[string][]float64 `json:"series,omitempty"`
+}
+
+// Failed reports whether the record describes a failed job.
+func (r Record) Failed() bool { return r.Err != "" }
+
+// sortedKeys returns the record map's keys in canonical order.
+func sortedKeys(records map[string]Record) []string {
+	keys := make([]string, 0, len(records))
+	for k := range records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteRecord appends one record to a JSONL checkpoint stream.
+// encoding/json sorts map keys, so a record's serialized form depends
+// only on its contents — never on insertion order.
+func WriteRecord(w io.Writer, rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadCheckpoint parses a JSONL checkpoint stream into a key→record
+// map suitable for Options.Done. Later lines win over earlier ones for
+// the same key, except that a successful record is never replaced by a
+// failed one (a resumed run may re-fail a job another run completed).
+// A torn trailing line — the usual artifact of killing a run mid-write
+// — is tolerated and skipped; torn or malformed interior lines are
+// reported as errors.
+func ReadCheckpoint(r io.Reader) (map[string]Record, error) {
+	out := make(map[string]Record)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// Only fatal if a later line exists: a malformed final line
+			// is a torn write from an interrupted run.
+			pendingErr = fmt.Errorf("campaign: checkpoint line %d: %w", line, err)
+			continue
+		}
+		if rec.Key == "" {
+			pendingErr = fmt.Errorf("campaign: checkpoint line %d: record has no key", line)
+			continue
+		}
+		if prev, ok := out[rec.Key]; ok && !prev.Failed() && rec.Failed() {
+			continue
+		}
+		out[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadCheckpointFile reads a JSONL checkpoint from disk. A missing
+// file yields an empty map, so "resume from a checkpoint that does not
+// exist yet" degrades to a fresh run.
+func LoadCheckpointFile(path string) (map[string]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]Record{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

@@ -1,0 +1,176 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Runner executes one job and returns its record. Runners must be
+// deterministic in (spec seed, job) and safe for concurrent use; the
+// engine adds panic recovery and retry around every call.
+type Runner func(ctx context.Context, spec Spec, job Job) (Record, error)
+
+// Options configures one engine run.
+type Options struct {
+	// Runner executes jobs (required).
+	Runner Runner
+	// Checkpoint, when non-nil, receives one JSONL record per finished
+	// job (successful or failed), written as each job completes.
+	Checkpoint io.Writer
+	// Done holds records from a previous run (see ReadCheckpoint);
+	// successful entries are adopted without re-running their jobs.
+	Done map[string]Record
+	// Progress, when non-nil, is called after every finished or skipped
+	// job with the running completion counts. It is called from the
+	// collector goroutine only, so it needs no locking.
+	Progress func(done, total int, rec Record)
+}
+
+// Result is the outcome of a campaign run.
+type Result struct {
+	Spec Spec
+	// Records maps job key → record for every job that has a result,
+	// including records adopted from a resume checkpoint.
+	Records map[string]Record
+	// Completed counts jobs run to success by this engine invocation,
+	// Skipped jobs adopted from the resume checkpoint, and Failed jobs
+	// that exhausted their retries (including cancellations).
+	Completed, Skipped, Failed int
+}
+
+// Jobs returns the total number of jobs the spec expands to.
+func (r *Result) Jobs() int { return len(Expand(r.Spec)) }
+
+// Run executes the campaign: it expands the spec, skips jobs already
+// present in opts.Done, and runs the remainder on spec.Workers
+// goroutines. Finished records are streamed to opts.Checkpoint in
+// completion order; aggregation (Aggregate) is order-independent, so
+// the checkpoint's ordering never affects the summary.
+//
+// On cancellation Run returns the partial Result together with the
+// context error; everything already checkpointed can be resumed.
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Runner == nil {
+		return nil, fmt.Errorf("campaign: Options.Runner is required")
+	}
+	jobs := Expand(spec)
+	res := &Result{Spec: spec, Records: make(map[string]Record, len(jobs))}
+
+	pending := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if rec, ok := opts.Done[j.Key()]; ok && !rec.Failed() {
+			res.Records[j.Key()] = rec
+			res.Skipped++
+			continue
+		}
+		pending = append(pending, j)
+	}
+
+	jobCh := make(chan Job)
+	recCh := make(chan Record)
+	var wg sync.WaitGroup
+	workers := spec.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				recCh <- runJob(ctx, opts.Runner, spec, j)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range pending {
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(recCh)
+	}()
+
+	done := res.Skipped
+	if opts.Progress != nil {
+		for _, k := range sortedKeys(res.Records) {
+			opts.Progress(done, len(jobs), res.Records[k])
+		}
+	}
+	var cpErr error
+	for rec := range recCh {
+		res.Records[rec.Key] = rec
+		if rec.Failed() {
+			res.Failed++
+		} else {
+			res.Completed++
+		}
+		done++
+		if opts.Checkpoint != nil && cpErr == nil {
+			cpErr = WriteRecord(opts.Checkpoint, rec)
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, len(jobs), rec)
+		}
+	}
+	if cpErr != nil {
+		return res, fmt.Errorf("campaign: writing checkpoint: %w", cpErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	if res.Failed > 0 {
+		return res, fmt.Errorf("campaign: %d of %d jobs failed", res.Failed, len(jobs))
+	}
+	return res, nil
+}
+
+// runJob executes one job with panic recovery and bounded retry.
+func runJob(ctx context.Context, runner Runner, spec Spec, job Job) Record {
+	var lastErr error
+	attempts := 0
+	for attempts <= spec.MaxRetries {
+		attempts++
+		rec, err := safeRun(ctx, runner, spec, job)
+		if err == nil {
+			rec.Key = job.Key()
+			rec.Kind = job.Kind
+			rec.Mfr = job.Mfr
+			rec.Module = job.Module
+			rec.Attempts = attempts
+			return rec
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// Cancelled mid-job: retrying would just fail again.
+			break
+		}
+	}
+	return Record{
+		Key: job.Key(), Kind: job.Kind, Mfr: job.Mfr, Module: job.Module,
+		Attempts: attempts, Err: lastErr.Error(),
+	}
+}
+
+// safeRun invokes the runner, converting a panic into an error so a
+// single bad module cannot take down the fleet run.
+func safeRun(ctx context.Context, runner Runner, spec Spec, job Job) (rec Record, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job %s panicked: %v", job.Key(), r)
+		}
+	}()
+	return runner(ctx, spec, job)
+}

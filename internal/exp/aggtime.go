@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -67,7 +68,8 @@ func Fig6(cfg Config) (Fig6Result, error) {
 }
 
 // RunFig6 prints the measured command spacings.
-func RunFig6(cfg Config) error {
+func RunFig6(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig6(cfg)
 	if err != nil {
@@ -114,7 +116,7 @@ func aggSweep(cfg Config, gridNs []float64, onSweep bool) (AggTimeResult, error)
 		cfg.Geometry.ColumnsPerRow = 128
 	}
 	var res AggTimeResult
-	perMfr, err := mapMfrs(func(mfr string) ([]AggTimePoint, error) {
+	perMfr, err := mapMfrs(cfg, func(mfr string) ([]AggTimePoint, error) {
 		bs, err := benches(cfg, mfr)
 		if err != nil {
 			return nil, err
@@ -253,7 +255,8 @@ func printAggHC(cfg Config, res AggTimeResult, label string) error {
 }
 
 // RunFig7 prints BER vs aggressor on-time.
-func RunFig7(cfg Config) error {
+func RunFig7(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := AggOnSweep(cfg)
 	if err != nil {
@@ -263,7 +266,8 @@ func RunFig7(cfg Config) error {
 }
 
 // RunFig8 prints HCfirst vs aggressor on-time.
-func RunFig8(cfg Config) error {
+func RunFig8(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := AggOnSweep(cfg)
 	if err != nil {
@@ -273,7 +277,8 @@ func RunFig8(cfg Config) error {
 }
 
 // RunFig9 prints BER vs aggressor off-time.
-func RunFig9(cfg Config) error {
+func RunFig9(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := AggOffSweep(cfg)
 	if err != nil {
@@ -283,7 +288,8 @@ func RunFig9(cfg Config) error {
 }
 
 // RunFig10 prints HCfirst vs aggressor off-time.
-func RunFig10(cfg Config) error {
+func RunFig10(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := AggOffSweep(cfg)
 	if err != nil {

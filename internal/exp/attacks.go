@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -53,7 +54,8 @@ func Attack1(cfg Config) (Attack1Result, error) {
 }
 
 // RunAttack1 prints Improvement 1.
-func RunAttack1(cfg Config) error {
+func RunAttack1(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Attack1(cfg)
 	if err != nil {
@@ -152,7 +154,8 @@ func maskLoHi(mask uint32) (lo, hi int) {
 }
 
 // RunAttack2 prints Improvement 2.
-func RunAttack2(cfg Config) error {
+func RunAttack2(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Attack2(cfg)
 	if err != nil {
@@ -301,7 +304,8 @@ func Attack3(cfg Config) (Attack3Result, error) {
 }
 
 // RunAttack3 prints Improvement 3.
-func RunAttack3(cfg Config) error {
+func RunAttack3(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Attack3(cfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -126,7 +127,8 @@ func DefCompare(cfg Config) (DefCompareResult, error) {
 }
 
 // RunDefCompare prints the comparison.
-func RunDefCompare(cfg Config) error {
+func RunDefCompare(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := DefCompare(cfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -64,7 +65,8 @@ func Defense1(cfg Config) (Defense1Result, error) {
 }
 
 // RunDefense1 prints Improvement 1.
-func RunDefense1(cfg Config) error {
+func RunDefense1(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Defense1(cfg)
 	if err != nil {
@@ -151,7 +153,8 @@ func Defense2(cfg Config) (Defense2Result, error) {
 }
 
 // RunDefense2 prints Improvement 2.
-func RunDefense2(cfg Config) error {
+func RunDefense2(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Defense2(cfg)
 	if err != nil {
@@ -231,7 +234,8 @@ func Defense3(cfg Config) (Defense3Result, error) {
 }
 
 // RunDefense3 prints Improvement 3.
-func RunDefense3(cfg Config) error {
+func RunDefense3(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Defense3(cfg)
 	if err != nil {
@@ -272,7 +276,8 @@ func Defense4(cfg Config) (Defense4Result, error) {
 }
 
 // RunDefense4 prints Improvement 4.
-func RunDefense4(cfg Config) error {
+func RunDefense4(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Defense4(cfg)
 	if err != nil {
@@ -366,7 +371,8 @@ func Defense5(cfg Config) (Defense5Result, error) {
 }
 
 // RunDefense5 prints Improvement 5.
-func RunDefense5(cfg Config) error {
+func RunDefense5(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Defense5(cfg)
 	if err != nil {
@@ -417,7 +423,8 @@ func Defense6(cfg Config) (Defense6Result, error) {
 }
 
 // RunDefense6 prints Improvement 6.
-func RunDefense6(cfg Config) error {
+func RunDefense6(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Defense6(cfg)
 	if err != nil {

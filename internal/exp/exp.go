@@ -6,12 +6,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	rh "rowhammer"
-	"rowhammer/internal/rng"
 )
 
 // Config parameterizes an experiment run.
@@ -25,6 +25,12 @@ type Config struct {
 	// Geometry of the modules under test; zero value selects the
 	// reduced-scale DDR4 geometry.
 	Geometry rh.Geometry
+	// Ctx carries cancellation and deadlines into the measurement
+	// loops; nil selects context.Background().
+	Ctx context.Context
+	// Workers bounds the per-manufacturer fan-out (< 1 selects one
+	// worker per CPU).
+	Workers int
 }
 
 // normalize fills config defaults.
@@ -41,6 +47,15 @@ func (c Config) normalize() Config {
 	if c.Seed == 0 {
 		c.Seed = 0x5eed
 	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
+	return c
+}
+
+// WithContext returns a copy of the config carrying ctx.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.Ctx = ctx
 	return c
 }
 
@@ -48,7 +63,7 @@ func (c Config) normalize() Config {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) error
+	Run   func(ctx context.Context, cfg Config) error
 }
 
 // All returns every experiment in paper order.
@@ -97,9 +112,10 @@ func ByID(id string) *Experiment {
 	return nil
 }
 
-// moduleSeed derives the seed of module instance i of a manufacturer.
+// moduleSeed derives the seed of module instance i of a manufacturer,
+// using the same derivation as fleet campaigns so results line up.
 func moduleSeed(cfg Config, mfr string, i int) uint64 {
-	return rng.Hash64(cfg.Seed, uint64(mfr[0]), uint64(i))
+	return rh.ModuleSeed(cfg.Seed, mfr, i)
 }
 
 // benches builds the configured number of module benches for one
@@ -130,16 +146,7 @@ var mfrNames = []string{"A", "B", "C", "D"}
 // sampleRows subsamples the scale's region rows down to at most n,
 // evenly spaced, preserving region coverage.
 func sampleRows(cfg Config, n int) []int {
-	rows := cfg.Scale.RegionRows(cfg.Geometry)
-	if n <= 0 || len(rows) <= n {
-		return rows
-	}
-	out := make([]int, 0, n)
-	step := float64(len(rows)) / float64(n)
-	for i := 0; i < n; i++ {
-		out = append(out, rows[int(float64(i)*step)])
-	}
-	return out
+	return cfg.Scale.SampleRows(cfg.Geometry, n)
 }
 
 // pct formats a fraction as a percentage.

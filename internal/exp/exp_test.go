@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -64,7 +65,7 @@ func TestTable2Inventory(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig()
 	cfg.Out = &buf
-	if err := RunTable2(cfg); err != nil {
+	if err := RunTable2(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "248 DDR4 chips") {
@@ -498,7 +499,7 @@ func TestRunAllPrintersProduceOutput(t *testing.T) {
 		var buf bytes.Buffer
 		cfg := tinyConfig()
 		cfg.Out = &buf
-		if err := e.Run(cfg); err != nil {
+		if err := e.Run(context.Background(), cfg); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if buf.Len() == 0 {
@@ -521,7 +522,7 @@ func TestCheapPrintersSmoke(t *testing.T) {
 			var buf bytes.Buffer
 			cfg := tinyConfig()
 			cfg.Out = &buf
-			if err := e.Run(cfg); err != nil {
+			if err := e.Run(context.Background(), cfg); err != nil {
 				t.Fatal(err)
 			}
 			if buf.Len() == 0 {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -61,7 +62,8 @@ func DDR3(cfg Config) (DDR3Result, error) {
 }
 
 // RunDDR3 prints the DDR3 verification.
-func RunDDR3(cfg Config) error {
+func RunDDR3(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := DDR3(cfg)
 	if err != nil {
@@ -167,7 +169,8 @@ func ManySided(cfg Config) (ManySidedResult, error) {
 }
 
 // RunManySided prints the TRR-evasion comparison.
-func RunManySided(cfg Config) error {
+func RunManySided(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := ManySided(cfg)
 	if err != nil {
@@ -262,7 +265,8 @@ func Interference(cfg Config) (InterferenceResult, error) {
 }
 
 // RunInterference prints the checklist.
-func RunInterference(cfg Config) error {
+func RunInterference(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Interference(cfg)
 	if err != nil {

@@ -1,26 +1,18 @@
 package exp
 
-import "sync"
+import (
+	"rowhammer/internal/pool"
+)
 
-// mapMfrs runs f for every manufacturer concurrently (each builds its
-// own module benches, so there is no shared mutable state) and returns
-// the results in paper order. The first error wins.
-func mapMfrs[T any](f func(mfr string) (T, error)) ([]T, error) {
-	out := make([]T, len(mfrNames))
-	errs := make([]error, len(mfrNames))
-	var wg sync.WaitGroup
-	for i, mfr := range mfrNames {
-		wg.Add(1)
-		go func(i int, mfr string) {
-			defer wg.Done()
-			out[i], errs[i] = f(mfr)
-		}(i, mfr)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+// mapMfrs runs f for every manufacturer on the config's shared worker
+// pool (each builds its own module benches, so there is no shared
+// mutable state) and returns the results in paper order. It honors the
+// config's context for cancellation, and every manufacturer's error is
+// reported — failures are joined with errors.Join rather than the
+// first one masking the rest.
+func mapMfrs[T any](cfg Config, f func(mfr string) (T, error)) ([]T, error) {
+	cfg = cfg.normalize()
+	return pool.Map(cfg.Ctx, cfg.Workers, len(mfrNames), func(i int) (T, error) {
+		return f(mfrNames[i])
+	})
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -30,7 +31,7 @@ func Fig11(cfg Config) (Fig11Result, error) {
 		curves  [][]float64
 		summary rh.RowVariationSummary
 	}
-	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
 		bs, err := benches(cfg, mfr)
 		if err != nil {
 			return mfrOut{}, err
@@ -44,7 +45,7 @@ func Fig11(cfg Config) (Fig11Result, error) {
 			if err != nil {
 				return out, err
 			}
-			profile, err := t.RowHCFirstProfile(0, rows, rh.HCFirstConfig{
+			profile, err := t.RowHCFirstProfileCtx(cfg.Ctx, 0, rows, rh.HCFirstConfig{
 				Pattern: pat, MaxHammers: cfg.Scale.MaxHammers,
 			}, cfg.Scale.Repetitions)
 			if err != nil {
@@ -68,7 +69,8 @@ func Fig11(cfg Config) (Fig11Result, error) {
 }
 
 // RunFig11 prints the Fig. 11 percentile curves and Obsv. 12 ratios.
-func RunFig11(cfg Config) error {
+func RunFig11(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig11(cfg)
 	if err != nil {
@@ -142,7 +144,7 @@ func Fig12(cfg Config) (Fig12Result, error) {
 	cfg = cfg.normalize()
 	cfg.Geometry = columnGeometry(cfg.Geometry)
 	res := Fig12Result{HotThreshold: 20}
-	accs, err := mapMfrs(func(mfr string) (*rh.ColumnAccumulator, error) {
+	accs, err := mapMfrs(cfg, func(mfr string) (*rh.ColumnAccumulator, error) {
 		bs, err := benches(cfg, mfr)
 		if err != nil {
 			return nil, err
@@ -204,7 +206,8 @@ func min64(a, b int64) int64 {
 }
 
 // RunFig12 prints the column heatmap summary.
-func RunFig12(cfg Config) error {
+func RunFig12(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig12(cfg)
 	if err != nil {
@@ -299,7 +302,8 @@ func Fig13(cfg Config) (Fig13Result, error) {
 }
 
 // RunFig13 prints the Fig. 13 cluster summary.
-func RunFig13(cfg Config) error {
+func RunFig13(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig13(cfg)
 	if err != nil {
@@ -385,7 +389,7 @@ func profileSubarrays(cfg Config, mfr string) ([][]rh.SubarrayStat, error) {
 		if err != nil {
 			return nil, err
 		}
-		profile, err := t.RowHCFirstProfile(0, rows, rh.HCFirstConfig{
+		profile, err := t.RowHCFirstProfileCtx(cfg.Ctx, 0, rows, rh.HCFirstConfig{
 			Pattern: pat, MaxHammers: cfg.Scale.MaxHammers,
 		}, cfg.Scale.Repetitions)
 		if err != nil {
@@ -413,7 +417,7 @@ func Fig14(cfg Config) (Fig14Result, error) {
 		pooled []rh.SubarrayStat
 		fit    stats.LinearFit
 	}
-	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
 		perModule, err := profileSubarrays(cfg, mfr)
 		if err != nil {
 			return mfrOut{}, err
@@ -437,7 +441,8 @@ func Fig14(cfg Config) (Fig14Result, error) {
 }
 
 // RunFig14 prints the Fig. 14 regression.
-func RunFig14(cfg Config) error {
+func RunFig14(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig14(cfg)
 	if err != nil {
@@ -468,7 +473,7 @@ func Fig15(cfg Config) (Fig15Result, error) {
 	cfg = cfg.normalize()
 	var res Fig15Result
 	type mfrOut struct{ same, diff []float64 }
-	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
 		perModule, err := profileSubarrays(cfg, mfr)
 		if err != nil {
 			return mfrOut{}, err
@@ -508,7 +513,8 @@ func Fig15(cfg Config) (Fig15Result, error) {
 }
 
 // RunFig15 prints the similarity comparison.
-func RunFig15(cfg Config) error {
+func RunFig15(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig15(cfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -53,7 +54,8 @@ func Table2() Table2Result {
 }
 
 // RunTable2 prints Tables 2/4.
-func RunTable2(cfg Config) error {
+func RunTable2(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res := Table2()
 	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)

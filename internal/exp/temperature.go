@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -11,11 +12,16 @@ import (
 // wcdp finds a module's worst-case data pattern on a small victim
 // sample (§4.2), used by every characterization experiment.
 func wcdp(t *rh.Tester, cfg Config) (rh.PatternKind, error) {
+	cfg = cfg.normalize()
 	victims := sampleRows(cfg, 3)
 	if len(victims) == 0 {
 		return rh.PatCheckered, fmt.Errorf("exp: no victim rows available")
 	}
-	return t.WorstCasePattern(0, victims, cfg.Scale.Hammers)
+	s, err := t.SurveyPatterns(cfg.Ctx, 0, victims, cfg.Scale.Hammers)
+	if err != nil {
+		return rh.PatCheckered, err
+	}
+	return s.Best, nil
 }
 
 // tempSweepRows is the per-module victim budget of temperature sweeps.
@@ -36,7 +42,7 @@ func runTempSweeps(cfg Config, mfr string) ([]*rh.TempSweepResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sweep, err := t.TemperatureSweep(rh.TempSweepConfig{
+		sweep, err := t.TemperatureSweepCtx(cfg.Ctx, rh.TempSweepConfig{
 			Bank:    0,
 			Victims: rows,
 			// 2x the BER hammer count: the paper picks 150K as "high
@@ -91,7 +97,7 @@ type Table3Result struct {
 func Table3(cfg Config) (Table3Result, error) {
 	cfg = cfg.normalize()
 	var res Table3Result
-	fracs, err := mapMfrs(func(mfr string) (float64, error) {
+	fracs, err := mapMfrs(cfg, func(mfr string) (float64, error) {
 		sweeps, err := runTempSweeps(cfg, mfr)
 		if err != nil {
 			return 0, err
@@ -107,7 +113,8 @@ func Table3(cfg Config) (Table3Result, error) {
 }
 
 // RunTable3 prints Table 3.
-func RunTable3(cfg Config) error {
+func RunTable3(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Table3(cfg)
 	if err != nil {
@@ -136,7 +143,7 @@ type Fig3Result struct {
 func Fig3(cfg Config) (Fig3Result, error) {
 	cfg = cfg.normalize()
 	var res Fig3Result
-	mats, err := mapMfrs(func(mfr string) (*rh.TempClusterMatrix, error) {
+	mats, err := mapMfrs(cfg, func(mfr string) (*rh.TempClusterMatrix, error) {
 		sweeps, err := runTempSweeps(cfg, mfr)
 		if err != nil {
 			return nil, err
@@ -152,7 +159,8 @@ func Fig3(cfg Config) (Fig3Result, error) {
 }
 
 // RunFig3 prints the Fig. 3 matrices.
-func RunFig3(cfg Config) error {
+func RunFig3(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig3(cfg)
 	if err != nil {
@@ -210,7 +218,7 @@ type Fig4Result struct {
 func Fig4(cfg Config) (Fig4Result, error) {
 	cfg = cfg.normalize()
 	var res Fig4Result
-	perMfr, err := mapMfrs(func(mfr string) ([]Fig4Point, error) {
+	perMfr, err := mapMfrs(cfg, func(mfr string) ([]Fig4Point, error) {
 		sweeps, err := runTempSweeps(cfg, mfr)
 		if err != nil {
 			return nil, err
@@ -272,7 +280,8 @@ func (r Fig4Result) TrendAt(mfrIdx int, tempC float64) float64 {
 }
 
 // RunFig4 prints the Fig. 4 series.
-func RunFig4(cfg Config) error {
+func RunFig4(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig4(cfg)
 	if err != nil {
@@ -315,7 +324,7 @@ func Fig5(cfg Config) (Fig5Result, error) {
 	var res Fig5Result
 	temps := []float64{50, 55, 90}
 	type changes struct{ c55, c90 []float64 }
-	perMfr, err := mapMfrs(func(mfr string) (changes, error) {
+	perMfr, err := mapMfrs(cfg, func(mfr string) (changes, error) {
 		bs, err := benches(cfg, mfr)
 		if err != nil {
 			return changes{}, err
@@ -371,7 +380,8 @@ func Fig5(cfg Config) (Fig5Result, error) {
 }
 
 // RunFig5 prints the Fig. 5 summary.
-func RunFig5(cfg Config) error {
+func RunFig5(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := Fig5(cfg)
 	if err != nil {

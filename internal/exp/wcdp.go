@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 
@@ -28,7 +29,7 @@ func WCDP(cfg Config) (WCDPResult, error) {
 		pats []rh.PatternKind
 		gain float64
 	}
-	perMfr, err := mapMfrs(func(mfr string) (mfrOut, error) {
+	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
 		bs, err := benches(cfg, mfr)
 		if err != nil {
 			return mfrOut{}, err
@@ -38,29 +39,13 @@ func WCDP(cfg Config) (WCDPResult, error) {
 		bestSum, worstSum := 0, 0
 		for _, b := range bs {
 			t := rh.NewTester(b)
-			best, worst := -1, -1
-			var bestPat rh.PatternKind
-			for _, pat := range rh.AllPatterns {
-				total := 0
-				for _, v := range victims {
-					hr, err := t.Hammer(rh.HammerConfig{
-						Bank: 0, VictimPhys: v, Hammers: cfg.Scale.Hammers, Pattern: pat, Trial: 1,
-					})
-					if err != nil {
-						return out, err
-					}
-					total += hr.Victim.Count()
-				}
-				if best < 0 || total > best {
-					best, bestPat = total, pat
-				}
-				if worst < 0 || total < worst {
-					worst = total
-				}
+			s, err := t.SurveyPatterns(cfg.Ctx, 0, victims, cfg.Scale.Hammers)
+			if err != nil {
+				return out, err
 			}
-			out.pats = append(out.pats, bestPat)
-			bestSum += best
-			worstSum += worst
+			out.pats = append(out.pats, s.Best)
+			bestSum += s.BestFlips
+			worstSum += s.WorstFlips
 		}
 		out.gain = float64(bestSum+1) / float64(worstSum+1)
 		return out, nil
@@ -77,7 +62,8 @@ func WCDP(cfg Config) (WCDPResult, error) {
 }
 
 // RunWCDP prints the pattern survey.
-func RunWCDP(cfg Config) error {
+func RunWCDP(ctx context.Context, cfg Config) error {
+	cfg = cfg.WithContext(ctx)
 	cfg = cfg.normalize()
 	res, err := WCDP(cfg)
 	if err != nil {

@@ -1,0 +1,81 @@
+// Package pool provides the bounded-concurrency primitives shared by
+// the experiment drivers (internal/exp) and the fleet campaign engine
+// (internal/campaign): a deterministic indexed map over a worker pool
+// with context cancellation and joined (not first-wins) error
+// reporting.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the default worker-pool size.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Map runs f(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. A workers value < 1 selects
+// DefaultWorkers(). All scheduled calls run to completion; indexes not
+// yet started when ctx is cancelled are skipped and reported through
+// the joined error. Every per-index error is collected and joined with
+// errors.Join, so one failure cannot mask another.
+func Map[T any](ctx context.Context, workers, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = protect(f, i)
+			}
+		}()
+	}
+	cancelled := false
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = fmt.Errorf("pool: task %d not started: %w", j, ctx.Err())
+			}
+			cancelled = true
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return out, err
+	}
+	if cancelled {
+		return out, ctx.Err()
+	}
+	return out, nil
+}
+
+// protect runs f(i), converting a panic into an error so one
+// panicking task cannot tear down the whole pool.
+func protect[T any](f func(i int) (T, error), i int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool: task %d panicked: %v", i, r)
+		}
+	}()
+	return f(i)
+}

@@ -1,0 +1,104 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	out, err := Map(context.Background(), 3, 17, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), workers, 64, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", p, workers)
+	}
+}
+
+func TestMapJoinsAllErrors(t *testing.T) {
+	sentinel3 := errors.New("task three failed")
+	sentinel7 := errors.New("task seven failed")
+	_, err := Map(context.Background(), 2, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, sentinel3
+		case 7:
+			return 0, sentinel7
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel3) || !errors.Is(err, sentinel7) {
+		t.Fatalf("joined error should carry both failures, got: %v", err)
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	_, err := Map(context.Background(), 2, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked: boom") {
+		t.Fatalf("panic should surface as error, got: %v", err)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	var once sync.Once
+	_, err := Map(ctx, 1, 100, func(i int) (int, error) {
+		started.Add(1)
+		if i >= 5 {
+			once.Do(cancel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in joined error, got: %v", err)
+	}
+	if n := started.Load(); n == 100 {
+		t.Fatalf("cancellation should prevent dispatching all tasks")
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	out, err := Map(context.Background(), 0, 0, func(i int) (int, error) {
+		return 0, fmt.Errorf("must not run")
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}

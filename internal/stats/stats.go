@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"errors"
 	"math"
 	"sort"
@@ -406,6 +407,76 @@ func BhattacharyyaCoefficient(a, b []float64, nBins int) float64 {
 		bc = 1
 	}
 	return bc
+}
+
+// Summary holds the descriptive statistics the fleet campaign engine
+// reports for a metric population. It is computed from a sorted copy
+// of the sample, which makes it independent of the order samples were
+// collected in — the property the campaign checkpoint/resume machinery
+// relies on for bit-identical aggregates.
+type Summary struct {
+	N                int
+	Mean             float64
+	Min              float64
+	P25, Median, P75 float64
+	P90, P99         float64
+	Max              float64
+}
+
+// jsonSummary mirrors Summary with every percentile exported; Summary
+// keeps short field names for Go callers and this keeps stable JSON
+// keys in snake case.
+type jsonSummary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"p50"`
+	P75    float64 `json:"p75"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+}
+
+// MarshalJSON emits the summary with stable snake-case keys.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSummary{
+		N: s.N, Mean: s.Mean, Min: s.Min, P25: s.P25, Median: s.Median,
+		P75: s.P75, P90: s.P90, P99: s.P99, Max: s.Max,
+	})
+}
+
+// UnmarshalJSON parses the stable snake-case form.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var j jsonSummary
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*s = Summary{
+		N: j.N, Mean: j.Mean, Min: j.Min, P25: j.P25, Median: j.Median,
+		P75: j.P75, P90: j.P90, P99: j.P99, Max: j.Max,
+	}
+	return nil
+}
+
+// Summarize computes order-independent descriptive statistics of xs.
+// The zero Summary is returned for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Sorted(xs)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Min:    s[0],
+		P25:    Quantile(s, 0.25),
+		Median: Quantile(s, 0.50),
+		P75:    Quantile(s, 0.75),
+		P90:    Quantile(s, 0.90),
+		P99:    Quantile(s, 0.99),
+		Max:    s[len(s)-1],
+	}
 }
 
 // ECDF returns, for each probe point, the fraction of xs that is <= it.

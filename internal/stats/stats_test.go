@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -349,5 +351,54 @@ func TestQuantilePropertyBounds(t *testing.T) {
 		return v >= srt[0] && v <= srt[n-1]
 	}, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSummarizeOrderIndependent(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 2, 8, 3, 6, 5}
+	ys := []float64{5, 6, 3, 8, 2, 7, 4, 1, 9}
+	a, b := Summarize(xs), Summarize(ys)
+	if a != b {
+		t.Fatalf("summaries differ by sample order: %+v vs %+v", a, b)
+	}
+	if a.N != 9 || a.Min != 1 || a.Max != 9 || a.Median != 5 || a.Mean != 5 {
+		t.Fatalf("unexpected summary %+v", a)
+	}
+	if a.P25 > a.Median || a.Median > a.P75 || a.P75 > a.P90 || a.P90 > a.P99 {
+		t.Fatalf("percentiles not monotone: %+v", a)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Fatalf("empty sample should give zero summary, got %+v", got)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	in := Summarize([]float64{1, 2, 3, 4, 100})
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"n":`, `"mean":`, `"p25":`, `"p50":`, `"p90":`, `"p99":`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("marshalled summary %s missing key %s", b, key)
+		}
+	}
+	var out Summary
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
 	}
 }

@@ -1,6 +1,7 @@
 package rowhammer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,18 +21,7 @@ type RowHC struct {
 // RowHCFirstProfile measures HCfirst (minimum over repetitions) for
 // every given victim row — the Fig. 11 measurement.
 func (t *Tester) RowHCFirstProfile(bank int, rows []int, cfg HCFirstConfig, reps int) ([]RowHC, error) {
-	out := make([]RowHC, 0, len(rows))
-	for _, row := range rows {
-		c := cfg
-		c.Bank = bank
-		c.VictimPhys = row
-		res, err := t.HCFirstMin(c, reps)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, RowHC{Row: row, HCfirst: res.HCfirst, Found: res.Found})
-	}
-	return out, nil
+	return t.RowHCFirstProfileCtx(context.Background(), bank, rows, cfg, reps)
 }
 
 // VulnerableHCs extracts the HCfirst values of rows where flips were

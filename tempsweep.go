@@ -1,6 +1,7 @@
 package rowhammer
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 )
@@ -50,6 +51,12 @@ type TempSweepResult struct {
 // TemperatureSweep runs BER tests for every victim at every
 // temperature, recording per-cell flip observations (§5).
 func (t *Tester) TemperatureSweep(cfg TempSweepConfig) (*TempSweepResult, error) {
+	return t.temperatureSweep(context.Background(), cfg)
+}
+
+// temperatureSweep implements TemperatureSweep, checking ctx between
+// temperature points.
+func (t *Tester) temperatureSweep(ctx context.Context, cfg TempSweepConfig) (*TempSweepResult, error) {
 	if len(cfg.Victims) == 0 {
 		return nil, fmt.Errorf("rowhammer: temperature sweep needs victim rows")
 	}
@@ -65,6 +72,9 @@ func (t *Tester) TemperatureSweep(cfg TempSweepConfig) (*TempSweepResult, error)
 		Cells: make(map[CellID]uint32),
 	}
 	for ti, temp := range cfg.Temps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := t.b.SetTemperature(temp); err != nil {
 			return nil, err
 		}

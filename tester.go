@@ -1,6 +1,7 @@
 package rowhammer
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -226,25 +227,11 @@ func (t *Tester) Hammer(cfg HammerConfig) (HammerResult, error) {
 // the Table 1 pattern maximizing bit flips on the sampled victim rows
 // (§4.2).
 func (t *Tester) WorstCasePattern(bank int, victims []int, hammers int64) (dram.PatternKind, error) {
-	best := dram.PatColStripe
-	bestFlips := -1
-	for _, pat := range dram.AllPatterns {
-		total := 0
-		for _, v := range victims {
-			res, err := t.Hammer(HammerConfig{
-				Bank: bank, VictimPhys: v, Hammers: hammers, Pattern: pat, Trial: 1,
-			})
-			if err != nil {
-				return best, err
-			}
-			total += res.Victim.Count()
-		}
-		if total > bestFlips {
-			bestFlips = total
-			best = pat
-		}
+	s, err := t.SurveyPatterns(context.Background(), bank, victims, hammers)
+	if err != nil {
+		return s.Best, err
 	}
-	return best, nil
+	return s.Best, nil
 }
 
 // BER measures the bit error rate of a victim row: the number of
