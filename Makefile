@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench chaos check
 
 all: check
 
@@ -21,5 +21,11 @@ vet:
 
 bench:
 	$(GO) test -bench CampaignFleet -run '^$$' -benchtime 3x .
+
+# The fault-injection suite under the race detector: hardened engine
+# (retry/backoff/breaker) driven through internal/inject, proving the
+# bit-identical-summary and explicit-coverage-loss invariants.
+chaos:
+	$(GO) test -race -run Chaos -v ./internal/campaign/... ./internal/inject/...
 
 check: build vet test race

@@ -33,6 +33,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject nonsense before it reaches the worker pool: a negative
+	// worker count or timeout is a usage error, not undefined behavior.
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "rhchar: -workers must be >= 0 (0 = one per CPU), got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "rhchar: -timeout must be >= 0 (0 = no limit), got %v\n", *timeout)
+		os.Exit(2)
+	}
+
 	if *list || *expID == "" {
 		fmt.Println("Available experiments:")
 		for _, e := range exp.All() {

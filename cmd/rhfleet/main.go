@@ -10,6 +10,11 @@
 //	rhfleet -exp ber -modules 8 -out ber.jsonl -summary ber-summary.json
 //	rhfleet -resume fleet.jsonl -mfrs A,B,C,D -modules 16 -exp hcfirst -out fleet.jsonl
 //	rhfleet -spec campaign.json
+//	rhfleet -exp hcfirst -modules 8 -fault-profile chaos -retries 4 -breaker 3
+//
+// Exit codes: 0 success; 1 error; 2 usage; 3 interrupted (resume with
+// -resume); 4 partial result with quarantined modules (summary carries
+// explicit coverage accounting).
 package main
 
 import (
@@ -38,17 +43,44 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
 		retries = flag.Int("retries", 1, "retries per failed job")
 		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = no limit)")
+		jobTO   = flag.Duration("job-timeout", 0, "deadline per job attempt (0 = none)")
+		backoff = flag.Duration("retry-backoff", 0, "base of the exponential retry backoff with deterministic jitter (0 = retry immediately)")
+		breaker = flag.Int("breaker", 0, "quarantine a module after N consecutive failed attempts (0 = breaker off)")
+		faults  = flag.String("fault-profile", "", "deterministic fault injection: none, transient, latency, drift, chaos, dead=MFR/IDX[,...], combined with + (e.g. chaos+dead=A/0+seed=7)")
 		out     = flag.String("out", "fleet.jsonl", "JSONL checkpoint output path")
 		resume  = flag.String("resume", "", "resume from a JSONL checkpoint (skips completed jobs)")
 		sumOut  = flag.String("summary", "", "also write the fleet summary JSON to this path")
 		specIn  = flag.String("spec", "", "load the campaign spec from a JSON file (flags above are ignored)")
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of rhfleet:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+Exit codes:
+  0  campaign complete
+  1  error
+  2  usage error
+  3  interrupted or timed out — resume with -resume <checkpoint>
+  4  partial result: modules quarantined by the circuit breaker; the
+     summary's "coverage" block names the lost coverage
+`)
+	}
 	flag.Parse()
 
+	profile, err := rh.ParseFaultProfile(*faults)
+	if err != nil {
+		fatalUsage(err)
+	}
 	spec, err := buildSpec(*specIn, *mfrs, *modules, *expKind, *seed, *scale, *temps, *workers, *retries)
 	if err != nil {
 		fatal(err)
+	}
+	if *specIn == "" {
+		// Hardening knobs ride on flags; -spec files carry their own.
+		spec.JobTimeout = *jobTO
+		spec.RetryBackoff = *backoff
+		spec.BreakerThreshold = *breaker
 	}
 	// Validate before touching the output file: a typo'd -exp must not
 	// truncate an existing checkpoint.
@@ -85,7 +117,10 @@ func main() {
 		defer cancel()
 	}
 
-	opts := rh.CampaignOptions{Checkpoint: f, Resume: resumeRecs}
+	opts := rh.CampaignOptions{Checkpoint: f, Resume: resumeRecs, FaultProfile: profile}
+	if profile != nil {
+		fmt.Fprintf(os.Stderr, "rhfleet: fault injection active: %s (seed %d)\n", profile, profile.Seed)
+	}
 	start := time.Now()
 	if !*quiet {
 		opts.Progress = func(done, total int, rec rh.CampaignRecord) {
@@ -100,8 +135,8 @@ func main() {
 
 	res, err := rh.RunCampaign(ctx, spec, opts)
 	if res != nil {
-		fmt.Fprintf(os.Stderr, "rhfleet: %d run, %d resumed, %d failed in %v\n",
-			res.Completed, res.Skipped, res.Failed, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "rhfleet: %d run, %d resumed, %d retried, %d failed in %v\n",
+			res.Completed, res.Skipped, res.Retried, res.Failed, time.Since(start).Round(time.Millisecond))
 		summary, merr := res.Summary.MarshalIndent()
 		if merr != nil {
 			fatal(merr)
@@ -117,6 +152,11 @@ func main() {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "rhfleet: interrupted (%v); resume with -resume %s\n", err, *out)
 			os.Exit(3)
+		}
+		if res != nil && res.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "rhfleet: partial result: %d jobs quarantined (modules %s); coverage accounting is in the summary\n",
+				res.Quarantined, strings.Join(res.QuarantinedModules, ", "))
+			os.Exit(4)
 		}
 		fatal(err)
 	}
@@ -165,25 +205,31 @@ func buildSpec(specPath, mfrs string, modules int, kind string, seed uint64, sca
 
 // jsonSpec is the -spec file schema.
 type jsonSpec struct {
-	Kind          string    `json:"kind"`
-	Mfrs          []string  `json:"mfrs"`
-	ModulesPerMfr int       `json:"modules_per_mfr"`
-	Seed          uint64    `json:"seed"`
-	Scale         string    `json:"scale"`
-	Temps         []float64 `json:"temps"`
-	Workers       int       `json:"workers"`
-	MaxRetries    int       `json:"max_retries"`
+	Kind             string    `json:"kind"`
+	Mfrs             []string  `json:"mfrs"`
+	ModulesPerMfr    int       `json:"modules_per_mfr"`
+	Seed             uint64    `json:"seed"`
+	Scale            string    `json:"scale"`
+	Temps            []float64 `json:"temps"`
+	Workers          int       `json:"workers"`
+	MaxRetries       int       `json:"max_retries"`
+	JobTimeoutMS     int64     `json:"job_timeout_ms"`
+	RetryBackoffMS   int64     `json:"retry_backoff_ms"`
+	BreakerThreshold int       `json:"breaker_threshold"`
 }
 
 func (js jsonSpec) toSpec() (rh.CampaignSpec, error) {
 	spec := rh.CampaignSpec{
-		Kind:          js.Kind,
-		Mfrs:          js.Mfrs,
-		ModulesPerMfr: js.ModulesPerMfr,
-		Seed:          js.Seed,
-		Temps:         js.Temps,
-		Workers:       js.Workers,
-		MaxRetries:    js.MaxRetries,
+		Kind:             js.Kind,
+		Mfrs:             js.Mfrs,
+		ModulesPerMfr:    js.ModulesPerMfr,
+		Seed:             js.Seed,
+		Temps:            js.Temps,
+		Workers:          js.Workers,
+		MaxRetries:       js.MaxRetries,
+		JobTimeout:       time.Duration(js.JobTimeoutMS) * time.Millisecond,
+		RetryBackoff:     time.Duration(js.RetryBackoffMS) * time.Millisecond,
+		BreakerThreshold: js.BreakerThreshold,
 	}
 	if js.Scale == "" {
 		js.Scale = "default"
@@ -225,4 +271,9 @@ func validKind(kind string) error {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "rhfleet: %v\n", err)
 	os.Exit(1)
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "rhfleet: %v\n", err)
+	os.Exit(2)
 }

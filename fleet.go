@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"rowhammer/internal/campaign"
+	"rowhammer/internal/inject"
 )
 
 // Fleet campaigns: the population-scale front door of the package.
@@ -31,6 +33,18 @@ type CampaignRecord = campaign.Record
 // CampaignSummary is the order-independent fleet aggregate.
 type CampaignSummary = campaign.Summary
 
+// CampaignCoverage is the explicit coverage accounting a degraded
+// fleet summary carries (jobs completed / retried / quarantined).
+type CampaignCoverage = campaign.Coverage
+
+// FaultProfile configures the deterministic fault injector wrapped
+// around the per-module measurement cores (chaos testing).
+type FaultProfile = inject.Profile
+
+// ParseFaultProfile parses the CLI fault-profile syntax, e.g. "chaos",
+// "transient+seed=7", "dead=A/0,C/2". Empty or "none" yields nil.
+func ParseFaultProfile(s string) (*FaultProfile, error) { return inject.Parse(s) }
+
 // CampaignSpec declares a fleet characterization campaign.
 type CampaignSpec struct {
 	// Kind selects the per-module experiment (Campaign* constants);
@@ -53,6 +67,14 @@ type CampaignSpec struct {
 	Workers int
 	// MaxRetries bounds per-job retries (default 1).
 	MaxRetries int
+	// JobTimeout bounds one job attempt (0 = no per-job deadline).
+	JobTimeout time.Duration
+	// RetryBackoff is the base of the exponential retry backoff with
+	// deterministic jitter (0 = retry immediately).
+	RetryBackoff time.Duration
+	// BreakerThreshold quarantines a module after this many
+	// consecutive failed attempts (0 = circuit breaker disabled).
+	BreakerThreshold int
 }
 
 // CampaignOptions controls checkpointing and progress reporting.
@@ -65,6 +87,9 @@ type CampaignOptions struct {
 	Resume map[string]CampaignRecord
 	// Progress, when non-nil, is called after every finished job.
 	Progress func(done, total int, rec CampaignRecord)
+	// FaultProfile, when non-nil, wraps the measurement runner with
+	// the deterministic fault injector — the chaos-testing knob.
+	FaultProfile *FaultProfile
 }
 
 // CampaignResult is the outcome of a campaign run.
@@ -78,6 +103,12 @@ type CampaignResult struct {
 	// Completed counts jobs run by this invocation, Skipped jobs
 	// adopted from Resume, Failed jobs that exhausted retries.
 	Completed, Skipped, Failed int
+	// Retried counts jobs that needed more than one attempt;
+	// Quarantined the failed jobs whose module tripped the breaker.
+	Retried, Quarantined int
+	// QuarantinedModules names the circuit-breaker-quarantined
+	// modules ("mfr/index"), sorted.
+	QuarantinedModules []string
 }
 
 // LoadCampaignCheckpoint reads a JSONL checkpoint file for
@@ -106,16 +137,23 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (
 		geom = DefaultDDR4Geometry()
 	}
 	cspec := campaign.Spec{
-		Kind:          spec.Kind,
-		Mfrs:          spec.Mfrs,
-		ModulesPerMfr: spec.ModulesPerMfr,
-		Seed:          spec.Seed,
-		Workers:       spec.Workers,
-		MaxRetries:    spec.MaxRetries,
-		Temps:         spec.Temps,
+		Kind:             spec.Kind,
+		Mfrs:             spec.Mfrs,
+		ModulesPerMfr:    spec.ModulesPerMfr,
+		Seed:             spec.Seed,
+		Workers:          spec.Workers,
+		MaxRetries:       spec.MaxRetries,
+		JobTimeout:       spec.JobTimeout,
+		RetryBackoff:     spec.RetryBackoff,
+		BreakerThreshold: spec.BreakerThreshold,
+		Temps:            spec.Temps,
+	}
+	runner := moduleRunner(scale, geom)
+	if opts.FaultProfile != nil {
+		runner = inject.WrapRunner(runner, opts.FaultProfile)
 	}
 	res, err := campaign.Run(ctx, cspec, campaign.Options{
-		Runner:     moduleRunner(scale, geom),
+		Runner:     runner,
 		Checkpoint: opts.Checkpoint,
 		Done:       opts.Resume,
 		Progress:   opts.Progress,
@@ -124,11 +162,14 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (
 		return nil, err
 	}
 	return &CampaignResult{
-		Records:   res.Records,
-		Summary:   campaign.Aggregate(res),
-		Completed: res.Completed,
-		Skipped:   res.Skipped,
-		Failed:    res.Failed,
+		Records:            res.Records,
+		Summary:            campaign.Aggregate(res),
+		Completed:          res.Completed,
+		Skipped:            res.Skipped,
+		Failed:             res.Failed,
+		Retried:            res.Retried,
+		Quarantined:        res.Quarantined,
+		QuarantinedModules: res.QuarantinedModules(),
 	}, err
 }
 

@@ -23,20 +23,42 @@ type MfrSummary struct {
 	Metrics []MetricSummary `json:"metrics,omitempty"`
 }
 
+// Coverage is the explicit accounting a degraded fleet reports: when
+// any job failed or was quarantined, the summary says exactly which
+// coverage was lost instead of silently shrinking the population.
+// Failed counts every failed job (quarantined included); Quarantined
+// is the subset whose module tripped the circuit breaker.
+type Coverage struct {
+	Jobs               int           `json:"jobs"`
+	Completed          int           `json:"completed"`
+	Retried            int           `json:"retried"`
+	Failed             int           `json:"failed"`
+	Quarantined        int           `json:"quarantined"`
+	QuarantinedModules []string      `json:"quarantined_modules,omitempty"`
+	FailedJobs         []string      `json:"failed_jobs,omitempty"`
+	Attempts           stats.Summary `json:"attempts"`
+}
+
 // Summary is the fleet-level aggregate of a campaign. It is computed
 // from the record *set* (sorted by job key, metric values sorted by
 // the summarizer), so it is invariant under completion order — the
 // property that makes interrupted+resumed campaigns bit-identical to
 // uninterrupted ones.
+//
+// Coverage is present only when coverage was actually lost (a job
+// failed, a module was quarantined, or jobs are missing). A campaign
+// that survives transient faults through retries therefore emits a
+// summary bit-identical to a fault-free run's.
 type Summary struct {
-	Kind    string          `json:"kind"`
-	Seed    uint64          `json:"seed"`
-	Jobs    int             `json:"jobs"`
-	Done    int             `json:"done"`
-	Failed  int             `json:"failed"`
-	Mfrs    []MfrSummary    `json:"per_mfr,omitempty"`
-	Fleet   []MetricSummary `json:"fleet,omitempty"`
-	Pattern map[string]int  `json:"patterns,omitempty"`
+	Kind     string          `json:"kind"`
+	Seed     uint64          `json:"seed"`
+	Jobs     int             `json:"jobs"`
+	Done     int             `json:"done"`
+	Failed   int             `json:"failed"`
+	Coverage *Coverage       `json:"coverage,omitempty"`
+	Mfrs     []MfrSummary    `json:"per_mfr,omitempty"`
+	Fleet    []MetricSummary `json:"fleet,omitempty"`
+	Pattern  map[string]int  `json:"patterns,omitempty"`
 }
 
 // Aggregate merges the result's records into a fleet summary. Failed
@@ -53,10 +75,25 @@ func Aggregate(res *Result) Summary {
 	fleet := make(map[string][]float64)
 	modules := make(map[string]int)
 	patterns := make(map[string]int)
+	quarantined := make(map[string]bool)
+	var failedJobs []string
+	var attempts []int
+	var retried int
 	for _, key := range sortedKeys(res.Records) {
 		rec := res.Records[key]
+		if rec.Attempts > 0 {
+			attempts = append(attempts, rec.Attempts)
+		}
+		if rec.Attempts > 1 {
+			retried++
+		}
 		if rec.Failed() {
 			sum.Failed++
+			if rec.Quarantined {
+				quarantined[rec.ModuleID()] = true
+			} else {
+				failedJobs = append(failedJobs, rec.Key)
+			}
 			continue
 		}
 		sum.Done++
@@ -90,6 +127,21 @@ func Aggregate(res *Result) Summary {
 	if len(patterns) > 0 {
 		sum.Pattern = patterns
 	}
+	// Coverage accounting appears exactly when coverage was lost, so a
+	// fully-recovered (transient-fault) run stays bit-identical to a
+	// fault-free one while a degraded fleet names what is missing.
+	if sum.Failed > 0 || sum.Done < sum.Jobs {
+		sum.Coverage = &Coverage{
+			Jobs:               sum.Jobs,
+			Completed:          sum.Done,
+			Retried:            retried,
+			Failed:             sum.Failed,
+			Quarantined:        len(quarantined),
+			QuarantinedModules: sortedNames(quarantined),
+			FailedJobs:         failedJobs,
+			Attempts:           stats.SummarizeInts(attempts),
+		}
+	}
 	return sum
 }
 
@@ -108,6 +160,16 @@ func (s Summary) Text() string {
 		fmt.Fprintf(&b, " (%d failed)", s.Failed)
 	}
 	b.WriteByte('\n')
+	if c := s.Coverage; c != nil {
+		fmt.Fprintf(&b, "  coverage: %d/%d completed, %d retried, %d failed, %d quarantined\n",
+			c.Completed, c.Jobs, c.Retried, c.Failed, c.Quarantined)
+		if len(c.QuarantinedModules) > 0 {
+			fmt.Fprintf(&b, "  quarantined modules: %s\n", strings.Join(c.QuarantinedModules, ", "))
+		}
+		if len(c.FailedJobs) > 0 {
+			fmt.Fprintf(&b, "  failed jobs: %s\n", strings.Join(c.FailedJobs, ", "))
+		}
+	}
 	for _, ms := range s.Mfrs {
 		fmt.Fprintf(&b, "  Mfr. %s (%d modules)\n", ms.Mfr, ms.Modules)
 		for _, m := range ms.Metrics {

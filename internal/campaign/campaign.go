@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"rowhammer/internal/pool"
 )
@@ -63,6 +64,22 @@ type Spec struct {
 	// MaxRetries is how many times a failed or panicked job is retried
 	// before it is reported as failed (default 1).
 	MaxRetries int `json:"max_retries,omitempty"`
+	// JobTimeout bounds one job *attempt*: the runner's context is
+	// cancelled after this long and the attempt counts as failed, so a
+	// wedged module cannot stall the fleet (0 = no per-job deadline).
+	JobTimeout time.Duration `json:"job_timeout,omitempty"`
+	// RetryBackoff is the base of the exponential retry backoff:
+	// before retry k the worker sleeps RetryBackoff·2^(k-1), capped at
+	// 32×RetryBackoff, plus a deterministic jitter in [0, RetryBackoff)
+	// derived from (Seed, job key, attempt) — so backoff schedules are
+	// reproducible and never synchronize across workers (0 = retry
+	// immediately, the pre-hardening behavior).
+	RetryBackoff time.Duration `json:"retry_backoff,omitempty"`
+	// BreakerThreshold is the circuit breaker: a module is quarantined
+	// after this many consecutive failed attempts, skipping any
+	// remaining retries and excluding the module from the aggregate
+	// with explicit coverage accounting (0 = breaker disabled).
+	BreakerThreshold int `json:"breaker_threshold,omitempty"`
 	// Temps is the temperature grid of BER campaigns; empty selects the
 	// runner's default grid.
 	Temps []float64 `json:"temps,omitempty"`
@@ -94,6 +111,15 @@ func (s Spec) Normalize() (Spec, error) {
 	} else if s.MaxRetries == 0 {
 		s.MaxRetries = 1
 	}
+	if s.JobTimeout < 0 {
+		s.JobTimeout = 0
+	}
+	if s.RetryBackoff < 0 {
+		s.RetryBackoff = 0
+	}
+	if s.BreakerThreshold < 0 {
+		s.BreakerThreshold = 0
+	}
 	return s, nil
 }
 
@@ -108,6 +134,10 @@ type Job struct {
 // Key returns the job's stable identity, used for checkpoint matching
 // and order-independent aggregation.
 func (j Job) Key() string { return fmt.Sprintf("%s/%s/%d", j.Kind, j.Mfr, j.Module) }
+
+// ModuleID returns the job's module identity ("mfr/index") — the unit
+// the circuit breaker quarantines.
+func (j Job) ModuleID() string { return fmt.Sprintf("%s/%d", j.Mfr, j.Module) }
 
 // Expand lists every job of the spec in a deterministic canonical
 // order (manufacturers as given, module indexes ascending).
@@ -137,6 +167,11 @@ type Record struct {
 	// Err is set when the job exhausted its retries; failed records are
 	// re-run on resume.
 	Err string `json:"err,omitempty"`
+	// Quarantined marks a failed record whose module tripped the
+	// circuit breaker (Spec.BreakerThreshold consecutive failures);
+	// quarantined modules are reported by name in the summary's
+	// coverage accounting.
+	Quarantined bool `json:"quarantined,omitempty"`
 	// Metrics holds the scalar measurements of the module.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Series holds vector measurements (e.g. per-temperature BER).
@@ -145,6 +180,9 @@ type Record struct {
 
 // Failed reports whether the record describes a failed job.
 func (r Record) Failed() bool { return r.Err != "" }
+
+// ModuleID returns the record's module identity ("mfr/index").
+func (r Record) ModuleID() string { return fmt.Sprintf("%s/%d", r.Mfr, r.Module) }
 
 // sortedKeys returns the record map's keys in canonical order.
 func sortedKeys(records map[string]Record) []string {

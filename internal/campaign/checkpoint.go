@@ -9,17 +9,30 @@ import (
 	"os"
 )
 
+// syncer is the durability hook of *os.File-like checkpoint writers.
+type syncer interface{ Sync() error }
+
 // WriteRecord appends one record to a JSONL checkpoint stream.
 // encoding/json sorts map keys, so a record's serialized form depends
 // only on its contents — never on insertion order.
+//
+// When w implements Sync (like *os.File) the write is fsynced before
+// returning, so a crash — not just a SIGINT — can lose at most the
+// in-flight record, never completed jobs buffered in the OS page
+// cache.
 func WriteRecord(w io.Writer, rec Record) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
 	b = append(b, '\n')
-	_, err = w.Write(b)
-	return err
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	if s, ok := w.(syncer); ok {
+		return s.Sync()
+	}
+	return nil
 }
 
 // ReadCheckpoint parses a JSONL checkpoint stream into a key→record

@@ -4,20 +4,46 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
+	"time"
+
+	"rowhammer/internal/rng"
 )
 
 // Runner executes one job and returns its record. Runners must be
 // deterministic in (spec seed, job) and safe for concurrent use; the
-// engine adds panic recovery and retry around every call.
+// engine adds panic recovery, per-attempt deadlines, backoff and retry
+// around every call. The attempt number is available to the runner via
+// Attempt(ctx), which is what lets deterministic fault injectors
+// (internal/inject) key transient faults on the attempt.
 type Runner func(ctx context.Context, spec Spec, job Job) (Record, error)
+
+// attemptKey carries the 1-based attempt number in the job context.
+type attemptKey struct{}
+
+// withAttempt annotates ctx with the attempt number.
+func withAttempt(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, n)
+}
+
+// Attempt returns the 1-based attempt number of the running job, or 1
+// when the context does not carry one (e.g. a runner called directly).
+func Attempt(ctx context.Context) int {
+	if n, ok := ctx.Value(attemptKey{}).(int); ok {
+		return n
+	}
+	return 1
+}
 
 // Options configures one engine run.
 type Options struct {
 	// Runner executes jobs (required).
 	Runner Runner
 	// Checkpoint, when non-nil, receives one JSONL record per finished
-	// job (successful or failed), written as each job completes.
+	// job (successful or failed), written as each job completes. If the
+	// writer also implements Sync (like *os.File), it is synced after
+	// every record so a crash can lose at most the in-flight record.
 	Checkpoint io.Writer
 	// Done holds records from a previous run (see ReadCheckpoint);
 	// successful entries are adopted without re-running their jobs.
@@ -36,12 +62,29 @@ type Result struct {
 	Records map[string]Record
 	// Completed counts jobs run to success by this engine invocation,
 	// Skipped jobs adopted from the resume checkpoint, and Failed jobs
-	// that exhausted their retries (including cancellations).
+	// that exhausted their retries (including cancellations and
+	// quarantined modules).
 	Completed, Skipped, Failed int
+	// Retried counts jobs that needed more than one attempt, and
+	// Quarantined the subset of failed jobs whose module tripped the
+	// circuit breaker.
+	Retried, Quarantined int
 }
 
 // Jobs returns the total number of jobs the spec expands to.
 func (r *Result) Jobs() int { return len(Expand(r.Spec)) }
+
+// QuarantinedModules lists the modules quarantined by the circuit
+// breaker, sorted, one entry per module.
+func (r *Result) QuarantinedModules() []string {
+	seen := map[string]bool{}
+	for _, rec := range r.Records {
+		if rec.Quarantined {
+			seen[rec.ModuleID()] = true
+		}
+	}
+	return sortedNames(seen)
+}
 
 // Run executes the campaign: it expands the spec, skips jobs already
 // present in opts.Done, and runs the remainder on spec.Workers
@@ -72,6 +115,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		pending = append(pending, j)
 	}
 
+	br := newBreaker(spec.BreakerThreshold)
 	jobCh := make(chan Job)
 	recCh := make(chan Record)
 	var wg sync.WaitGroup
@@ -84,7 +128,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				recCh <- runJob(ctx, opts.Runner, spec, j)
+				recCh <- runJob(ctx, opts.Runner, spec, j, br)
 			}
 		}()
 	}
@@ -114,8 +158,14 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		res.Records[rec.Key] = rec
 		if rec.Failed() {
 			res.Failed++
+			if rec.Quarantined {
+				res.Quarantined++
+			}
 		} else {
 			res.Completed++
+		}
+		if rec.Attempts > 1 {
+			res.Retried++
 		}
 		done++
 		if opts.Checkpoint != nil && cpErr == nil {
@@ -132,19 +182,72 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		return res, err
 	}
 	if res.Failed > 0 {
+		if res.Quarantined > 0 {
+			return res, fmt.Errorf("campaign: %d of %d jobs failed (%d quarantined: %s)",
+				res.Failed, len(jobs), res.Quarantined, strings.Join(res.QuarantinedModules(), ", "))
+		}
 		return res, fmt.Errorf("campaign: %d of %d jobs failed", res.Failed, len(jobs))
 	}
 	return res, nil
 }
 
-// runJob executes one job with panic recovery and bounded retry.
-func runJob(ctx context.Context, runner Runner, spec Spec, job Job) Record {
+// breaker is the per-module circuit breaker: it counts consecutive
+// failed attempts per module and opens (quarantines) a module once the
+// threshold is reached. Workers share one breaker, so it is locked.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	consec    map[string]int
+	open      map[string]bool
+}
+
+func newBreaker(threshold int) *breaker {
+	return &breaker{threshold: threshold, consec: map[string]int{}, open: map[string]bool{}}
+}
+
+// tripped reports whether the module is quarantined.
+func (b *breaker) tripped(module string) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open[module]
+}
+
+// observe records one attempt outcome and reports whether the module
+// is now (or already was) quarantined.
+func (b *breaker) observe(module string, failed bool) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !failed {
+		b.consec[module] = 0
+		return b.open[module]
+	}
+	b.consec[module]++
+	if b.consec[module] >= b.threshold {
+		b.open[module] = true
+	}
+	return b.open[module]
+}
+
+// runJob executes one job with panic recovery, per-attempt deadlines,
+// deterministic exponential backoff and the circuit breaker.
+func runJob(ctx context.Context, runner Runner, spec Spec, job Job, br *breaker) Record {
+	module := job.ModuleID()
 	var lastErr error
 	attempts := 0
 	for attempts <= spec.MaxRetries {
+		if br.tripped(module) {
+			return quarantinedRecord(job, attempts, lastErr)
+		}
 		attempts++
-		rec, err := safeRun(ctx, runner, spec, job)
+		rec, err := safeRun(ctx, spec, runner, job, attempts)
 		if err == nil {
+			br.observe(module, false)
 			rec.Key = job.Key()
 			rec.Kind = job.Kind
 			rec.Mfr = job.Mfr
@@ -153,8 +256,15 @@ func runJob(ctx context.Context, runner Runner, spec Spec, job Job) Record {
 			return rec
 		}
 		lastErr = err
+		if br.observe(module, true) {
+			return quarantinedRecord(job, attempts, lastErr)
+		}
 		if ctx.Err() != nil {
-			// Cancelled mid-job: retrying would just fail again.
+			// The campaign (not just the attempt) was cancelled:
+			// retrying would just fail again.
+			break
+		}
+		if attempts <= spec.MaxRetries && !sleepBackoff(ctx, spec, job, attempts) {
 			break
 		}
 	}
@@ -164,13 +274,74 @@ func runJob(ctx context.Context, runner Runner, spec Spec, job Job) Record {
 	}
 }
 
-// safeRun invokes the runner, converting a panic into an error so a
-// single bad module cannot take down the fleet run.
-func safeRun(ctx context.Context, runner Runner, spec Spec, job Job) (rec Record, err error) {
+// quarantinedRecord builds the failed record of a breaker-tripped
+// module. cause may be nil when the module was quarantined by an
+// earlier job before this one ran an attempt.
+func quarantinedRecord(job Job, attempts int, cause error) Record {
+	msg := fmt.Sprintf("module %s quarantined by circuit breaker", job.ModuleID())
+	if cause != nil {
+		msg = fmt.Sprintf("%s: %v", msg, cause)
+	}
+	return Record{
+		Key: job.Key(), Kind: job.Kind, Mfr: job.Mfr, Module: job.Module,
+		Attempts: attempts, Err: msg, Quarantined: true,
+	}
+}
+
+// safeRun invokes the runner for one attempt — with the attempt number
+// in the context, under the per-attempt deadline — converting a panic
+// into an error so a single bad module cannot take down the fleet run.
+func safeRun(ctx context.Context, spec Spec, runner Runner, job Job, attempt int) (rec Record, err error) {
+	actx := withAttempt(ctx, attempt)
+	if spec.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(actx, spec.JobTimeout)
+		defer cancel()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job %s panicked: %v", job.Key(), r)
 		}
 	}()
-	return runner(ctx, spec, job)
+	rec, err = runner(actx, spec, job)
+	if err == nil && actx.Err() != nil {
+		// The attempt deadline fired but the runner returned a record
+		// anyway: treat it as failed — a timed-out readout is torn.
+		err = fmt.Errorf("job %s attempt %d: %w", job.Key(), attempt, actx.Err())
+	}
+	return rec, err
+}
+
+// sleepBackoff blocks for the deterministic backoff delay before the
+// next retry; it returns false when the campaign is cancelled first.
+func sleepBackoff(ctx context.Context, spec Spec, job Job, attempt int) bool {
+	d := backoffDelay(spec, job, attempt)
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// backoffDelay returns RetryBackoff·2^(attempt-1) capped at 32×, plus
+// a jitter in [0, RetryBackoff) derived deterministically from
+// (seed, job key, attempt) — reproducible, yet decorrelated across
+// jobs so retries never stampede the substrate in lockstep.
+func backoffDelay(spec Spec, job Job, attempt int) time.Duration {
+	base := spec.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 5 {
+		shift = 5
+	}
+	jitter := time.Duration(rng.Hash64(spec.Seed, rng.HashString(job.Key()), uint64(attempt)) % uint64(base))
+	return base<<shift + jitter
 }

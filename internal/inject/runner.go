@@ -1,0 +1,55 @@
+package inject
+
+import (
+	"context"
+	"fmt"
+
+	"rowhammer/internal/campaign"
+	"rowhammer/internal/thermal"
+)
+
+// WrapRunner interposes the fault profile on a campaign runner. Each
+// job attempt independently draws from every enabled fault class,
+// keyed on (profile seed, fault channel, job key, attempt number) —
+// attempt numbers come from campaign.Attempt(ctx), which the engine
+// sets per try. Because attempts beyond MaxFaultAttempts always run
+// clean and the inner runner is a pure function of (spec, job), a
+// campaign with MaxRetries ≥ MaxFaultAttempts recovers every
+// transient fault and aggregates bit-identically to a fault-free run.
+//
+// Dead modules fail every attempt with ErrDeadModule; only the
+// engine's circuit breaker ends their retries.
+func WrapRunner(inner campaign.Runner, p *Profile) campaign.Runner {
+	if !p.Active() {
+		return inner
+	}
+	return func(ctx context.Context, spec campaign.Spec, job campaign.Job) (campaign.Record, error) {
+		attempt := campaign.Attempt(ctx)
+		key := job.Key()
+		if p.dead(job.ModuleID()) {
+			return campaign.Record{}, fmt.Errorf("%w: %s never responds (wedged board)", ErrDeadModule, job.ModuleID())
+		}
+		if p.hitAttempt(p.LatencySpikeRate, chLatency, key, attempt) {
+			if err := sleepCtx(ctx, p.LatencySpike); err != nil {
+				return campaign.Record{}, fmt.Errorf("inject: latency spike on %s attempt %d: %w", key, attempt, err)
+			}
+		}
+		if p.hitAttempt(p.CmdErrRate, chCmd, key, attempt) {
+			return campaign.Record{}, fmt.Errorf("%w: %s attempt %d", ErrLinkFault, key, attempt)
+		}
+		if p.hitAttempt(p.DriftRate, chDrift, key, attempt) {
+			return campaign.Record{}, fmt.Errorf("inject: %s attempt %d: %w: left the ±0.5 °C band mid-measurement",
+				key, attempt, thermal.ErrGuardband)
+		}
+		rec, err := inner(ctx, spec, job)
+		if err != nil {
+			return rec, err
+		}
+		if p.hitAttempt(p.ReadCorruptRate, chRead, key, attempt) {
+			// The measurement ran, but its readback failed the CRC:
+			// discard the record so the retry re-measures.
+			return campaign.Record{}, fmt.Errorf("%w: %s attempt %d, readout discarded", ErrReadCRC, key, attempt)
+		}
+		return rec, nil
+	}
+}

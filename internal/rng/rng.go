@@ -46,6 +46,27 @@ func Hash64(keys ...uint64) uint64 {
 	return splitmix64(h)
 }
 
+// HashString hashes a string into a 64-bit value, for keying
+// deterministic draws on textual identities (job keys, module names,
+// fault channels). Like Hash64 it is a pure function of its input.
+func HashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	var chunk uint64
+	n := 0
+	for i := 0; i < len(s); i++ {
+		chunk = chunk<<8 | uint64(s[i])
+		if n++; n == 8 {
+			h = Mix(h, chunk)
+			chunk, n = 0, 0
+		}
+	}
+	if n > 0 {
+		h = Mix(h, chunk)
+	}
+	// Fold in the length so "a\x00" and "a" cannot collide.
+	return Mix(h, uint64(len(s)))
+}
+
 // Uniform01 maps a 64-bit hash to a float64 in [0, 1).
 func Uniform01(h uint64) float64 {
 	return float64(h>>11) * (1.0 / (1 << 53))

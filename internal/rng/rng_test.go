@@ -279,3 +279,21 @@ func BenchmarkStreamUint64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestHashStringStableAndDistinct(t *testing.T) {
+	a := HashString("hcfirst/A/0")
+	if a != HashString("hcfirst/A/0") {
+		t.Fatal("HashString not deterministic")
+	}
+	// Distinguishes strings that only differ past the first 8-byte
+	// chunk, and length-prefix-related collisions.
+	cases := []string{"", "a", "hcfirst/A/1", "hcfirst/B/0", "hcfirst/A/00", "hcfirst/A/0\x00"}
+	seen := map[uint64]string{a: "hcfirst/A/0"}
+	for _, s := range cases {
+		h := HashString(s)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision: %q and %q both hash to %#x", prev, s, h)
+		}
+		seen[h] = s
+	}
+}

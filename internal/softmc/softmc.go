@@ -163,6 +163,17 @@ func (b *Builder) Program() *Program {
 	return p
 }
 
+// Device is the hardware surface the executor drives: one module's
+// raw command interface plus the bulk-hammer fast path and its clock.
+// *dram.Module implements Device; fault-injection wrappers
+// (internal/inject) interpose on it to model a misbehaving FPGA link
+// without the executor or the programs knowing.
+type Device interface {
+	Exec(cmd dram.Command, now dram.Picos) (uint64, error)
+	HammerBulk(bank int, rows []int, count int64, aggOn, aggOff dram.Picos, start dram.Picos) (dram.Picos, error)
+	Timing() dram.Timing
+}
+
 // TraceEntry records one issued command for verification (Fig. 6).
 type TraceEntry struct {
 	At  dram.Picos
@@ -179,18 +190,22 @@ type Result struct {
 	Trace []TraceEntry
 }
 
-// Executor runs programs against one module. Time persists across
+// Executor runs programs against one device. Time persists across
 // Run calls (like a powered-up board).
 type Executor struct {
-	mod   *dram.Module
+	mod   Device
 	now   dram.Picos
 	tck   dram.Picos
 	trace bool
 }
 
 // NewExecutor returns an executor clocked at the module timing's tCK.
-func NewExecutor(mod *dram.Module) *Executor {
-	return &Executor{mod: mod, tck: mod.Timing().TCK}
+func NewExecutor(mod *dram.Module) *Executor { return NewExecutorOn(mod) }
+
+// NewExecutorOn returns an executor driving an arbitrary Device —
+// usually a fault-injection wrapper around a real module.
+func NewExecutorOn(dev Device) *Executor {
+	return &Executor{mod: dev, tck: dev.Timing().TCK}
 }
 
 // SetTrace enables or disables command tracing.

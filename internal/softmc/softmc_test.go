@@ -260,6 +260,63 @@ func TestGenericLoopUnrollCap(t *testing.T) {
 	}
 }
 
+func TestLoopNestingLimitEnforced(t *testing.T) {
+	m := newTestModule(t)
+	tm := m.Timing()
+	b := NewBuilder(tm.TCK)
+	// Nest one level past loopDepthLimit; each level is a 2× loop so
+	// the unroll cap (2^9 instructions) is nowhere near tripped.
+	var nest func(depth int, body *Builder)
+	nest = func(depth int, body *Builder) {
+		if depth == 0 {
+			body.Wait(tm.TRP)
+			return
+		}
+		body.Loop(2, func(inner *Builder) { nest(depth-1, inner) })
+	}
+	nest(loopDepthLimit+1, b)
+	_, err := NewExecutor(m).Run(b.Program())
+	if err == nil || !strings.Contains(err.Error(), "loop nesting exceeds") {
+		t.Fatalf("expected nesting-limit error, got %v", err)
+	}
+	// At exactly the limit the program is legal.
+	b2 := NewBuilder(tm.TCK)
+	nest(loopDepthLimit, b2)
+	if _, err := NewExecutor(m).Run(b2.Program()); err != nil {
+		t.Fatalf("nesting at the limit should run, got %v", err)
+	}
+}
+
+func TestUnrollCapErrorNamesTheCount(t *testing.T) {
+	m := newTestModule(t)
+	tm := m.Timing()
+	b := NewBuilder(tm.TCK)
+	b.Loop(1<<21, func(body *Builder) { body.Wait(tm.TRP) })
+	_, err := NewExecutor(m).Run(b.Program())
+	if err == nil || !strings.Contains(err.Error(), "unrolls to") {
+		t.Fatalf("expected unroll-cap error naming the count, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "Hammer") {
+		t.Fatalf("unroll-cap error should point at Hammer, got %v", err)
+	}
+}
+
+func TestUnknownInstructionKindRejected(t *testing.T) {
+	m := newTestModule(t)
+	p := &Program{Instrs: []Instr{{Kind: Kind(99)}}}
+	_, err := NewExecutor(m).Run(p)
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("expected unknown-kind error, got %v", err)
+	}
+	// Inside a loop body the same guard fires too.
+	p2 := &Program{Instrs: []Instr{
+		{Kind: KLoop, Count: 1, Body: []Instr{{Kind: Kind(77)}}},
+	}}
+	if _, err := NewExecutor(m).Run(p2); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("expected unknown-kind error in loop body, got %v", err)
+	}
+}
+
 func TestGenericLoopErrorIncludesIteration(t *testing.T) {
 	m := newTestModule(t)
 	tm := m.Timing()

@@ -479,6 +479,16 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
+// SummarizeInts summarizes an integer sample — e.g. the per-job
+// attempt counts the campaign engine's coverage accounting reports.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
 // ECDF returns, for each probe point, the fraction of xs that is <= it.
 func ECDF(xs []float64, probes []float64) []float64 {
 	s := Sorted(xs)

@@ -402,3 +402,14 @@ func TestSummaryJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
 	}
 }
+
+func TestSummarizeInts(t *testing.T) {
+	got := SummarizeInts([]int{3, 1, 2})
+	want := Summarize([]float64{1, 2, 3})
+	if got != want {
+		t.Fatalf("SummarizeInts = %+v, want %+v", got, want)
+	}
+	if SummarizeInts(nil) != (Summary{}) {
+		t.Fatal("empty int sample should give zero summary")
+	}
+}

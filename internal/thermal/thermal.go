@@ -27,6 +27,10 @@ type Plant struct {
 	// power (0 = heater-only rig, the study's configuration; Defense
 	// Improvement 4 motivates adding cooling capacity).
 	CoolerMaxW float64
+	// DisturbW is extra uncontrolled power dumped into the plant each
+	// step — the knob fault injectors use to model drafts, neighbouring
+	// heaters, or a detached pad. Positive heats, negative cools.
+	DisturbW float64
 
 	tempC float64
 }
@@ -68,7 +72,7 @@ func (p *Plant) Step(dt, duty float64) {
 	if duty < 0 {
 		power = duty * p.CoolerMaxW
 	}
-	dT := (power - (p.tempC-p.AmbientC)/p.ResistanceCPerW) / p.CapacityJPerC
+	dT := (power + p.DisturbW - (p.tempC-p.AmbientC)/p.ResistanceCPerW) / p.CapacityJPerC
 	p.tempC += dT * dt
 }
 
@@ -156,6 +160,11 @@ type Chamber struct {
 	HoldSteps int
 	// MaxSettleSeconds bounds a settle operation.
 	MaxSettleSeconds float64
+	// Disturb, when non-nil, is sampled every control step and its
+	// return value is applied as uncontrolled plant power (W). Fault
+	// injectors use it to drive deterministic thermal drift; the PID
+	// fights it like the real chamber fights a draft.
+	Disturb func(elapsedSeconds float64) float64
 
 	setpoint float64
 	elapsed  float64
@@ -201,10 +210,7 @@ func (ch *Chamber) SetAndSettle(tempC float64) error {
 	ch.PID.Reset()
 	inBand := 0
 	for t := 0.0; t < ch.MaxSettleSeconds; t += ch.StepSeconds {
-		measured := ch.TC.Read(ch.Plant)
-		duty := ch.PID.Update(tempC-measured, ch.StepSeconds)
-		ch.Plant.Step(ch.StepSeconds, duty)
-		ch.elapsed += ch.StepSeconds
+		measured := ch.step()
 		if diff := measured - tempC; diff >= -ch.ToleranceC && diff <= ch.ToleranceC {
 			inBand++
 			if inBand >= ch.HoldSteps {
@@ -217,22 +223,49 @@ func (ch *Chamber) SetAndSettle(tempC float64) error {
 	return ErrSettleTimeout
 }
 
+// step advances one control period toward the current setpoint,
+// sampling the disturbance hook first, and returns the measured
+// temperature.
+func (ch *Chamber) step() float64 {
+	if ch.Disturb != nil {
+		ch.Plant.DisturbW = ch.Disturb(ch.elapsed)
+	}
+	measured := ch.TC.Read(ch.Plant)
+	duty := ch.PID.Update(ch.setpoint-measured, ch.StepSeconds)
+	ch.Plant.Step(ch.StepSeconds, duty)
+	ch.elapsed += ch.StepSeconds
+	return measured
+}
+
 // Hold runs the loop for the given simulated seconds, maintaining the
 // current setpoint, and returns the worst absolute deviation observed.
 func (ch *Chamber) Hold(seconds float64) float64 {
+	worst, _ := ch.HoldWithin(seconds, 0)
+	return worst
+}
+
+// ErrGuardband reports that a guarded hold left the validity band.
+var ErrGuardband = errors.New("thermal: temperature drifted beyond guardband")
+
+// HoldWithin runs the loop like Hold but additionally enforces the
+// study's measurement-validity guardband: if bandC > 0 and the
+// measured temperature strays more than bandC from the setpoint
+// (±0.5 °C in §4.1), the hold keeps regulating to the end but returns
+// ErrGuardband so the caller can discard and re-run the measurement.
+func (ch *Chamber) HoldWithin(seconds, bandC float64) (float64, error) {
 	worst := 0.0
 	for t := 0.0; t < seconds; t += ch.StepSeconds {
-		measured := ch.TC.Read(ch.Plant)
-		duty := ch.PID.Update(ch.setpoint-measured, ch.StepSeconds)
-		ch.Plant.Step(ch.StepSeconds, duty)
-		ch.elapsed += ch.StepSeconds
+		measured := ch.step()
 		if d := measured - ch.setpoint; d > worst {
 			worst = d
 		} else if -d > worst {
 			worst = -d
 		}
 	}
-	return worst
+	if bandC > 0 && worst > bandC {
+		return worst, fmt.Errorf("%w: worst deviation %.2f °C exceeds ±%.2f °C", ErrGuardband, worst, bandC)
+	}
+	return worst, nil
 }
 
 // Temperature returns the current measured temperature.

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -165,6 +166,58 @@ func TestCoolerOffPlantClampsNegativeDuty(t *testing.T) {
 	q.Step(1, 0)
 	if math.Abs(passive-(before-q.Temperature())) > 1e-9 {
 		t.Fatal("negative duty without cooler should equal duty 0")
+	}
+}
+
+func TestPlantDisturbanceShiftsEquilibrium(t *testing.T) {
+	p := DefaultPlant()
+	// An uncontrolled disturbance adds DisturbW*Rθ to the steady state.
+	p.DisturbW = 20
+	want := p.AmbientC + 20*p.ResistanceCPerW
+	for i := 0; i < 20000; i++ {
+		p.Step(0.5, 0)
+	}
+	if math.Abs(p.Temperature()-want) > 0.5 {
+		t.Fatalf("disturbed equilibrium %v, want %v", p.Temperature(), want)
+	}
+}
+
+func TestChamberHoldWithinGuardband(t *testing.T) {
+	ch := NewChamber(8)
+	if err := ch.SetAndSettle(70); err != nil {
+		t.Fatal(err)
+	}
+	worst, err := ch.HoldWithin(60, 0.5)
+	if err != nil {
+		t.Fatalf("healthy chamber breached the guardband (worst %v): %v", worst, err)
+	}
+	if worst <= 0 {
+		t.Fatal("worst deviation should be positive (thermocouple noise)")
+	}
+}
+
+func TestChamberDisturbHookBreachesGuardband(t *testing.T) {
+	ch := NewChamber(9)
+	ch.EnableCooler(80) // recovery below needs active cooling
+	if err := ch.SetAndSettle(70); err != nil {
+		t.Fatal(err)
+	}
+	// A constant 60 W leak overwhelms the PID's guardband authority.
+	ch.Disturb = func(elapsed float64) float64 { return 60 }
+	worst, err := ch.HoldWithin(60, 0.5)
+	if !errors.Is(err, ErrGuardband) {
+		t.Fatalf("expected ErrGuardband, got worst %v, err %v", worst, err)
+	}
+	if worst <= 0.5 {
+		t.Fatalf("reported worst %v should exceed the band", worst)
+	}
+	// The hook clears with the disturbance: the PID recovers.
+	ch.Disturb = nil
+	if err := ch.SetAndSettle(70); err != nil {
+		t.Fatalf("chamber did not recover: %v", err)
+	}
+	if _, err := ch.HoldWithin(60, 0.5); err != nil {
+		t.Fatalf("recovered chamber breached the guardband: %v", err)
 	}
 }
 
