@@ -1,6 +1,8 @@
 GO ?= go
+BENCHTIME ?= 20x
+BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: all build test race vet bench chaos check
+.PHONY: all build test race vet bench bench-json chaos check
 
 all: check
 
@@ -21,6 +23,15 @@ vet:
 
 bench:
 	$(GO) test -bench CampaignFleet -run '^$$' -benchtime 3x .
+
+# Benchmark-regression harness: run the two tracked end-to-end
+# benchmarks and record them as JSON. The committed $(BENCHOUT) keeps
+# the pre-change numbers under "baselines" — benchjson preserves that
+# key when regenerating. CI runs this with BENCHTIME=1x as a smoke
+# test and uploads the artifact.
+bench-json:
+	$(GO) test -bench 'HammerThroughput|CampaignFleet' -run '^$$' -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
 # The fault-injection suite under the race detector: hardened engine
 # (retry/backoff/breaker) driven through internal/inject, proving the

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document for benchmark-regression tracking.
+//
+// Usage:
+//
+//	go test -bench 'HammerThroughput|CampaignFleet' -run '^$' . | benchjson -o BENCH_pr3.json
+//
+// Each benchmark line becomes one entry keyed by its name (the
+// trailing -GOMAXPROCS suffix is stripped) holding ns/op plus any
+// custom metrics the benchmark reported (jobs/sec, activations/s,
+// B/op, allocs/op, ...). If the output file already exists, its
+// "baselines" key is preserved so a committed pre-change baseline
+// survives regeneration.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkCampaignFleet/workers=1-8   2   792291484 ns/op   40.39 jobs/sec
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+type entry struct {
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON path (default: stdout)")
+	flag.Parse()
+
+	doc := map[string]any{}
+	if *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old map[string]any
+			if json.Unmarshal(prev, &old) == nil {
+				if base, ok := old["baselines"]; ok {
+					doc["baselines"] = base
+				}
+			}
+		}
+	}
+
+	benches := map[string]entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchName.FindStringSubmatch(line)
+		if m == nil {
+			// Echo non-benchmark lines so the pipe stays observable.
+			fmt.Fprintln(os.Stderr, sc.Text())
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		e := entry{Iterations: iters, Metrics: map[string]float64{}}
+		// The tail alternates value/unit pairs: "792291484 ns/op 40.39 jobs/sec".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		benches[strings.TrimPrefix(m[1], "Benchmark")] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	doc["benchmarks"] = benches
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%s)\n", len(benches), *out, strings.Join(names, ", "))
+}

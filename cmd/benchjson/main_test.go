@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestBenchNameRegexp(t *testing.T) {
+	cases := []struct {
+		line       string
+		name       string
+		iters      string
+		wantTail   string
+		shouldskip bool
+	}{
+		{
+			line:     "BenchmarkCampaignFleet/workers=1-8   \t       2\t 792291484 ns/op\t     40.39 jobs/sec",
+			name:     "BenchmarkCampaignFleet/workers=1",
+			iters:    "2",
+			wantTail: "792291484 ns/op",
+		},
+		{
+			line:     "BenchmarkHammerThroughput 300 3997829 ns/op 256166348 activations/s",
+			name:     "BenchmarkHammerThroughput",
+			iters:    "300",
+			wantTail: "3997829 ns/op",
+		},
+		{line: "goos: linux", shouldskip: true},
+		{line: "PASS", shouldskip: true},
+		{line: "ok  \trowhammer\t12.3s", shouldskip: true},
+	}
+	for _, c := range cases {
+		m := benchName.FindStringSubmatch(c.line)
+		if c.shouldskip {
+			if m != nil {
+				t.Errorf("line %q unexpectedly matched", c.line)
+			}
+			continue
+		}
+		if m == nil {
+			t.Errorf("line %q did not match", c.line)
+			continue
+		}
+		if m[1] != c.name || m[2] != c.iters {
+			t.Errorf("line %q parsed as name=%q iters=%q, want %q/%q", c.line, m[1], m[2], c.name, c.iters)
+		}
+	}
+}

@@ -20,7 +20,17 @@ import (
 
 	rh "rowhammer"
 	"rowhammer/internal/exp"
+	"rowhammer/internal/profiling"
 )
+
+// stopProfiles finishes any active pprof profiles; exit routes every
+// termination through it because os.Exit skips deferred calls.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -30,18 +40,28 @@ func main() {
 		list    = flag.Bool("list", false, "list available experiments")
 		workers = flag.Int("workers", 0, "max concurrent manufacturers (0 = one per CPU)")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhchar: %v\n", err)
+		os.Exit(2)
+	}
+	stopProfiles = stopProf
+	defer stopProfiles()
 
 	// Reject nonsense before it reaches the worker pool: a negative
 	// worker count or timeout is a usage error, not undefined behavior.
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "rhchar: -workers must be >= 0 (0 = one per CPU), got %d\n", *workers)
-		os.Exit(2)
+		exit(2)
 	}
 	if *timeout < 0 {
 		fmt.Fprintf(os.Stderr, "rhchar: -timeout must be >= 0 (0 = no limit), got %v\n", *timeout)
-		os.Exit(2)
+		exit(2)
 	}
 
 	if *list || *expID == "" {
@@ -67,7 +87,7 @@ func main() {
 		cfg.Geometry = rh.Geometry{Banks: 4, RowsPerBank: 65536, SubarrayRows: 512, Chips: 8, ChipWidth: 8, ColumnsPerRow: 128}
 	default:
 		fmt.Fprintf(os.Stderr, "rhchar: unknown scale %q\n", *scale)
-		os.Exit(2)
+		exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -87,7 +107,7 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "rhchar: %s: %v\n", e.ID, err)
 			}
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
@@ -101,7 +121,7 @@ func main() {
 	e := exp.ByID(*expID)
 	if e == nil {
 		fmt.Fprintf(os.Stderr, "rhchar: unknown experiment %q (use -list)\n", *expID)
-		os.Exit(2)
+		exit(2)
 	}
 	run(*e)
 }

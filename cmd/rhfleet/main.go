@@ -30,7 +30,18 @@ import (
 	"time"
 
 	rh "rowhammer"
+	"rowhammer/internal/profiling"
 )
+
+// stopProfiles finishes any active pprof profiles. Every termination
+// path (fatal, fatalUsage, exit) routes through it because os.Exit
+// skips deferred calls.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -52,6 +63,8 @@ func main() {
 		sumOut  = flag.String("summary", "", "also write the fleet summary JSON to this path")
 		specIn  = flag.String("spec", "", "load the campaign spec from a JSON file (flags above are ignored)")
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of rhfleet:\n")
@@ -67,6 +80,13 @@ Exit codes:
 `)
 	}
 	flag.Parse()
+
+	stopProf, perr := profiling.Start(*cpuProf, *memProf)
+	if perr != nil {
+		fatalUsage(perr)
+	}
+	stopProfiles = stopProf
+	defer stopProfiles()
 
 	profile, err := rh.ParseFaultProfile(*faults)
 	if err != nil {
@@ -151,12 +171,14 @@ Exit codes:
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "rhfleet: interrupted (%v); resume with -resume %s\n", err, *out)
-			os.Exit(3)
+			f.Close()
+			exit(3)
 		}
 		if res != nil && res.Quarantined > 0 {
 			fmt.Fprintf(os.Stderr, "rhfleet: partial result: %d jobs quarantined (modules %s); coverage accounting is in the summary\n",
 				res.Quarantined, strings.Join(res.QuarantinedModules, ", "))
-			os.Exit(4)
+			f.Close()
+			exit(4)
 		}
 		fatal(err)
 	}
@@ -270,10 +292,10 @@ func validKind(kind string) error {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "rhfleet: %v\n", err)
-	os.Exit(1)
+	exit(1)
 }
 
 func fatalUsage(err error) {
 	fmt.Fprintf(os.Stderr, "rhfleet: %v\n", err)
-	os.Exit(2)
+	exit(2)
 }

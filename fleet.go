@@ -8,6 +8,7 @@ import (
 
 	"rowhammer/internal/campaign"
 	"rowhammer/internal/inject"
+	"rowhammer/internal/pool"
 )
 
 // Fleet campaigns: the population-scale front door of the package.
@@ -187,6 +188,21 @@ func moduleRunner(scale Scale, geom Geometry) campaign.Runner {
 			return campaign.Record{}, err
 		}
 		t := NewTester(b)
+		// Split the machine between the campaign pool and the
+		// per-module row parallelism: when the campaign already runs
+		// several modules concurrently, each module's measurement
+		// cores get the remaining share of the CPUs. Results are
+		// worker-count-invariant, so this is purely a scheduling
+		// decision.
+		campaignWorkers := spec.Workers
+		if campaignWorkers < 1 {
+			campaignWorkers = pool.DefaultWorkers()
+		}
+		inner := pool.DefaultWorkers() / campaignWorkers
+		if inner < 1 {
+			inner = 1
+		}
+		t.SetWorkers(inner)
 		scope := MeasureScope{Scale: scale, Temps: spec.Temps}
 
 		var pat PatternKind

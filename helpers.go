@@ -26,15 +26,16 @@ func newRowFiller(t *Tester, bank int, pat dram.PatternKind) *rowFiller {
 }
 
 // fill writes the pattern into a row addressed by *logical* index,
-// labeled with the given distance for Table 1 parity selection.
+// labeled with the given distance for Table 1 parity selection. The
+// column burst is issued as one bulk WrRow (bit-identical to the
+// per-command sequence).
 func (f *rowFiller) fill(logical, dist int) {
 	g := f.t.b.Geometry()
 	tm := f.t.b.Timing()
 	f.bld.Act(f.bank, logical).Wait(tm.TRCD)
-	for col := 0; col < g.ColumnsPerRow; col++ {
-		f.bld.Wr(f.bank, col, f.pat.FillWord(f.t.patternSeed, f.bank, logical, dist, col))
-		f.bld.Wait(tm.TCCD)
-	}
+	words := make([]uint64, g.ColumnsPerRow)
+	f.t.fillRow(words, f.bank, logical, dist, f.pat)
+	f.bld.WrRow(f.bank, words, tm.TCCD)
 	f.bld.Wait(tm.TRAS).Pre(f.bank).Wait(tm.TRP)
 }
 

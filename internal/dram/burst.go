@@ -1,0 +1,123 @@
+package dram
+
+// Bulk column bursts: the per-row data movement of every RowHammer
+// test (write the pattern, read back the flips) issues one command per
+// column through the interpreter, which dominates the hot path once
+// disturb evaluation is memoized. WrRowBulk/RdRowBulk execute a whole
+// column burst in one call with identical protocol checks, identical
+// module state, and identical timestamps to the equivalent Wr/Rd+Wait
+// command sequence — the softmc executor maps KWrRow/KRdRow here.
+//
+// Unlike the per-command sequence, a burst validates up front and
+// mutates nothing on error (the per-command path can fail midway with
+// columns already written); programs abort on error either way.
+
+// burstSetup performs the shared protocol validation of a column
+// burst: open row, burst length, tRCD from the activation, tCCD from
+// the previous column command and between burst beats.
+func (m *Module) burstSetup(op Op, bank, n int, step, start Picos) (*bankState, error) {
+	cmd := Command{Op: op, Bank: bank}
+	b, err := m.bank(cmd, start)
+	if err != nil {
+		return nil, err
+	}
+	if b.activeRow < 0 {
+		msg := "read from precharged bank"
+		if op == OpWr {
+			msg = "write to precharged bank"
+		}
+		return nil, &ProtocolError{Msg: msg, Cmd: cmd, At: start}
+	}
+	if n > m.geo.ColumnsPerRow {
+		cmd.Col = n - 1
+		return nil, &ProtocolError{Msg: "column out of range", Cmd: cmd, At: start}
+	}
+	if d := start - b.lastActAt; d < m.timing.TRCD {
+		return nil, &TimingError{Param: "tRCD", Required: m.timing.TRCD, Actual: d, Cmd: cmd, At: start}
+	}
+	if b.everCol {
+		if d := start - b.lastColAt; d < m.timing.TCCD {
+			return nil, &TimingError{Param: "tCCD", Required: m.timing.TCCD, Actual: d, Cmd: cmd, At: start}
+		}
+	}
+	if n > 1 && step < m.timing.TCCD {
+		return nil, &TimingError{Param: "tCCD", Required: m.timing.TCCD, Actual: step, Cmd: cmd, At: start}
+	}
+	return b, nil
+}
+
+// WrRowBulk writes beat data[col] to column col of the open row of a
+// bank, commands spaced step apart starting at start. State after the
+// call — stored data, ECC check words, stats, column timestamps — is
+// bit-identical to issuing the equivalent Wr command sequence.
+func (m *Module) WrRowBulk(bank int, data []uint64, step, start Picos) error {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	b, err := m.burstSetup(OpWr, bank, n, step, start)
+	if err != nil {
+		return err
+	}
+	row := b.data(b.activeRow, m.geo.RowWords())
+	var chk []uint8
+	if m.cfg.OnDieECC && m.beatBits == 64 {
+		chk = b.check[b.activeRow]
+		if chk == nil {
+			chk = make([]uint8, m.geo.ColumnsPerRow)
+			b.check[b.activeRow] = chk
+		}
+	}
+	for col, beat := range data {
+		m.insertBeat(row, col, beat)
+		if chk != nil {
+			chk[col] = ECCEncode(beat)
+		}
+	}
+	last := start + Picos(n-1)*step
+	b.lastWrAt, b.lastColAt = last, last
+	b.everWr, b.everCol = true, true
+	m.stats.Writes += int64(n)
+	return nil
+}
+
+// RdRowBulk reads cols beats from columns 0..cols-1 of the open row of
+// a bank, commands spaced step apart starting at start, appending the
+// beats to dst. State and returned data are bit-identical to the
+// equivalent Rd command sequence.
+func (m *Module) RdRowBulk(bank, cols int, step, start Picos, dst []uint64) ([]uint64, error) {
+	if cols == 0 {
+		return dst, nil
+	}
+	if cols < 0 {
+		return dst, &ProtocolError{Msg: "column out of range", Cmd: Command{Op: OpRd, Bank: bank, Col: cols}, At: start}
+	}
+	b, err := m.burstSetup(OpRd, bank, cols, step, start)
+	if err != nil {
+		return dst, err
+	}
+	row := b.data(b.activeRow, m.geo.RowWords())
+	var chk []uint8
+	if m.cfg.OnDieECC && m.beatBits == 64 {
+		chk = b.check[b.activeRow]
+	}
+	for col := 0; col < cols; col++ {
+		beat := m.extractBeat(row, col)
+		if chk != nil {
+			corrected, res := ECCDecode(beat, chk[col])
+			switch res {
+			case ECCCorrected:
+				m.stats.ECCCorrected++
+				beat = corrected
+			case ECCDetectedUncorrectable:
+				m.stats.ECCUncorrectable++
+			}
+		}
+		dst = append(dst, beat)
+	}
+	last := start + Picos(cols-1)*step
+	b.lastRdAt, b.lastColAt = last, last
+	b.everRd, b.everCol = true, true
+	m.stats.Reads += int64(cols)
+	return dst, nil
+}

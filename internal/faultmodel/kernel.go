@@ -1,0 +1,296 @@
+package faultmodel
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/rng"
+)
+
+// The candidate-cell disturb kernel.
+//
+// Every characterization experiment reduces to asking, millions of
+// times, "which cells in this row flip under this effective hammer
+// count?". The reference path (disturbReference) answers by re-hashing
+// every bit of the row on every call. This kernel instead memoizes,
+// per (bank, row), the full candidate-cell set with all hash-derived
+// parameters precomputed, sorted ascending by rel — the cell threshold
+// relative to the row HCfirst. A Disturb call then binary-searches the
+// cutoff reachable at the ledger's effective hammer count and walks
+// only the candidates below it, evaluating the remaining per-call
+// predicates (stored data orientation, gating temperature, trial
+// noise, aggressor coupling) lazily per candidate.
+//
+// Equivalence with the reference path is load-bearing: the builder
+// replays the exact hash draws and float expressions of
+// disturbReference (rel grouping included — float multiplication is
+// not associative), and the differential tests in kernel_test.go
+// assert bit-identical flip sets across profiles, temperatures, data
+// patterns, seeds, and salts.
+
+// tempMargin is half of the 5 °C test step (exclusive): the slack
+// around a cell's vulnerable range and gap point.
+const tempMargin = 2.4
+
+// candidate is one vulnerable cell of a row with every hash-derived
+// parameter resolved at build time. 48 bytes.
+type candidate struct {
+	rel    float64 // mult × colFactor: threshold ≡ rowHC × rel (sort key)
+	h      uint64  // per-cell hash (feeds the salted trial noise)
+	loGate float64 // reject when tempC < loGate (−Inf: censored at 50 °C)
+	hiGate float64 // reject when tempC > hiGate (+Inf: censored at 90 °C)
+	gapT   float64 // skipped interior temperature point (NaN: no gap)
+	bit    int32
+	charged uint8 // 1 ⇒ true-cell
+}
+
+// candidateBytes is the approximate per-cell cache cost, for sizing
+// the LRU.
+const candidateBytes = 48
+
+// candCacheBudgetBytes bounds the total candidate-cache memory per
+// model. 64 MiB holds hundreds of rows at bench geometries and ~20
+// rows at the paper-scale 64 Ki-bit geometry.
+const candCacheBudgetBytes = 64 << 20
+
+// candCacheRows converts the memory budget into an LRU row capacity.
+func candCacheRows(rowBits int) int {
+	rows := candCacheBudgetBytes / (rowBits * candidateBytes)
+	if rows < 16 {
+		rows = 16
+	}
+	if rows > 4096 {
+		rows = 4096
+	}
+	return rows
+}
+
+// buildCandidates generates the sorted candidate set of one row. The
+// per-cell draws mirror disturbReference exactly, using the
+// fixed-arity hash fast paths (bit-identical to the variadic Hash64).
+func (m *Model) buildCandidates(bank, row int) []candidate {
+	rowBits := m.geo.RowBits()
+	cw := m.geo.ChipWidth
+	chips := m.geo.Chips
+	cells := make([]candidate, 0, rowBits)
+	// The (seed, bank, row) fold is shared by every bit of the row;
+	// Hash64Suffix completes it per bit, bit-identically to Hash64x4.
+	prefix := rng.HashPrefix(m.seed, uint64(bank), uint64(row))
+	for bit := 0; bit < rowBits; bit++ {
+		h := rng.Hash64Suffix(prefix, uint64(bit))
+
+		u := rng.Uniform01(rng.Hash64x2(h, keyCellMult1))
+		if u > m.p.VulnFrac {
+			continue
+		}
+		mult := math.Pow(float64(rowBits)*u, 1/m.p.TailAlpha)
+		if mult < minCellMult {
+			mult = minCellMult
+		}
+
+		line := bit % cw
+		rest := bit / cw
+		chip := rest % chips
+		col := rest / chips
+		rel := mult * m.colFactor[chip][col*cw+line]
+
+		// Resolve the temperature range and gap draws once; censored
+		// bounds become infinite gates and "no gap" becomes NaN, so
+		// the walk needs only three float compares.
+		lo, hi := m.cellTempRange(h)
+		loGate := math.Inf(-1)
+		if lo > 50 {
+			loGate = lo - tempMargin
+		}
+		hiGate := math.Inf(1)
+		if hi < 90 {
+			hiGate = hi + tempMargin
+		}
+		gapT := math.NaN()
+		if hi-lo >= 10 && m.p.GapProb > 0 {
+			if rng.Uniform01(rng.Hash64x2(h, keyCellGapU)) < m.p.GapProb {
+				interior := int(hi-lo)/5 - 1
+				pick := int(rng.Uniform01(rng.Hash64x2(h, keyCellGapT)) * float64(interior))
+				if pick >= interior {
+					pick = interior - 1
+				}
+				gapT = lo + float64(5*(pick+1))
+			}
+		}
+
+		cells = append(cells, candidate{
+			rel:     rel,
+			h:       h,
+			loGate:  loGate,
+			hiGate:  hiGate,
+			gapT:    gapT,
+			bit:     int32(bit),
+			charged: uint8(h & 1),
+		})
+	}
+	// The (rel, bit) key is unique per cell, so any sorting algorithm
+	// yields the same array; SortFunc avoids sort.Slice's reflection-
+	// based swapper on this hot build path.
+	slices.SortFunc(cells, func(a, b candidate) int {
+		if a.rel != b.rel {
+			if a.rel < b.rel {
+				return -1
+			}
+			return 1
+		}
+		return int(a.bit - b.bit)
+	})
+	return cells
+}
+
+// candidates returns the row's candidate set, building and caching it
+// on first use.
+func (m *Model) candidates(bank, row int) []candidate {
+	key := uint64(bank)<<32 | uint64(uint32(row))
+	if cs, ok := m.candCache.get(key); ok {
+		return cs
+	}
+	cs := m.buildCandidates(bank, row)
+	m.candCache.put(key, cs)
+	return cs
+}
+
+// disturbCandidates is the kernel walk. A cell can flip only when
+// heff·coupling ≥ rowHC·rel·noise with coupling ≤ 1 and noise ≥
+// exp(−σ·zmax), so candidates with rel above the inflated cutoff are
+// unreachable and the sorted order lets a binary search skip them all.
+func (m *Model) disturbCandidates(ctx dram.DisturbContext, rp rowParams, heff, tempC float64) int {
+	cells := m.candidates(ctx.Bank, ctx.Row)
+
+	cut := heff / (rp.hc * minCoupling)
+	if m.salt != 0 {
+		cut *= math.Exp(trialNoiseSigma * trialNoiseZMax)
+	}
+	n := sort.Search(len(cells), func(i int) bool { return cells[i].rel > cut })
+
+	up := ctx.NeighborData(1)
+	down := ctx.NeighborData(-1)
+	flips := 0
+	for i := 0; i < n; i++ {
+		c := &cells[i]
+
+		word, off := int(c.bit)>>6, uint(c.bit)&63
+		stored := ctx.Data[word] >> off & 1
+		if stored != uint64(c.charged) {
+			continue
+		}
+
+		// Gate comparisons are false for −Inf/+Inf/NaN exactly where
+		// tempInRange accepts, so censored ranges and gap-free cells
+		// pass for free.
+		if tempC < c.loGate || tempC > c.hiGate || math.Abs(tempC-c.gapT) < tempMargin {
+			continue
+		}
+
+		coupling := minCoupling
+		if bitDiffers(up, word, off, stored) || bitDiffers(down, word, off, stored) {
+			coupling = 1.0
+		}
+
+		base := rp.hc * c.rel
+		eff := heff * coupling
+		if m.salt == 0 {
+			if eff < base {
+				continue
+			}
+		} else if eff < base*trialNoiseFloor {
+			// Below even the most favorable truncated noise draw.
+			continue
+		} else if eff < base*trialNoiseCeil && eff < base*m.trialNoiseFactor(c.h) {
+			// Marginal band: only here does the outcome depend on the
+			// cell's actual noise draw, so only here do we pay for it.
+			continue
+		}
+
+		ctx.Data[word] ^= 1 << off
+		flips++
+	}
+	return flips
+}
+
+// candLRU is a bounded least-recently-used cache of candidate sets,
+// keyed like rowCache by bank<<32|row.
+type candLRU struct {
+	limit   int
+	entries map[uint64]*candEntry
+	head    *candEntry // most recently used
+	tail    *candEntry
+}
+
+type candEntry struct {
+	key        uint64
+	cells      []candidate
+	prev, next *candEntry
+}
+
+func newCandLRU(limit int) *candLRU {
+	if limit < 1 {
+		limit = 1
+	}
+	return &candLRU{limit: limit, entries: make(map[uint64]*candEntry, limit)}
+}
+
+func (l *candLRU) get(key uint64) ([]candidate, bool) {
+	e, ok := l.entries[key]
+	if !ok {
+		return nil, false
+	}
+	l.moveToFront(e)
+	return e.cells, true
+}
+
+func (l *candLRU) put(key uint64, cells []candidate) {
+	if e, ok := l.entries[key]; ok {
+		e.cells = cells
+		l.moveToFront(e)
+		return
+	}
+	e := &candEntry{key: key, cells: cells}
+	l.entries[key] = e
+	l.pushFront(e)
+	if len(l.entries) > l.limit {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.entries, evict.key)
+	}
+}
+
+func (l *candLRU) pushFront(e *candEntry) {
+	e.prev, e.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *candLRU) unlink(e *candEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *candLRU) moveToFront(e *candEntry) {
+	if l.head == e {
+		return
+	}
+	l.unlink(e)
+	l.pushFront(e)
+}

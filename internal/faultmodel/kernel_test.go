@@ -1,0 +1,270 @@
+package faultmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"rowhammer/internal/dram"
+	"rowhammer/internal/rng"
+)
+
+// fillPattern fills a row buffer with a named data pattern.
+func fillPattern(buf []uint64, pattern string, seed uint64) {
+	for i := range buf {
+		switch pattern {
+		case "zeros":
+			buf[i] = 0
+		case "ones":
+			buf[i] = ^uint64(0)
+		case "checkered":
+			buf[i] = 0xaaaaaaaaaaaaaaaa
+		case "random":
+			buf[i] = rng.Hash64x2(seed, uint64(i))
+		default:
+			panic("unknown pattern " + pattern)
+		}
+	}
+}
+
+// diffDisturb runs the candidate kernel and the reference per-bit path
+// on identical inputs and fails the test unless the flip sets are
+// bit-identical.
+func diffDisturb(t *testing.T, kern, ref *Model, bank, row int, led *dram.RowLedger, victim, agg string, patSeed uint64) (flips int) {
+	t.Helper()
+	geo := kern.geo
+	dataK := make([]uint64, geo.RowWords())
+	dataR := make([]uint64, geo.RowWords())
+	aggData := make([]uint64, geo.RowWords())
+	fillPattern(dataK, victim, patSeed)
+	fillPattern(dataR, victim, patSeed)
+	fillPattern(aggData, agg, patSeed+1)
+	neighbors := func(int) []uint64 { return aggData }
+
+	ledCopy := *led
+	nK := kern.Disturb(dram.DisturbContext{
+		Bank: bank, Row: row, Ledger: led, Data: dataK, Geometry: geo,
+		NeighborData: neighbors,
+	})
+	nR := ref.ReferenceDisturb(dram.DisturbContext{
+		Bank: bank, Row: row, Ledger: &ledCopy, Data: dataR, Geometry: geo,
+		NeighborData: neighbors,
+	})
+	if nK != nR {
+		t.Fatalf("flip count diverged: kernel %d, reference %d (row %d, victim %s, agg %s)", nK, nR, row, victim, agg)
+	}
+	for w := range dataK {
+		if dataK[w] != dataR[w] {
+			t.Fatalf("flip set diverged at word %d: kernel %#x, reference %#x (row %d, victim %s, agg %s)",
+				w, dataK[w], dataR[w], row, victim, agg)
+		}
+	}
+	return nK
+}
+
+// TestKernelMatchesReference is the kernel's differential anchor: for
+// all four manufacturer profiles, the full 50–90 °C grid, several data
+// patterns, module seeds, and salted/unsalted trials, the candidate
+// kernel must produce flip sets bit-identical to the naive per-bit
+// reference path.
+func TestKernelMatchesReference(t *testing.T) {
+	patterns := []struct{ victim, agg string }{
+		{"zeros", "ones"},
+		{"ones", "zeros"},
+		{"checkered", "checkered"},
+		{"random", "random"},
+	}
+	totalFlips := 0
+	for _, p := range Profiles() {
+		for _, seed := range []uint64{3, 0x5eed} {
+			kern := newTestModel(t, p, seed)
+			ref := newTestModel(t, p, seed)
+			for _, salt := range []uint64{0, 1, 5} {
+				kern.SetSalt(salt)
+				ref.SetSalt(salt)
+				for tempC := 50.0; tempC <= 90; tempC += 5 {
+					for pi, pat := range patterns {
+						row := 8 + pi
+						// Hammer counts spanning early-out, marginal, and
+						// saturated regimes.
+						for _, hammers := range []int64{40_000, 150_000, 512_000} {
+							led := mkLedger(hammers, 34.5, 16.5, tempC)
+							totalFlips += diffDisturb(t, kern, ref, 0, row, led, pat.victim, pat.agg, seed^uint64(tempC))
+						}
+					}
+				}
+			}
+		}
+	}
+	if totalFlips == 0 {
+		t.Fatal("differential sweep observed no flips; test vacuous")
+	}
+}
+
+// TestKernelMatchesReferenceOffNominalTimings covers ledger shapes the
+// temperature grid sweep does not: non-reference on/off timings and
+// distance-2-only disturbance.
+func TestKernelMatchesReferenceOffNominalTimings(t *testing.T) {
+	for _, p := range Profiles() {
+		kern := newTestModel(t, p, 17)
+		ref := newTestModel(t, p, 17)
+		for row := 8; row < 12; row++ {
+			for _, tm := range []struct{ on, off float64 }{{154.5, 16.5}, {34.5, 40.5}, {9.7, 7.9}} {
+				led := mkLedger(300_000, tm.on, tm.off, 65)
+				diffDisturb(t, kern, ref, 0, row, led, "checkered", "random", 99)
+			}
+			// Distance-2-only ledger: dist-1 empty, so the temperature
+			// source must come from dist 2 in both paths.
+			led := &dram.RowLedger{}
+			d := &led.Dist[1]
+			d.Count = 8_000_000
+			d.SumOn = dram.Picos(d.Count) * dram.PicosFromNs(34.5)
+			d.SumOff = dram.Picos(d.Count) * dram.PicosFromNs(16.5)
+			d.SumTempMilliC = d.Count * 70_000
+			diffDisturb(t, kern, ref, 0, row, led, "zeros", "ones", 7)
+		}
+	}
+}
+
+// TestKernelLRUEvictionRecomputesIdentically shrinks the candidate
+// cache far below the working set and proves that rows rebuilt after
+// eviction produce the same flip sets as a cold model.
+func TestKernelLRUEvictionRecomputesIdentically(t *testing.T) {
+	p := MfrA()
+	small := newTestModel(t, p, 23)
+	small.candCache = newCandLRU(2) // working set below will be 8 rows
+	cold := newTestModel(t, p, 23)
+
+	run := func(m *Model, row int) []uint64 {
+		geo := m.geo
+		data := make([]uint64, geo.RowWords())
+		agg := make([]uint64, geo.RowWords())
+		fillPattern(agg, "ones", 0)
+		led := mkLedger(400_000, 34.5, 16.5, 50)
+		m.Disturb(dram.DisturbContext{
+			Bank: 0, Row: row, Ledger: led, Data: data, Geometry: geo,
+			NeighborData: func(int) []uint64 { return agg },
+		})
+		return data
+	}
+
+	rows := []int{8, 9, 10, 11, 12, 13, 14, 15}
+	first := map[int][]uint64{}
+	for _, r := range rows {
+		first[r] = run(small, r)
+	}
+	if got := len(small.candCache.entries); got != 2 {
+		t.Fatalf("LRU held %d rows, want capacity 2", got)
+	}
+	// Every early row has been evicted by now; revisiting must rebuild
+	// and reproduce both the first pass and a never-evicted cold model.
+	for _, r := range rows {
+		again := run(small, r)
+		want := run(cold, r)
+		for w := range again {
+			if again[w] != first[r][w] || again[w] != want[w] {
+				t.Fatalf("row %d word %d: evicted rebuild %#x, first pass %#x, cold model %#x",
+					r, w, again[w], first[r][w], want[w])
+			}
+		}
+	}
+}
+
+// TestKernelLRUBoundsMemory checks the cache never exceeds its
+// capacity no matter how many rows are touched.
+func TestKernelLRUBoundsMemory(t *testing.T) {
+	m := newTestModel(t, MfrC(), 29)
+	capRows := m.candCache.limit
+	for row := 8; row < 8+2*capRows; row++ {
+		led := mkLedger(150_000, 34.5, 16.5, 50)
+		disturbRow(m, 0, row, led, 0, ^uint64(0))
+	}
+	if got := len(m.candCache.entries); got > capRows {
+		t.Fatalf("cache grew to %d rows, limit %d", got, capRows)
+	}
+}
+
+// TestCandidateSetSortedAndComplete sanity-checks the builder output:
+// sorted ascending by rel, one entry per vulnerable bit, and rel
+// consistent with Cell() ground truth.
+func TestCandidateSetSortedAndComplete(t *testing.T) {
+	for _, p := range Profiles() {
+		m := newTestModel(t, p, 31)
+		cells := m.candidates(0, 9)
+		if len(cells) == 0 {
+			t.Fatalf("mfr %s: empty candidate set", p.Name)
+		}
+		seen := map[int32]bool{}
+		rowHC := m.RowBaseHC(0, 9)
+		for i, c := range cells {
+			if i > 0 && cells[i-1].rel > c.rel {
+				t.Fatalf("mfr %s: candidates not sorted at %d", p.Name, i)
+			}
+			if seen[c.bit] {
+				t.Fatalf("mfr %s: duplicate bit %d", p.Name, c.bit)
+			}
+			seen[c.bit] = true
+			ci := m.Cell(0, 9, int(c.bit))
+			if got, want := rowHC*c.rel, ci.ThresholdHC; got != want {
+				t.Fatalf("mfr %s bit %d: kernel threshold %v, Cell() %v", p.Name, c.bit, got, want)
+			}
+		}
+	}
+}
+
+// TestLedgerTempCZeroCelsius pins the sentinel fix: a ledger whose
+// only recorded temperature averages exactly 0 °C must gate at 0 °C,
+// not silently fall back to dist-2 or reference conditions.
+func TestLedgerTempCZeroCelsius(t *testing.T) {
+	led := &dram.RowLedger{}
+	led.Dist[0].Count = 100
+	led.Dist[0].SumTempMilliC = 0 // genuinely 0 °C
+	led.Dist[1].Count = 50
+	led.Dist[1].SumTempMilliC = 50 * 70_000
+	if got := ledgerTempC(led); got != 0 {
+		t.Fatalf("ledgerTempC = %v, want 0 (dist-1 recorded 0 °C)", got)
+	}
+	led.Dist[0].Count = 0
+	if got := ledgerTempC(led); got != 70 {
+		t.Fatalf("ledgerTempC = %v, want 70 (dist-1 empty, dist-2 at 70 °C)", got)
+	}
+	led.Dist[1].Count = 0
+	if got := ledgerTempC(led); got != refTempC {
+		t.Fatalf("ledgerTempC = %v, want reference %v for empty ledger", got, refTempC)
+	}
+}
+
+func BenchmarkDisturbKernel(b *testing.B) {
+	benchDisturb(b, func(m *Model, ctx dram.DisturbContext) int { return m.Disturb(ctx) })
+}
+
+func BenchmarkDisturbReference(b *testing.B) {
+	benchDisturb(b, func(m *Model, ctx dram.DisturbContext) int { return m.ReferenceDisturb(ctx) })
+}
+
+func benchDisturb(b *testing.B, disturb func(*Model, dram.DisturbContext) int) {
+	geo := testGeometry()
+	m, err := NewModel(Config{Profile: MfrA(), ModuleSeed: 61, Geometry: geo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]uint64, geo.RowWords())
+	agg := make([]uint64, geo.RowWords())
+	fillPattern(agg, "ones", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		led := mkLedger(512_000, 34.5, 16.5, 50)
+		for w := range data {
+			data[w] = 0
+		}
+		sink += disturb(m, dram.DisturbContext{
+			Bank: 0, Row: 100, Ledger: led, Data: data, Geometry: geo,
+			NeighborData: func(int) []uint64 { return agg },
+		})
+	}
+	if sink == 0 {
+		b.Fatal("no flips")
+	}
+	_ = fmt.Sprint(sink)
+}

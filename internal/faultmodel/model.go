@@ -47,6 +47,24 @@ const (
 // minimum HCfirst).
 const trialNoiseSigma = 0.04
 
+// trialNoiseZMax truncates the trial-noise deviate to ±4σ. The bound
+// makes the noise factor range [exp(-σ·4), exp(σ·4)] ≈ [0.85, 1.17],
+// which gives the candidate walk a finite threshold-cutoff inflation;
+// an unbounded Box-Muller draw (|z| up to ~37 at the Uniform01
+// resolution) would force the walk to visit essentially every cell.
+// Only ~6e-5 of draws are affected by the truncation.
+const trialNoiseZMax = 4.0
+
+// trialNoiseFloor/Ceil bound every possible trialNoiseFactor value,
+// padded by a relative epsilon so the bounds stay conservative even if
+// math.Exp is not perfectly monotone at the truncation boundary. The
+// kernel walk uses them to decide unambiguous cells without paying for
+// the Box-Muller draw; cells inside the band get the exact factor.
+var (
+	trialNoiseFloor = math.Exp(-trialNoiseSigma*trialNoiseZMax) * (1 - 1e-12)
+	trialNoiseCeil  = math.Exp(trialNoiseSigma*trialNoiseZMax) * (1 + 1e-12)
+)
+
 // minCellMult and minColFactor clamp the threshold factors from below,
 // giving the early-out bound a hard floor and keeping the Fig. 11 row
 // quantile calibration intact (without the clamp, the global minimum
@@ -81,6 +99,9 @@ type Model struct {
 	tempCum []float64
 
 	rowCache map[uint64]rowParams
+	// candCache memoizes per-(bank,row) candidate-cell sets, the
+	// threshold-sorted working set of the disturb kernel (kernel.go).
+	candCache *candLRU
 
 	salt uint64
 }
@@ -102,10 +123,11 @@ func NewModel(cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("faultmodel: profile %s has invalid tail parameters", cfg.Profile.Name)
 	}
 	m := &Model{
-		p:        cfg.Profile,
-		seed:     cfg.ModuleSeed,
-		geo:      cfg.Geometry,
-		rowCache: make(map[uint64]rowParams),
+		p:         cfg.Profile,
+		seed:      cfg.ModuleSeed,
+		geo:       cfg.Geometry,
+		rowCache:  make(map[uint64]rowParams),
+		candCache: newCandLRU(candCacheRows(cfg.Geometry.RowBits())),
 	}
 
 	// Module-level base HCfirst: lognormal module-to-module variation.
@@ -222,7 +244,6 @@ func (m *Model) onOffFactor(onNs, offNs float64) float64 {
 // analytical defense evaluations.
 func (m *Model) EffectiveHammers(led *dram.RowLedger, tinf float64) float64 {
 	heff := 0.0
-	var tempC float64
 	weights := [dram.MaxDisturbDistance]float64{weightDist1, weightDist2}
 	for di := range led.Dist {
 		d := led.Dist[di]
@@ -230,17 +251,25 @@ func (m *Model) EffectiveHammers(led *dram.RowLedger, tinf float64) float64 {
 			continue
 		}
 		heff += float64(d.Count) * weights[di] * m.onOffFactor(d.AvgOnNs(), d.AvgOffNs())
-		if di == 0 || tempC == 0 {
-			tempC = d.AvgTempC()
-		}
 	}
 	if heff == 0 {
 		return 0
 	}
-	if tempC == 0 {
-		tempC = refTempC
+	return heff * m.tempFactor(ledgerTempC(led), tinf)
+}
+
+// ledgerTempC selects the temperature a ledger's disturbance was
+// recorded at: the nearest distance class that actually recorded
+// activations, falling back to reference conditions for an empty
+// ledger. Presence is decided by Count > 0 — an average of exactly
+// 0 °C is a valid recorded temperature, not an "unset" sentinel.
+func ledgerTempC(led *dram.RowLedger) float64 {
+	for di := range led.Dist {
+		if led.Dist[di].Count > 0 {
+			return led.Dist[di].AvgTempC()
+		}
 	}
-	return heff * m.tempFactor(tempC, tinf)
+	return refTempC
 }
 
 // cellTempRange draws the vulnerable temperature range of a cell from
@@ -262,7 +291,7 @@ func (m *Model) cellTempRange(h uint64) (lo, hi float64) {
 // vulnerable range [lo, hi], honoring censoring at the tested limits
 // and the cell's optional single-point gap.
 func (m *Model) tempInRange(h uint64, tempC, lo, hi float64) bool {
-	const margin = 2.4 // half of the 5 °C test step, exclusive
+	const margin = tempMargin
 	if lo > 50 && tempC < lo-margin {
 		return false
 	}
@@ -286,33 +315,58 @@ func (m *Model) tempInRange(h uint64, tempC, lo, hi float64) bool {
 	return true
 }
 
-// Disturb implements dram.Disturber.
-func (m *Model) Disturb(ctx dram.DisturbContext) int {
-	rp := m.rowParamsFor(ctx.Bank, ctx.Row)
-	heff := m.EffectiveHammers(ctx.Ledger, rp.tinf)
+// disturbSetup computes the shared preamble of both disturb paths:
+// row parameters, effective hammers, the early-out bound, and the
+// gating temperature. ok is false when no cell can possibly flip.
+func (m *Model) disturbSetup(ctx dram.DisturbContext) (rp rowParams, heff, tempC float64, ok bool) {
+	rp = m.rowParamsFor(ctx.Bank, ctx.Row)
+	heff = m.EffectiveHammers(ctx.Ledger, rp.tinf)
 	if heff <= 0 {
-		return 0
+		return rp, 0, 0, false
 	}
 	// Early out: no cell's threshold can be below
 	// rowHC × minCellMult × minColFactor, and coupling only weakens
 	// disturbance.
 	if heff < rp.hc*minCellMult*minColFactor {
+		return rp, 0, 0, false
+	}
+	return rp, heff, ledgerTempC(ctx.Ledger), true
+}
+
+// Disturb implements dram.Disturber via the memoized candidate-cell
+// kernel (kernel.go): the row's threshold-sorted candidate set is
+// built once, and each call walks only the cells reachable at the
+// ledger's effective hammer count.
+func (m *Model) Disturb(ctx dram.DisturbContext) int {
+	rp, heff, tempC, ok := m.disturbSetup(ctx)
+	if !ok {
 		return 0
 	}
+	return m.disturbCandidates(ctx, rp, heff, tempC)
+}
 
+// ReferenceDisturb is the naive per-bit disturb path: it re-derives
+// every cell parameter from the hash stream on every call. It is the
+// equivalence anchor for the candidate kernel — Disturb must produce
+// a bit-identical flip set (see the differential tests) — and is kept
+// only for that purpose; all production callers go through Disturb.
+func (m *Model) ReferenceDisturb(ctx dram.DisturbContext) int {
+	rp, heff, tempC, ok := m.disturbSetup(ctx)
+	if !ok {
+		return 0
+	}
+	return m.disturbReference(ctx, rp, heff, tempC)
+}
+
+// disturbReference walks every bit of the row, deriving per-cell
+// parameters inline with the variadic hash (the readable, obviously-
+// correct form of the model).
+func (m *Model) disturbReference(ctx dram.DisturbContext, rp rowParams, heff, tempC float64) int {
 	up := ctx.NeighborData(1)
 	down := ctx.NeighborData(-1)
 	geo := ctx.Geometry
 	cw := geo.ChipWidth
 	chips := geo.Chips
-
-	tempC := ctx.Ledger.Dist[0].AvgTempC()
-	if ctx.Ledger.Dist[0].Count == 0 {
-		tempC = ctx.Ledger.Dist[1].AvgTempC()
-	}
-	if tempC == 0 {
-		tempC = refTempC
-	}
 
 	flips := 0
 	rowBits := geo.RowBits()
@@ -333,17 +387,20 @@ func (m *Model) Disturb(ctx dram.DisturbContext) int {
 			mult = minCellMult
 		}
 
-		// Column factor: array column within the chip.
+		// Column factor: array column within the chip. rel is the
+		// cell's threshold relative to the row HCfirst; the candidate
+		// kernel stores exactly this product, so the grouping must
+		// stay rel-first to keep both paths bit-identical.
 		line := bit % cw
 		rest := bit / cw
 		chip := rest % chips
 		col := rest / chips
 		arrayCol := col*cw + line
-		threshold := rp.hc * mult * m.colFactor[chip][arrayCol]
+		rel := mult * m.colFactor[chip][arrayCol]
+		threshold := rp.hc * rel
 
 		if m.salt != 0 {
-			threshold *= math.Exp(trialNoiseSigma * rng.NormalFromHash(
-				rng.Hash64(h, keyNoise1, m.salt), rng.Hash64(h, keyNoise2, m.salt)))
+			threshold *= m.trialNoiseFactor(h)
 		}
 		if heff < threshold*minCoupling {
 			continue
@@ -378,6 +435,22 @@ func (m *Model) Disturb(ctx dram.DisturbContext) int {
 		flips++
 	}
 	return flips
+}
+
+// trialNoiseFactor returns the multiplicative per-trial threshold
+// noise for a cell under the current salt: lognormal with sigma
+// trialNoiseSigma, deviate truncated to ±trialNoiseZMax. Both disturb
+// paths share it so the truncation semantics cannot drift apart.
+func (m *Model) trialNoiseFactor(h uint64) float64 {
+	z := rng.NormalFromHash(
+		rng.Hash64x3(h, keyNoise1, m.salt),
+		rng.Hash64x3(h, keyNoise2, m.salt))
+	if z > trialNoiseZMax {
+		z = trialNoiseZMax
+	} else if z < -trialNoiseZMax {
+		z = -trialNoiseZMax
+	}
+	return math.Exp(trialNoiseSigma * z)
 }
 
 // minCoupling is the disturbance multiplier when both adjacent
@@ -427,7 +500,7 @@ func (m *Model) Cell(bank, row, bit int) CellInfo {
 	cf := m.colFactor[chip][col*cw+line]
 	lo, hi := m.cellTempRange(h)
 	return CellInfo{
-		ThresholdHC:  rp.hc * mult * cf,
+		ThresholdHC:  rp.hc * (mult * cf),
 		TrueCell:     h&1 == 1,
 		TempLoC:      lo,
 		TempHiC:      hi,

@@ -58,6 +58,33 @@ func (d *Device) Exec(cmd dram.Command, now dram.Picos) (uint64, error) {
 	return v, nil
 }
 
+// WrRowBulk decomposes the burst into per-command Exec calls so the
+// fault stream advances one op per column, exactly as if the program
+// had issued the commands individually.
+func (d *Device) WrRowBulk(bank int, data []uint64, step, start dram.Picos) error {
+	for col, beat := range data {
+		cmd := dram.Command{Op: dram.OpWr, Bank: bank, Col: col, Data: beat}
+		if _, err := d.Exec(cmd, start+dram.Picos(col)*step); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RdRowBulk decomposes the burst into per-command Exec calls (see
+// WrRowBulk); a corrupted readout aborts the burst with ErrReadCRC.
+func (d *Device) RdRowBulk(bank, cols int, step, start dram.Picos, dst []uint64) ([]uint64, error) {
+	for col := 0; col < cols; col++ {
+		cmd := dram.Command{Op: dram.OpRd, Bank: bank, Col: col}
+		beat, err := d.Exec(cmd, start+dram.Picos(col)*step)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, beat)
+	}
+	return dst, nil
+}
+
 // HammerBulk forwards the bulk fast path, subject to link faults.
 func (d *Device) HammerBulk(bank int, rows []int, count int64, aggOn, aggOff dram.Picos, start dram.Picos) (dram.Picos, error) {
 	d.ops++

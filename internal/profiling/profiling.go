@@ -1,0 +1,57 @@
+// Package profiling wires the standard pprof profile outputs into the
+// CLIs (-cpuprofile / -memprofile), so hot-path regressions in the
+// field can be diagnosed with `go tool pprof` against a production
+// binary.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and arranges a
+// heap snapshot at memPath when that is non-empty. The returned stop
+// function finishes both profiles and is safe to call more than once;
+// callers must invoke it on every exit path (os.Exit skips deferred
+// calls, so fatal helpers should call it explicitly).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: closing cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer f.Close()
+			// Materialize final heap statistics before the snapshot.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

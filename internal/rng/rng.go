@@ -35,15 +35,66 @@ func Mix(a, b uint64) uint64 {
 	return splitmix64(splitmix64(a) ^ (b + golden64))
 }
 
+// hashSeed is the initial fold state shared by Hash64 and the
+// fixed-arity fast paths; they must agree bit-for-bit.
+const hashSeed = uint64(0x8c95b3b1f9f2d1a7)
+
 // Hash64 hashes an arbitrary tuple of 64-bit keys into a single 64-bit
 // value. Hash64(k...) is a pure function of its inputs; changing any
 // input bit changes roughly half of the output bits.
+//
+// Hash64 is the general case and the equivalence anchor for the
+// fixed-arity Hash64x2..Hash64x5 fast paths below: for matching key
+// counts they return identical values, but avoid the variadic keys
+// slice and so never allocate. Hot paths (the fault-model disturb
+// kernel hashes several times per cell) use the fixed-arity forms.
 func Hash64(keys ...uint64) uint64 {
-	h := uint64(0x8c95b3b1f9f2d1a7)
+	h := hashSeed
 	for _, k := range keys {
 		h = Mix(h, k)
 	}
 	return splitmix64(h)
+}
+
+// Hash64x2 is Hash64(a, b) without the variadic slice. 0 allocs/op.
+func Hash64x2(a, b uint64) uint64 {
+	return splitmix64(Mix(Mix(hashSeed, a), b))
+}
+
+// Hash64x3 is Hash64(a, b, c) without the variadic slice. 0 allocs/op.
+func Hash64x3(a, b, c uint64) uint64 {
+	return splitmix64(Mix(Mix(Mix(hashSeed, a), b), c))
+}
+
+// Hash64x4 is Hash64(a, b, c, d) without the variadic slice. 0 allocs/op.
+func Hash64x4(a, b, c, d uint64) uint64 {
+	return splitmix64(Mix(Mix(Mix(Mix(hashSeed, a), b), c), d))
+}
+
+// Hash64x5 is Hash64(a, b, c, d, e) without the variadic slice. 0 allocs/op.
+func Hash64x5(a, b, c, d, e uint64) uint64 {
+	return splitmix64(Mix(Mix(Mix(Mix(Mix(hashSeed, a), b), c), d), e))
+}
+
+// HashPrefix folds leading tuple elements into a reusable prefix:
+//
+//	Hash64(a, b, c, x) == Hash64Suffix(HashPrefix(a, b, c), x)
+//
+// for every x. Loops that hash many tuples sharing a common prefix
+// (the disturb kernel hashes (seed, bank, row, bit) for every bit of a
+// row) hoist the shared fold out of the loop.
+func HashPrefix(keys ...uint64) uint64 {
+	h := hashSeed
+	for _, k := range keys {
+		h = Mix(h, k)
+	}
+	return h
+}
+
+// Hash64Suffix completes a hash from a HashPrefix fold state and the
+// final tuple element. 0 allocs/op.
+func Hash64Suffix(prefix, last uint64) uint64 {
+	return splitmix64(Mix(prefix, last))
 }
 
 // HashString hashes a string into a 64-bit value, for keying

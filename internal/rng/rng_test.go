@@ -297,3 +297,95 @@ func TestHashStringStableAndDistinct(t *testing.T) {
 		seen[h] = s
 	}
 }
+
+func TestFixedArityHashesMatchVariadic(t *testing.T) {
+	// The fixed-arity fast paths must agree with the variadic fold on
+	// random tuples; they are the hot-path forms of the same function.
+	s := NewStream(0xfa57)
+	for i := 0; i < 10_000; i++ {
+		k := [5]uint64{s.Uint64(), s.Uint64(), s.Uint64(), s.Uint64(), s.Uint64()}
+		if got, want := Hash64x2(k[0], k[1]), Hash64(k[0], k[1]); got != want {
+			t.Fatalf("Hash64x2(%#x, %#x) = %#x, want %#x", k[0], k[1], got, want)
+		}
+		if got, want := Hash64x3(k[0], k[1], k[2]), Hash64(k[0], k[1], k[2]); got != want {
+			t.Fatalf("Hash64x3 mismatch on %v: %#x vs %#x", k[:3], got, want)
+		}
+		if got, want := Hash64x4(k[0], k[1], k[2], k[3]), Hash64(k[0], k[1], k[2], k[3]); got != want {
+			t.Fatalf("Hash64x4 mismatch on %v: %#x vs %#x", k[:4], got, want)
+		}
+		if got, want := Hash64x5(k[0], k[1], k[2], k[3], k[4]), Hash64(k[0], k[1], k[2], k[3], k[4]); got != want {
+			t.Fatalf("Hash64x5 mismatch on %v: %#x vs %#x", k[:], got, want)
+		}
+	}
+}
+
+func TestFixedArityHashesDoNotAllocate(t *testing.T) {
+	var sink uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink ^= Hash64x2(1, 2)
+		sink ^= Hash64x3(1, 2, 3)
+		sink ^= Hash64x4(1, 2, 3, 4)
+		sink ^= Hash64x5(1, 2, 3, 4, 5)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("fixed-arity hashes allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkHash64x2(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64x2(uint64(i), 1)
+	}
+	_ = sink
+}
+
+func BenchmarkHash64x4(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64x4(uint64(i), 1, 2, 3)
+	}
+	_ = sink
+}
+
+func BenchmarkHash64x5(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64x5(uint64(i), 1, 2, 3, 4)
+	}
+	_ = sink
+}
+
+func BenchmarkHash64Variadic5(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64(uint64(i), 1, 2, 3, 4)
+	}
+	_ = sink
+}
+
+func TestHashPrefixSuffixMatchesHash64(t *testing.T) {
+	s := Stream{}
+	s.Reseed(0x9ef1)
+	for i := 0; i < 10_000; i++ {
+		a, b, c, d := s.Uint64(), s.Uint64(), s.Uint64(), s.Uint64()
+		if got, want := Hash64Suffix(HashPrefix(a, b, c), d), Hash64(a, b, c, d); got != want {
+			t.Fatalf("Hash64Suffix(HashPrefix(%d,%d,%d),%d) = %#x, Hash64 = %#x", a, b, c, d, got, want)
+		}
+		if got, want := Hash64Suffix(HashPrefix(a), b), Hash64(a, b); got != want {
+			t.Fatalf("prefix of one element diverged: %#x vs %#x", got, want)
+		}
+	}
+}
+
+func TestHash64SuffixDoesNotAllocate(t *testing.T) {
+	p := HashPrefix(1, 2, 3)
+	if n := testing.AllocsPerRun(100, func() { _ = Hash64Suffix(p, 4) }); n != 0 {
+		t.Fatalf("Hash64Suffix allocates %v per run", n)
+	}
+}

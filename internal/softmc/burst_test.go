@@ -1,0 +1,163 @@
+package softmc
+
+import (
+	"reflect"
+	"testing"
+
+	"rowhammer/internal/dram"
+)
+
+// burstModule builds a module with on-die ECC optionally enabled (the
+// burst path must reproduce the per-command ECC encode/decode exactly).
+func burstModule(t *testing.T, ecc bool) *dram.Module {
+	t.Helper()
+	m, err := dram.NewModule(dram.ModuleConfig{
+		Geometry: dram.Geometry{Banks: 2, RowsPerBank: 64, SubarrayRows: 64, Chips: 8, ChipWidth: 8, ColumnsPerRow: 8},
+		Timing:   dram.DDR4Timing(),
+		OnDieECC: ecc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// burstWords is an arbitrary column payload exercising all beat bits.
+func burstWords(n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = 0xdeadbeefcafe0000 + uint64(i)*0x0101010101010101
+	}
+	return w
+}
+
+// TestBurstMatchesPerCommandSequence proves the KWrRow/KRdRow bulk
+// path is bit-identical to the equivalent Wr/Rd+Wait command
+// sequences: same read data, same end time, same module stats, and
+// same stored rows.
+func TestBurstMatchesPerCommandSequence(t *testing.T) {
+	for _, ecc := range []bool{false, true} {
+		words := burstWords(8)
+
+		run := func(bulk bool) (*Result, dram.Stats, []uint64, error) {
+			m := burstModule(t, ecc)
+			tm := m.Timing()
+			b := NewBuilder(tm.TCK)
+			b.Act(0, 5).Wait(tm.TRCD)
+			if bulk {
+				b.WrRow(0, words, tm.TCCD)
+			} else {
+				for col, w := range words {
+					b.Wr(0, col, w)
+					b.Wait(tm.TCCD)
+				}
+			}
+			b.Wait(tm.TRAS).Pre(0).Wait(tm.TRP)
+			b.Act(0, 5).Wait(tm.TRCD)
+			if bulk {
+				b.RdRow(0, len(words), tm.TCCD)
+			} else {
+				for col := range words {
+					b.Rd(0, col)
+					b.Wait(tm.TCCD)
+				}
+			}
+			b.Wait(tm.TRAS).Pre(0).Wait(tm.TRP)
+			res, err := NewExecutor(m).Run(b.Program())
+			return res, m.Stats(), m.PeekRow(0, 5), err
+		}
+
+		seqRes, seqStats, seqRow, err := run(false)
+		if err != nil {
+			t.Fatalf("ecc=%v per-command: %v", ecc, err)
+		}
+		bulkRes, bulkStats, bulkRow, err := run(true)
+		if err != nil {
+			t.Fatalf("ecc=%v bulk: %v", ecc, err)
+		}
+		if !reflect.DeepEqual(seqRes.Reads, bulkRes.Reads) {
+			t.Errorf("ecc=%v reads diverged:\nseq:  %#x\nbulk: %#x", ecc, seqRes.Reads, bulkRes.Reads)
+		}
+		if seqRes.End != bulkRes.End {
+			t.Errorf("ecc=%v end time diverged: seq %d, bulk %d", ecc, seqRes.End, bulkRes.End)
+		}
+		if seqStats != bulkStats {
+			t.Errorf("ecc=%v stats diverged:\nseq:  %+v\nbulk: %+v", ecc, seqStats, bulkStats)
+		}
+		if !reflect.DeepEqual(seqRow, bulkRow) {
+			t.Errorf("ecc=%v stored row diverged", ecc)
+		}
+	}
+}
+
+// TestBurstFollowOnTimingMatches proves the bank timestamps a burst
+// leaves behind gate follow-on commands exactly like the per-command
+// sequence: a PRE issued tWR-too-early after the burst's last write
+// must fail identically.
+func TestBurstFollowOnTimingMatches(t *testing.T) {
+	words := burstWords(8)
+	run := func(bulk bool) error {
+		m := burstModule(t, false)
+		tm := m.Timing()
+		b := NewBuilder(tm.TCK)
+		b.Act(0, 5).Wait(tm.TRCD)
+		if bulk {
+			b.WrRow(0, words, tm.TCCD)
+		} else {
+			for col, w := range words {
+				b.Wr(0, col, w)
+				b.Wait(tm.TCCD)
+			}
+		}
+		// No tWR wait: PRE arrives too soon after the last write.
+		b.Pre(0)
+		_, err := NewExecutor(m).Run(b.Program())
+		return err
+	}
+	seqErr, bulkErr := run(false), run(true)
+	if seqErr == nil || bulkErr == nil {
+		t.Fatalf("expected tWR violations, got seq=%v bulk=%v", seqErr, bulkErr)
+	}
+}
+
+// TestBurstValidation exercises the bulk-path protocol checks.
+func TestBurstValidation(t *testing.T) {
+	m := burstModule(t, false)
+	tm := m.Timing()
+
+	// Write to a precharged bank.
+	b := NewBuilder(tm.TCK)
+	b.WrRow(0, burstWords(4), tm.TCCD)
+	if _, err := NewExecutor(m).Run(b.Program()); err == nil {
+		t.Error("burst write to precharged bank succeeded")
+	}
+
+	// Burst longer than the row.
+	m2 := burstModule(t, false)
+	b2 := NewBuilder(tm.TCK)
+	b2.Act(0, 1).Wait(tm.TRCD).WrRow(0, burstWords(9), tm.TCCD)
+	if _, err := NewExecutor(m2).Run(b2.Program()); err == nil {
+		t.Error("burst beyond ColumnsPerRow succeeded")
+	}
+
+	// Read burst before tRCD.
+	m3 := burstModule(t, false)
+	b3 := NewBuilder(tm.TCK)
+	b3.Act(0, 1).RdRow(0, 4, tm.TCCD)
+	if _, err := NewExecutor(m3).Run(b3.Program()); err == nil {
+		t.Error("burst read before tRCD succeeded")
+	}
+
+	// Zero-length bursts are no-ops.
+	m4 := burstModule(t, false)
+	b4 := NewBuilder(tm.TCK)
+	b4.Act(0, 1).Wait(tm.TRCD).WrRow(0, nil, tm.TCCD).RdRow(0, 0, tm.TCCD).
+		Wait(tm.TRAS).Pre(0).Wait(tm.TRP)
+	res, err := NewExecutor(m4).Run(b4.Program())
+	if err != nil {
+		t.Fatalf("zero-length bursts: %v", err)
+	}
+	if len(res.Reads) != 0 {
+		t.Fatalf("zero-length read burst returned %d beats", len(res.Reads))
+	}
+}

@@ -34,6 +34,13 @@ const (
 	// for high-count hammering; KLoop is for short structured
 	// sequences (e.g. multi-READ per activation patterns).
 	KLoop
+	// KWrRow writes one beat per column of the open row, commands
+	// spaced Delay apart — equivalent to len(Data) Wr+Wait pairs,
+	// executed as one bulk device call.
+	KWrRow
+	// KRdRow reads Count beats from the open row starting at column 0,
+	// commands spaced Delay apart — equivalent to Count Rd+Wait pairs.
+	KRdRow
 )
 
 // Instr is one program instruction.
@@ -55,6 +62,9 @@ type Instr struct {
 
 	// KLoop.
 	Body []Instr
+
+	// KWrRow: one beat per column (KRdRow uses Count + Delay).
+	Data []uint64
 }
 
 // Program is an executable SoftMC program.
@@ -143,6 +153,29 @@ func (b *Builder) Hammer(bank int, rows []int, count int64, aggOn, aggOff dram.P
 	return b
 }
 
+// WrRow appends a bulk column-write burst to the open row of a bank:
+// beat data[col] goes to column col, commands spaced ccd apart
+// (rounded up to tCK). It is exactly equivalent to
+//
+//	for col := range data { b.Wr(bank, col, data[col]).Wait(ccd) }
+//
+// but executes as one instruction through the device's bulk port. The
+// builder copies data.
+func (b *Builder) WrRow(bank int, data []uint64, ccd dram.Picos) *Builder {
+	dcopy := make([]uint64, len(data))
+	copy(dcopy, data)
+	b.instrs = append(b.instrs, Instr{Kind: KWrRow, Bank: bank, Data: dcopy, Delay: b.roundUp(ccd)})
+	return b
+}
+
+// RdRow appends a bulk column-read burst: cols beats from columns
+// 0..cols-1 of the open row, spaced ccd apart — exactly equivalent to
+// the Rd+Wait pair sequence, as one instruction.
+func (b *Builder) RdRow(bank, cols int, ccd dram.Picos) *Builder {
+	b.instrs = append(b.instrs, Instr{Kind: KRdRow, Bank: bank, Count: int64(cols), Delay: b.roundUp(ccd)})
+	return b
+}
+
 // maxLoopUnroll bounds total KLoop body executions per loop, a
 // guard against runaway programs (use Hammer for high-count loops).
 const maxLoopUnroll = 1 << 20
@@ -171,6 +204,11 @@ func (b *Builder) Program() *Program {
 type Device interface {
 	Exec(cmd dram.Command, now dram.Picos) (uint64, error)
 	HammerBulk(bank int, rows []int, count int64, aggOn, aggOff dram.Picos, start dram.Picos) (dram.Picos, error)
+	// WrRowBulk/RdRowBulk execute a whole column burst (KWrRow/KRdRow)
+	// in one call, bit-identical to the equivalent per-command
+	// sequence; RdRowBulk appends the beats to dst.
+	WrRowBulk(bank int, data []uint64, step, start dram.Picos) error
+	RdRowBulk(bank, cols int, step, start dram.Picos, dst []uint64) ([]uint64, error)
 	Timing() dram.Timing
 }
 
@@ -277,6 +315,40 @@ func (e *Executor) runInstrs(instrs []Instr, res *Result, justIssued *bool, dept
 				return fmt.Errorf("softmc: instr %d (hammer): %w", i, err)
 			}
 			e.now = end
+			*justIssued = false
+		case KWrRow:
+			if len(in.Data) == 0 {
+				continue
+			}
+			step := in.Delay
+			if step < e.tck {
+				step = e.tck
+			}
+			if e.trace {
+				res.Trace = append(res.Trace, TraceEntry{At: e.now, Cmd: dram.Command{Op: dram.OpNop}})
+			}
+			if err := e.mod.WrRowBulk(in.Bank, in.Data, step, e.now); err != nil {
+				return fmt.Errorf("softmc: instr %d (wrrow): %w", i, err)
+			}
+			e.now += dram.Picos(len(in.Data)) * step
+			*justIssued = false
+		case KRdRow:
+			if in.Count == 0 {
+				continue
+			}
+			step := in.Delay
+			if step < e.tck {
+				step = e.tck
+			}
+			if e.trace {
+				res.Trace = append(res.Trace, TraceEntry{At: e.now, Cmd: dram.Command{Op: dram.OpNop}})
+			}
+			out, err := e.mod.RdRowBulk(in.Bank, int(in.Count), step, e.now, res.Reads)
+			res.Reads = out
+			if err != nil {
+				return fmt.Errorf("softmc: instr %d (rdrow): %w", i, err)
+			}
+			e.now += dram.Picos(in.Count) * step
 			*justIssued = false
 		case KLoop:
 			if in.Count*int64(len(in.Body)) > maxLoopUnroll {

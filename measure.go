@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rowhammer/internal/dram"
+	"rowhammer/internal/pool"
 	"rowhammer/internal/rng"
 	"rowhammer/internal/stats"
 )
@@ -299,8 +300,29 @@ func (t *Tester) MeasureModuleSpatial(ctx context.Context, sc MeasureScope) (Pat
 }
 
 // RowHCFirstProfileCtx is RowHCFirstProfile with cooperative
-// cancellation between rows.
+// cancellation between rows. With more than one worker configured
+// (SetWorkers) the sampled rows are fanned out over hermetic bench
+// clones and merged back in row order; each row's measurement is
+// independent on real hardware too (writing the data pattern
+// re-senses and resets every row the test touches), so the parallel
+// profile is bit-identical to the serial one.
 func (t *Tester) RowHCFirstProfileCtx(ctx context.Context, bank int, rows []int, cfg HCFirstConfig, reps int) ([]RowHC, error) {
+	if t.effectiveWorkers() > 1 && len(rows) > 1 {
+		return pool.Map(ctx, t.effectiveWorkers(), len(rows), func(i int) (RowHC, error) {
+			sub, err := t.clone()
+			if err != nil {
+				return RowHC{}, err
+			}
+			c := cfg
+			c.Bank = bank
+			c.VictimPhys = rows[i]
+			res, err := sub.HCFirstMin(c, reps)
+			if err != nil {
+				return RowHC{}, err
+			}
+			return RowHC{Row: rows[i], HCfirst: res.HCfirst, Found: res.Found}, nil
+		})
+	}
 	out := make([]RowHC, 0, len(rows))
 	for _, row := range rows {
 		if err := ctx.Err(); err != nil {

@@ -1,0 +1,147 @@
+package rowhammer
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"rowhammer/internal/faultmodel"
+)
+
+// parallelTestTester builds a small bench for worker-invariance tests.
+func parallelTestTester(t *testing.T, workers int) *Tester {
+	t.Helper()
+	b, err := NewBench(BenchConfig{
+		Profile: faultmodel.MfrA(),
+		Seed:    0x9a11e1,
+		Geometry: Geometry{
+			Banks: 1, RowsPerBank: 256, SubarrayRows: 64,
+			Chips: 4, ChipWidth: 8, ColumnsPerRow: 16,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester := NewTester(b)
+	tester.SetWorkers(workers)
+	return tester
+}
+
+// TestRowHCFirstProfileWorkerInvariance proves the parallel HCfirst
+// profile is bit-identical to the serial shared-bench path: the
+// hermetic per-row clones must reproduce exactly what the serial
+// loop measures.
+func TestRowHCFirstProfileWorkerInvariance(t *testing.T) {
+	rows := []int{8, 9, 10, 20, 33, 40}
+	cfg := HCFirstConfig{Pattern: PatCheckered, MaxHammers: 512_000}
+
+	serial, err := parallelTestTester(t, 1).RowHCFirstProfileCtx(context.Background(), 0, rows, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := parallelTestTester(t, workers).RowHCFirstProfileCtx(context.Background(), 0, rows, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d profile diverged from serial:\nserial:   %+v\nparallel: %+v", workers, serial, par)
+		}
+	}
+	found := 0
+	for _, rhc := range serial {
+		if rhc.Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no row found an HCfirst; invariance test vacuous")
+	}
+}
+
+// TestTemperatureSweepWorkerInvariance proves the parallel
+// (temperature, victim) sweep — including the per-shard chamber
+// trajectory replay — reproduces the serial sweep bit-for-bit, and
+// that a follow-on measurement on the same tester is also unaffected
+// by the worker count (the main bench is left in the serial state).
+func TestTemperatureSweepWorkerInvariance(t *testing.T) {
+	cfg := TempSweepConfig{
+		Victims:     []int{10, 21},
+		Temps:       []float64{50, 65, 80},
+		Hammers:     150_000,
+		Pattern:     PatCheckered,
+		Repetitions: 2,
+	}
+
+	type outcome struct {
+		sweep    *TempSweepResult
+		followOn HammerResult
+	}
+	run := func(workers int) outcome {
+		tester := parallelTestTester(t, workers)
+		sweep, err := tester.TemperatureSweepCtx(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The follow-on hammer exercises the post-sweep bench state
+		// (chamber restored to 50 °C, module re-patternable).
+		hr, err := tester.Hammer(HammerConfig{
+			Bank: 0, VictimPhys: 33, Hammers: 300_000, Pattern: PatCheckered, Trial: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{sweep: sweep, followOn: hr}
+	}
+
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		par := run(workers)
+		if !reflect.DeepEqual(serial.sweep, par.sweep) {
+			t.Fatalf("workers=%d sweep diverged from serial", workers)
+		}
+		if !reflect.DeepEqual(serial.followOn, par.followOn) {
+			t.Fatalf("workers=%d follow-on hammer diverged from serial", workers)
+		}
+	}
+	if len(serial.sweep.Cells) == 0 {
+		t.Fatal("sweep observed no flips; invariance test vacuous")
+	}
+}
+
+// TestMeasureModuleCoresWorkerInvariance runs the fleet measurement
+// cores end to end at several worker counts and compares the full
+// (pattern, metrics, series) outputs.
+func TestMeasureModuleCoresWorkerInvariance(t *testing.T) {
+	sc := MeasureScope{
+		Scale: Scale{RowsPerRegion: 8, Regions: 1, Hammers: 150_000, MaxHammers: 512_000, Repetitions: 1},
+		Temps: []float64{50, 70, 90},
+	}
+	kinds := []struct {
+		name string
+		run  func(*Tester) (PatternKind, map[string]float64, map[string][]float64, error)
+	}{
+		{"hcfirst", func(tr *Tester) (PatternKind, map[string]float64, map[string][]float64, error) {
+			return tr.MeasureModuleHCFirst(context.Background(), sc)
+		}},
+		{"ber", func(tr *Tester) (PatternKind, map[string]float64, map[string][]float64, error) {
+			return tr.MeasureModuleBER(context.Background(), sc)
+		}},
+		{"spatial", func(tr *Tester) (PatternKind, map[string]float64, map[string][]float64, error) {
+			return tr.MeasureModuleSpatial(context.Background(), sc)
+		}},
+	}
+	for _, k := range kinds {
+		patS, metS, serS, err := k.run(parallelTestTester(t, 1))
+		if err != nil {
+			t.Fatalf("%s serial: %v", k.name, err)
+		}
+		patP, metP, serP, err := k.run(parallelTestTester(t, 3))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", k.name, err)
+		}
+		if patS != patP || !reflect.DeepEqual(metS, metP) || !reflect.DeepEqual(serS, serP) {
+			t.Fatalf("%s diverged across worker counts:\nserial:   %v %v\nparallel: %v %v", k.name, metS, serS, metP, serP)
+		}
+	}
+}

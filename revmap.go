@@ -95,10 +95,7 @@ func (t *Tester) readLogicalRowFlips(bank, logical, dist int, pat dram.PatternKi
 	tm := t.b.Timing()
 	bld := newBuilder(tm)
 	bld.Act(bank, logical).Wait(tm.TRCD)
-	for col := 0; col < g.ColumnsPerRow; col++ {
-		bld.Rd(bank, col)
-		bld.Wait(tm.TCCD)
-	}
+	bld.RdRow(bank, g.ColumnsPerRow, tm.TCCD)
 	bld.Wait(tm.TRAS).Pre(bank).Wait(tm.TRP)
 	res, err := t.b.Exec.Run(bld.Program())
 	if err != nil {

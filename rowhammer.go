@@ -58,6 +58,10 @@ type Bench struct {
 	Chamber *thermal.Chamber
 	Profile *faultmodel.Profile
 	Seed    uint64
+
+	// cfg is the normalized construction config, kept so Clone can
+	// rebuild an identical independent bench.
+	cfg BenchConfig
 }
 
 // NewBench builds a device under test.
@@ -100,12 +104,19 @@ func NewBench(cfg BenchConfig) (*Bench, error) {
 		Chamber: thermal.NewChamber(cfg.Seed),
 		Profile: cfg.Profile,
 		Seed:    cfg.Seed,
+		cfg:     cfg,
 	}
 	if err := b.SetTemperature(50); err != nil {
 		return nil, err
 	}
 	return b, nil
 }
+
+// Clone builds an independent bench with the same configuration: a
+// fresh module, fault model, executor, and thermal chamber replaying
+// the same deterministic construction. The parallel measurement cores
+// use clones as hermetic per-shard devices under test.
+func (b *Bench) Clone() (*Bench, error) { return NewBench(b.cfg) }
 
 // SetTemperature drives the thermal chamber to tempC, waits for the
 // closed loop to settle, and exposes the resulting die temperature to

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+
+	"rowhammer/internal/pool"
 )
 
 // StudyTemps returns the paper's tested temperature grid:
@@ -66,6 +68,9 @@ func (t *Tester) temperatureSweep(ctx context.Context, cfg TempSweepConfig) (*Te
 	if cfg.Repetitions < 1 {
 		cfg.Repetitions = 1
 	}
+	if t.effectiveWorkers() > 1 && len(cfg.Temps)*len(cfg.Victims) > 1 {
+		return t.temperatureSweepParallel(ctx, cfg)
+	}
 	res := &TempSweepResult{
 		Temps: cfg.Temps,
 		Rows:  cfg.Victims,
@@ -104,6 +109,92 @@ func (t *Tester) temperatureSweep(ctx context.Context, cfg TempSweepConfig) (*Te
 		res.Flips = append(res.Flips, perRow)
 	}
 	// Restore the baseline temperature.
+	if err := t.b.SetTemperature(50); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sweepUnit is one (temperature, victim) shard of a parallel sweep.
+type sweepUnit struct {
+	worst HammerResult
+	// bits is the union over repetitions of flipped victim bits, in
+	// first-flip order.
+	bits []int
+}
+
+// temperatureSweepParallel fans the (temperature, victim) grid out
+// over hermetic bench clones and merges the shards back in grid
+// order. Each shard replays the serial sweep's chamber trajectory up
+// to its temperature point, so the settled plant temperature — and
+// with it every recorded measurement — is bit-identical to the
+// shared-bench serial sweep.
+func (t *Tester) temperatureSweepParallel(ctx context.Context, cfg TempSweepConfig) (*TempSweepResult, error) {
+	nR := len(cfg.Victims)
+	units, err := pool.Map(ctx, t.effectiveWorkers(), len(cfg.Temps)*nR, func(u int) (sweepUnit, error) {
+		ti, ri := u/nR, u%nR
+		sub, err := t.clone()
+		if err != nil {
+			return sweepUnit{}, err
+		}
+		for k := 0; k <= ti; k++ {
+			if err := sub.b.SetTemperature(cfg.Temps[k]); err != nil {
+				return sweepUnit{}, err
+			}
+		}
+		var unit sweepUnit
+		seen := make(map[int]bool)
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			hr, err := sub.Hammer(HammerConfig{
+				Bank:       cfg.Bank,
+				VictimPhys: cfg.Victims[ri],
+				Hammers:    cfg.Hammers,
+				Pattern:    cfg.Pattern,
+				Trial:      uint64(rep) + 1,
+			})
+			if err != nil {
+				return sweepUnit{}, err
+			}
+			for _, bit := range hr.Victim.Bits {
+				if !seen[bit] {
+					seen[bit] = true
+					unit.bits = append(unit.bits, bit)
+				}
+			}
+			if rep == 0 || hr.Victim.Count() > unit.worst.Victim.Count() {
+				unit.worst = hr
+			}
+		}
+		return unit, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &TempSweepResult{
+		Temps: cfg.Temps,
+		Rows:  cfg.Victims,
+		Cells: make(map[CellID]uint32),
+	}
+	for ti := range cfg.Temps {
+		perRow := make([]HammerResult, nR)
+		for ri := 0; ri < nR; ri++ {
+			unit := units[ti*nR+ri]
+			perRow[ri] = unit.worst
+			for _, bit := range unit.bits {
+				res.Cells[CellID{Row: cfg.Victims[ri], Bit: bit}] |= 1 << uint(ti)
+			}
+		}
+		res.Flips = append(res.Flips, perRow)
+	}
+	// Leave the main bench exactly where the serial sweep would:
+	// replay the temperature trajectory and restore the baseline, so
+	// follow-on measurements on this tester do not depend on the
+	// worker count.
+	for _, temp := range cfg.Temps {
+		if err := t.b.SetTemperature(temp); err != nil {
+			return nil, err
+		}
+	}
 	if err := t.b.SetTemperature(50); err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"rowhammer/internal/dram"
+	"rowhammer/internal/pool"
 	"rowhammer/internal/rng"
 	"rowhammer/internal/softmc"
 )
@@ -23,6 +24,9 @@ type Tester struct {
 	rowMap dram.RemapScheme
 	// patternSeed feeds the random data pattern.
 	patternSeed uint64
+	// workers bounds the pool used by the parallel measurement cores;
+	// <1 selects one worker per CPU.
+	workers int
 }
 
 // NewTester returns a Tester using the module's internal mapping as
@@ -34,6 +38,37 @@ func NewTester(b *Bench) *Tester {
 
 // UseMapping overrides the physical→logical row mapping.
 func (t *Tester) UseMapping(m dram.RemapScheme) { t.rowMap = m }
+
+// SetWorkers bounds the worker pool of the parallel measurement cores
+// (RowHCFirstProfileCtx, TemperatureSweepCtx, and the Measure* cores
+// built on them). n < 1 selects one worker per CPU; n == 1 forces the
+// serial in-place path. Results are bit-identical for every worker
+// count — parallel shards run on hermetic bench clones that reproduce
+// the serial measurements exactly.
+func (t *Tester) SetWorkers(n int) { t.workers = n }
+
+// effectiveWorkers resolves the configured worker count.
+func (t *Tester) effectiveWorkers() int {
+	if t.workers < 1 {
+		return pool.DefaultWorkers()
+	}
+	return t.workers
+}
+
+// clone builds a hermetic copy of the tester on a fresh bench clone,
+// preserving any mapping override. Clones are what the parallel
+// measurement shards hammer, so concurrent shards never share mutable
+// device state.
+func (t *Tester) clone() (*Tester, error) {
+	b, err := t.b.Clone()
+	if err != nil {
+		return nil, err
+	}
+	sub := NewTester(b)
+	sub.rowMap = t.rowMap
+	sub.patternSeed = t.patternSeed
+	return sub, nil
+}
 
 // Bench returns the device under test.
 func (t *Tester) Bench() *Bench { return t.b }
@@ -115,23 +150,38 @@ func (t *Tester) validateVictim(bank, victim int) error {
 	return nil
 }
 
+// fillRow writes the pattern's fill words for one row into dst
+// (hoisting the constant word of non-random patterns out of the
+// column loop).
+func (t *Tester) fillRow(dst []uint64, bank, phys, dist int, pat dram.PatternKind) {
+	if pat == dram.PatRandom {
+		for col := range dst {
+			dst[col] = pat.FillWord(t.patternSeed, bank, phys, dist, col)
+		}
+		return
+	}
+	w := pat.FillWord(t.patternSeed, bank, phys, dist, 0)
+	for col := range dst {
+		dst[col] = w
+	}
+}
+
 // writePattern initializes the victim and its ±patternRadius physical
-// neighbors with the pattern, via regular WR commands.
+// neighbors with the pattern, via regular WR commands (issued as one
+// bulk burst per row — bit-identical to the per-command sequence).
 func (t *Tester) writePattern(bank, victim int, pat dram.PatternKind) error {
 	g := t.b.Geometry()
 	tm := t.b.Timing()
 	bld := softmc.NewBuilder(tm.TCK)
+	words := make([]uint64, g.ColumnsPerRow)
 	for phys := victim - patternRadius; phys <= victim+patternRadius; phys++ {
 		if phys < 0 || phys >= g.RowsPerBank {
 			continue
 		}
 		logical := t.logical(phys)
 		bld.Act(bank, logical).Wait(tm.TRCD)
-		dist := phys - victim
-		for col := 0; col < g.ColumnsPerRow; col++ {
-			bld.Wr(bank, col, pat.FillWord(t.patternSeed, bank, phys, dist, col))
-			bld.Wait(tm.TCCD)
-		}
+		t.fillRow(words, bank, phys, phys-victim, pat)
+		bld.WrRow(bank, words, tm.TCCD)
 		bld.Wait(tm.TRAS). // generous: covers tWR and the tRAS remainder
 					Pre(bank).Wait(tm.TRP)
 	}
@@ -148,19 +198,20 @@ func (t *Tester) readRowFlips(bank, phys, victim int, pat dram.PatternKind) (Fli
 	tm := t.b.Timing()
 	bld := softmc.NewBuilder(tm.TCK)
 	bld.Act(bank, t.logical(phys)).Wait(tm.TRCD)
-	for col := 0; col < g.ColumnsPerRow; col++ {
-		bld.Rd(bank, col)
-		bld.Wait(tm.TCCD)
-	}
+	bld.RdRow(bank, g.ColumnsPerRow, tm.TCCD)
 	bld.Wait(tm.TRAS).Pre(bank).Wait(tm.TRP)
 	res, err := t.b.Exec.Run(bld.Program())
 	if err != nil {
 		return FlipSet{}, err
 	}
 	dist := phys - victim
+	random := pat == dram.PatRandom
+	want := pat.FillWord(t.patternSeed, bank, phys, dist, 0)
 	var flips FlipSet
 	for col, got := range res.Reads {
-		want := pat.FillWord(t.patternSeed, bank, phys, dist, col)
+		if random {
+			want = pat.FillWord(t.patternSeed, bank, phys, dist, col)
+		}
 		diff := got ^ want
 		for diff != 0 {
 			flips.Bits = append(flips.Bits, col*64+bits.TrailingZeros64(diff))
