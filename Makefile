@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 20x
 BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: all build test race vet bench bench-json chaos check
+.PHONY: all build test race vet bench bench-json chaos crash fuzz check
 
 all: check
 
@@ -12,11 +12,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent packages: the campaign engine, the worker
-# pool it is built on, and the experiment drivers that fan out per
-# manufacturer.
+# Race-check the concurrent packages: the campaign engine, the
+# durability layer, the worker pool they are built on, and the
+# experiment drivers that fan out per manufacturer.
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/pool/... ./internal/exp/...
+	$(GO) test -race ./internal/campaign/... ./internal/durable/... ./internal/pool/... ./internal/exp/...
 
 vet:
 	$(GO) vet ./...
@@ -38,5 +38,21 @@ bench-json:
 # bit-identical-summary and explicit-coverage-loss invariants.
 chaos:
 	$(GO) test -race -run Chaos -v ./internal/campaign/... ./internal/inject/...
+
+# Crash-injection suite: the checkpoint stream is cut at every byte
+# offset, the engine and the real rhfleet binary are SIGKILLed
+# mid-write at randomized points, and every resume must produce a
+# bit-identical summary. Artifacts (surviving checkpoints, quarantine
+# sidecars) land in crash-artifacts/ so CI can upload them on failure.
+crash:
+	mkdir -p crash-artifacts
+	RH_CRASH_DIR=$(abspath crash-artifacts) $(GO) test -race -run Crash -v ./internal/campaign/... ./cmd/rhfleet/...
+
+# Short fuzz pass over the checkpoint parsers and the CRC trailer
+# codec; the committed corpora under internal/campaign/testdata/fuzz
+# replay on every plain `go test`.
+fuzz:
+	$(GO) test -fuzz FuzzReadCheckpoint -fuzztime 30s ./internal/campaign/
+	$(GO) test -fuzz FuzzRecordCRCTrailer -fuzztime 30s ./internal/campaign/
 
 check: build vet test race

@@ -23,6 +23,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"rowhammer/internal/durable"
 )
 
 // benchLine matches e.g.
@@ -98,7 +100,9 @@ func main() {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	// Atomic publication: a BENCH file consumed by regression tooling
+	// must never be observable half-written.
+	if err := durable.AtomicWriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,146 @@
+//go:build unix
+
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+
+	"rowhammer/internal/durable"
+)
+
+var (
+	buildOnce sync.Once
+	fleetBin  string
+	buildErr  error
+)
+
+// fleetBinary builds the real rhfleet binary once per test run: the
+// crash suite kills and resumes the shipped artifact, not a test
+// harness approximation of it.
+func fleetBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rhfleet-crash-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		fleetBin = filepath.Join(dir, "rhfleet")
+		if out, err := exec.Command("go", "build", "-o", fleetBin, ".").CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build rhfleet: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return fleetBin
+}
+
+func fleetArgs(ckpt, sum string) []string {
+	return []string{"-mfrs", "A,B", "-modules", "2", "-exp", "hcfirst", "-scale", "tiny",
+		"-seed", "7", "-quiet", "-out", ckpt, "-summary", sum}
+}
+
+// runFleet executes rhfleet and reports (exitCode, killedBySIGKILL).
+func runFleet(t *testing.T, failpoint int64, args ...string) (int, bool) {
+	t.Helper()
+	cmd := exec.Command(fleetBinary(t), args...)
+	cmd.Env = os.Environ()
+	if failpoint >= 0 {
+		cmd.Env = append(cmd.Env, "RHFLEET_FAILPOINT="+strconv.FormatInt(failpoint, 10))
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, false
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("rhfleet did not run: %v", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok {
+		t.Fatalf("no wait status for rhfleet: %v", err)
+	}
+	if ws.Signaled() {
+		if ws.Signal() != syscall.SIGKILL {
+			t.Fatalf("rhfleet died on unexpected signal %v\n%s", ws.Signal(), stderr.Bytes())
+		}
+		return -1, true
+	}
+	return ws.ExitStatus(), false
+}
+
+// TestCrashRhfleetKillResume SIGKILLs the real rhfleet binary
+// mid-checkpoint-write at several byte offsets (via the
+// RHFLEET_FAILPOINT seam), resumes each run with -resume, and requires
+// the published summary to be bit-identical to an uninterrupted run's.
+func TestCrashRhfleetKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real subprocesses")
+	}
+	refDir := t.TempDir()
+	refCkpt := filepath.Join(refDir, "fleet.jsonl")
+	refSumPath := filepath.Join(refDir, "summary.json")
+	if code, killed := runFleet(t, -1, fleetArgs(refCkpt, refSumPath)...); code != 0 || killed {
+		t.Fatalf("reference run: exit %d, killed=%v", code, killed)
+	}
+	refSum, err := os.ReadFile(refSumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(refCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, off := range []int64{0, int64(len(full)) / 3, 2 * int64(len(full)) / 3, int64(len(full)) - 1} {
+		dir := t.TempDir()
+		ckpt := filepath.Join(dir, "fleet.jsonl")
+		sum := filepath.Join(dir, "summary.json")
+		if _, killed := runFleet(t, off, fleetArgs(ckpt, sum)...); !killed {
+			t.Fatalf("offset %d: rhfleet survived its failpoint", off)
+		}
+		if _, err := os.Stat(sum); !os.IsNotExist(err) {
+			t.Fatalf("offset %d: a killed run must not publish a summary", off)
+		}
+		resumeArgs := append(fleetArgs(ckpt, sum), "-resume", ckpt)
+		if code, killed := runFleet(t, -1, resumeArgs...); code != 0 || killed {
+			t.Fatalf("offset %d: resume: exit %d, killed=%v", off, code, killed)
+		}
+		got, err := os.ReadFile(sum)
+		if err != nil {
+			t.Fatalf("offset %d: summary not published after resume: %v", off, err)
+		}
+		if !bytes.Equal(refSum, got) {
+			t.Fatalf("offset %d: resumed summary differs from uninterrupted run", off)
+		}
+	}
+}
+
+// TestCrashRhfleetLockExclusion holds the checkpoint's advisory lock
+// and requires a second rhfleet to refuse to start rather than
+// interleave writes.
+func TestCrashRhfleetLockExclusion(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fleet.jsonl")
+	lock, err := durable.AcquireLock(ckpt + ".lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lock.Release()
+	code, killed := runFleet(t, -1, fleetArgs(ckpt, filepath.Join(dir, "summary.json"))...)
+	if killed || code != 1 {
+		t.Fatalf("locked checkpoint: exit %d, killed=%v; want exit 1", code, killed)
+	}
+}

@@ -11,10 +11,19 @@
 //	rhfleet -resume fleet.jsonl -mfrs A,B,C,D -modules 16 -exp hcfirst -out fleet.jsonl
 //	rhfleet -spec campaign.json
 //	rhfleet -exp hcfirst -modules 8 -fault-profile chaos -retries 4 -breaker 3
+//	rhfleet -compact -out fleet.jsonl
 //
-// Exit codes: 0 success; 1 error; 2 usage; 3 interrupted (resume with
-// -resume); 4 partial result with quarantined modules (summary carries
-// explicit coverage accounting).
+// Checkpoints are written in the crash-safe v2 format (self-describing
+// header + CRC32C per record, fsynced per record); resume verifies the
+// checkpoint belongs to this campaign and quarantines corrupt interior
+// lines to a .corrupt sidecar instead of aborting. An advisory lock on
+// <out>.lock keeps two rhfleet processes from interleaving writes. The
+// first SIGINT/SIGTERM drains gracefully (dispatch stops, in-flight
+// jobs finish, checkpoint flushed); a second signal aborts hard.
+//
+// Exit codes: 0 success; 1 error; 2 usage; 3 interrupted or drained —
+// resumable with -resume; 4 partial result with quarantined modules
+// (summary carries explicit coverage accounting).
 package main
 
 import (
@@ -27,18 +36,26 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	rh "rowhammer"
+	"rowhammer/internal/durable"
 	"rowhammer/internal/profiling"
 )
 
-// stopProfiles finishes any active pprof profiles. Every termination
-// path (fatal, fatalUsage, exit) routes through it because os.Exit
-// skips deferred calls.
-var stopProfiles = func() {}
+// stopProfiles finishes any active pprof profiles; releaseLock drops
+// the advisory checkpoint lock. Every termination path (fatal,
+// fatalUsage, exit) routes through both because os.Exit skips
+// deferred calls.
+var (
+	stopProfiles = func() {}
+	releaseLock  = func() {}
+)
 
 func exit(code int) {
+	releaseLock()
 	stopProfiles()
 	os.Exit(code)
 }
@@ -57,6 +74,9 @@ func main() {
 		jobTO   = flag.Duration("job-timeout", 0, "deadline per job attempt (0 = none)")
 		backoff = flag.Duration("retry-backoff", 0, "base of the exponential retry backoff with deterministic jitter (0 = retry immediately)")
 		breaker = flag.Int("breaker", 0, "quarantine a module after N consecutive failed attempts (0 = breaker off)")
+		wdog    = flag.Int("watchdog", 0, "abandon a job attempt after N×job-timeout without heartbeat and requeue it (0 = watchdog off; requires -job-timeout)")
+		drainTO = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs after the first SIGINT/SIGTERM before a hard abort")
+		compact = flag.Bool("compact", false, "rewrite the -out checkpoint to one deduplicated record per job, then exit")
 		faults  = flag.String("fault-profile", "", "deterministic fault injection: none, transient, latency, drift, chaos, dead=MFR/IDX[,...], combined with + (e.g. chaos+dead=A/0+seed=7)")
 		out     = flag.String("out", "fleet.jsonl", "JSONL checkpoint output path")
 		resume  = flag.String("resume", "", "resume from a JSONL checkpoint (skips completed jobs)")
@@ -74,9 +94,14 @@ Exit codes:
   0  campaign complete
   1  error
   2  usage error
-  3  interrupted or timed out — resume with -resume <checkpoint>
+  3  interrupted, drained or timed out — resume with -resume <checkpoint>
   4  partial result: modules quarantined by the circuit breaker; the
      summary's "coverage" block names the lost coverage
+
+The first SIGINT/SIGTERM drains: dispatch stops, in-flight jobs finish
+(bounded by -drain-timeout), the checkpoint is flushed, and rhfleet
+exits 3. A second signal aborts immediately. <out>.lock serializes
+rhfleet processes per checkpoint.
 `)
 	}
 	flag.Parse()
@@ -101,6 +126,7 @@ Exit codes:
 		spec.JobTimeout = *jobTO
 		spec.RetryBackoff = *backoff
 		spec.BreakerThreshold = *breaker
+		spec.WatchdogFactor = *wdog
 	}
 	// Validate before touching the output file: a typo'd -exp must not
 	// truncate an existing checkpoint.
@@ -108,36 +134,114 @@ Exit codes:
 		fatal(err)
 	}
 
+	// Advisory exclusivity: one rhfleet per checkpoint file. The kernel
+	// drops the flock with the process, so a SIGKILLed run never leaves
+	// a stale lock behind.
+	lock, err := durable.AcquireLock(*out + ".lock")
+	if err != nil {
+		if errors.Is(err, durable.ErrLocked) {
+			fatal(fmt.Errorf("checkpoint %s is in use by another rhfleet: %w", *out, err))
+		}
+		fatal(err)
+	}
+	var unlockOnce sync.Once
+	releaseLock = func() { unlockOnce.Do(func() { lock.Release() }) }
+	defer releaseLock()
+
+	if *compact {
+		// A v2 checkpoint is self-describing: trust its header unless the
+		// user explicitly named a campaign on the command line (needed to
+		// stamp a header onto a v1 file, verified against a v2 one).
+		var cspec *rh.CampaignSpec
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mfrs", "modules", "exp", "seed", "scale", "temps", "spec":
+				cspec = &spec
+			}
+		})
+		rep, err := rh.CompactCampaignCheckpoint(*out, cspec)
+		if err != nil {
+			fatal(fmt.Errorf("compacting %s: %w", *out, err))
+		}
+		fmt.Fprintf(os.Stderr, "rhfleet: compacted %s: %d records kept, %d duplicate and %d corrupt line(s) dropped\n",
+			*out, len(rep.Records), rep.DuplicateRecords, rep.CorruptRecords)
+		exit(0)
+	}
+
 	resumeRecs := map[string]rh.CampaignRecord{}
 	if *resume != "" {
-		resumeRecs, err = rh.LoadCampaignCheckpoint(*resume)
+		rep, err := rh.LoadCampaignCheckpointReport(*resume, &spec)
 		if err != nil {
 			fatal(fmt.Errorf("loading resume checkpoint: %w", err))
 		}
-		fmt.Fprintf(os.Stderr, "rhfleet: resuming with %d checkpointed records from %s\n", len(resumeRecs), *resume)
+		resumeRecs = rep.Records
+		fmt.Fprintf(os.Stderr, "rhfleet: resuming with %d checkpointed records from %s (format v%d)\n",
+			len(rep.Records), *resume, rep.Version)
+		if rep.DuplicateRecords > 0 {
+			fmt.Fprintf(os.Stderr, "rhfleet: %d duplicate key(s) in checkpoint — latest result wins, a success is never replaced by a failure\n",
+				rep.DuplicateRecords)
+		}
+		if rep.TornFinal {
+			fmt.Fprintln(os.Stderr, "rhfleet: final checkpoint record was torn by a crash; its job will be re-run")
+		}
+		if rep.CorruptRecords > 0 {
+			fmt.Fprintf(os.Stderr, "rhfleet: %d corrupt checkpoint line(s) quarantined to %s; their jobs will be re-run\n",
+				rep.CorruptRecords, rep.QuarantinePath)
+		}
 	}
 
 	// Append when resuming into the same file so the checkpoint stays a
-	// complete record of the campaign; otherwise start fresh.
-	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	// complete record of the campaign; otherwise start fresh. Both paths
+	// write the v2 format: header line + CRC32C per record.
+	var cw *rh.CampaignCheckpointWriter
 	if *resume == *out {
-		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		cw, err = rh.AppendCampaignCheckpoint(*out, spec)
+	} else {
+		cw, err = rh.CreateCampaignCheckpoint(*out, spec)
 	}
-	f, err := os.OpenFile(*out, mode, 0o644)
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer cw.Close()
+	armFailpoint(cw)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	base := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		base, cancel = context.WithTimeout(base, *timeout)
 		defer cancel()
 	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
 
-	opts := rh.CampaignOptions{Checkpoint: f, Resume: resumeRecs, FaultProfile: profile}
+	// Two-stage shutdown: the first SIGINT/SIGTERM drains (dispatch
+	// stops, in-flight jobs finish under -drain-timeout), the second —
+	// or the drain deadline — aborts hard via context cancellation.
+	drainCh := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		select {
+		case s := <-sigCh:
+			fmt.Fprintf(os.Stderr, "rhfleet: %v: draining — dispatch stopped, in-flight jobs get %v (signal again to abort now)\n", s, *drainTO)
+			close(drainCh)
+			t := time.NewTimer(*drainTO)
+			defer t.Stop()
+			select {
+			case s = <-sigCh:
+				fmt.Fprintf(os.Stderr, "rhfleet: %v: aborting\n", s)
+			case <-t.C:
+				fmt.Fprintln(os.Stderr, "rhfleet: drain deadline exceeded; aborting")
+			case <-ctx.Done():
+				return
+			}
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	opts := rh.CampaignOptions{Records: cw, Resume: resumeRecs, FaultProfile: profile, Drain: drainCh}
 	if profile != nil {
 		fmt.Fprintf(os.Stderr, "rhfleet: fault injection active: %s (seed %d)\n", profile, profile.Seed)
 	}
@@ -154,6 +258,11 @@ Exit codes:
 	}
 
 	res, err := rh.RunCampaign(ctx, spec, opts)
+	// Flush and close the checkpoint before publishing anything built
+	// from it; a close failure is a durability failure.
+	if cerr := cw.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if res != nil {
 		fmt.Fprintf(os.Stderr, "rhfleet: %d run, %d resumed, %d retried, %d failed in %v\n",
 			res.Completed, res.Skipped, res.Retried, res.Failed, time.Since(start).Round(time.Millisecond))
@@ -162,26 +271,32 @@ Exit codes:
 			fatal(merr)
 		}
 		fmt.Println(string(summary))
-		if *sumOut != "" {
-			if werr := os.WriteFile(*sumOut, append(summary, '\n'), 0o644); werr != nil {
+		// Only a complete campaign publishes the summary artifact, and it
+		// lands atomically: readers see the old file or the new one,
+		// never a torn in-between.
+		if *sumOut != "" && err == nil {
+			if werr := durable.AtomicWriteFile(*sumOut, append(summary, '\n'), 0o644); werr != nil {
 				fatal(werr)
 			}
 		}
 	}
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintf(os.Stderr, "rhfleet: interrupted (%v); resume with -resume %s\n", err, *out)
-			f.Close()
+		switch {
+		case errors.Is(err, rh.ErrCampaignDrained):
+			fmt.Fprintf(os.Stderr, "rhfleet: drained; checkpoint flushed — resume with -resume %s\n", *out)
 			exit(3)
-		}
-		if res != nil && res.Quarantined > 0 {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "rhfleet: interrupted (%v); resume with -resume %s\n", err, *out)
+			exit(3)
+		case res != nil && res.Quarantined > 0:
 			fmt.Fprintf(os.Stderr, "rhfleet: partial result: %d jobs quarantined (modules %s); coverage accounting is in the summary\n",
 				res.Quarantined, strings.Join(res.QuarantinedModules, ", "))
-			f.Close()
 			exit(4)
+		default:
+			fatal(err)
 		}
-		fatal(err)
 	}
+	exit(0)
 }
 
 // buildSpec assembles the campaign spec from a JSON file or flags.
@@ -238,6 +353,7 @@ type jsonSpec struct {
 	JobTimeoutMS     int64     `json:"job_timeout_ms"`
 	RetryBackoffMS   int64     `json:"retry_backoff_ms"`
 	BreakerThreshold int       `json:"breaker_threshold"`
+	WatchdogFactor   int       `json:"watchdog_factor"`
 }
 
 func (js jsonSpec) toSpec() (rh.CampaignSpec, error) {
@@ -252,6 +368,7 @@ func (js jsonSpec) toSpec() (rh.CampaignSpec, error) {
 		JobTimeout:       time.Duration(js.JobTimeoutMS) * time.Millisecond,
 		RetryBackoff:     time.Duration(js.RetryBackoffMS) * time.Millisecond,
 		BreakerThreshold: js.BreakerThreshold,
+		WatchdogFactor:   js.WatchdogFactor,
 	}
 	if js.Scale == "" {
 		js.Scale = "default"

@@ -9,6 +9,7 @@ import (
 	"rowhammer/internal/campaign"
 	"rowhammer/internal/inject"
 	"rowhammer/internal/pool"
+	"rowhammer/internal/rng"
 )
 
 // Fleet campaigns: the population-scale front door of the package.
@@ -76,13 +77,30 @@ type CampaignSpec struct {
 	// BreakerThreshold quarantines a module after this many
 	// consecutive failed attempts (0 = circuit breaker disabled).
 	BreakerThreshold int
+	// WatchdogFactor arms the stuck-job watchdog: a job attempt whose
+	// runner neither returns nor heartbeats (CampaignHeartbeat) for
+	// JobTimeout×WatchdogFactor is cancelled, and after a second such
+	// window abandoned and requeued through the bounded retry path.
+	// 0 disables the watchdog; non-zero requires JobTimeout > 0.
+	WatchdogFactor int
 }
 
 // CampaignOptions controls checkpointing and progress reporting.
 type CampaignOptions struct {
 	// Checkpoint, when non-nil, receives one JSONL record per finished
-	// job as it completes.
+	// job as it completes (the legacy v1 stream). Prefer Records with a
+	// CampaignCheckpointWriter, which adds the v2 header and per-record
+	// CRC trailers; when both are set, Records wins.
 	Checkpoint io.Writer
+	// Records, when non-nil, receives every finished record; use
+	// CreateCampaignCheckpoint or AppendCampaignCheckpoint to stream
+	// the crash-safe v2 checkpoint format.
+	Records CampaignRecordWriter
+	// Drain, when non-nil and closed (or signalled), stops dispatching
+	// new jobs: in-flight jobs finish and are checkpointed, then
+	// RunCampaign returns ErrCampaignDrained if work remains — the
+	// graceful-shutdown half of the kill-anywhere guarantee.
+	Drain <-chan struct{}
 	// Resume holds records of a previous run (LoadCampaignCheckpoint);
 	// their jobs are skipped.
 	Resume map[string]CampaignRecord
@@ -112,8 +130,123 @@ type CampaignResult struct {
 	QuarantinedModules []string
 }
 
+// CampaignCheckpointWriter streams records in the crash-safe v2
+// checkpoint format: a self-describing header line plus a CRC32C
+// trailer on every record, each fsynced as it is written.
+type CampaignCheckpointWriter = campaign.CheckpointWriter
+
+// CampaignResumeReport describes what a checkpoint load found:
+// adopted records, duplicate keys, quarantined corrupt lines (and the
+// .corrupt sidecar holding them), and whether the final record was
+// torn by a crash.
+type CampaignResumeReport = campaign.ResumeReport
+
+// CampaignCorruptLine is one quarantined checkpoint line.
+type CampaignCorruptLine = campaign.CorruptLine
+
+// CampaignRecordWriter receives finished records as they complete.
+type CampaignRecordWriter = campaign.RecordWriter
+
+// ErrCampaignDrained marks a run stopped by CampaignOptions.Drain with
+// jobs still pending; the checkpoint is flushed and resumable.
+var ErrCampaignDrained = campaign.ErrDrained
+
+// ErrCampaignSpecMismatch marks a checkpoint that belongs to a
+// campaign measuring something else (different kind, fleet, seed,
+// temps, scale or geometry) — resuming it would silently mix results.
+var ErrCampaignSpecMismatch = campaign.ErrSpecMismatch
+
+// CampaignHeartbeat reports liveness from inside a long-running job so
+// an armed watchdog (CampaignSpec.WatchdogFactor) does not abandon an
+// attempt that is slow but making progress. No-op without a watchdog.
+func CampaignHeartbeat(ctx context.Context) { campaign.Heartbeat(ctx) }
+
+// lowerSpec resolves the public spec's Scale/Geometry defaults and
+// lowers it to the engine spec, folding the measurement identity
+// (scale + geometry) into the checkpoint fingerprint: those knobs
+// change measured values without changing the job set, so a
+// checkpoint taken at one scale must not resume into another.
+func lowerSpec(spec CampaignSpec) (campaign.Spec, Scale, Geometry) {
+	scale := spec.Scale
+	if scale == (Scale{}) {
+		scale = DefaultScale()
+	}
+	geom := spec.Geometry
+	if geom == (Geometry{}) {
+		geom = DefaultDDR4Geometry()
+	}
+	cs := campaign.Spec{
+		Kind:             spec.Kind,
+		Mfrs:             spec.Mfrs,
+		ModulesPerMfr:    spec.ModulesPerMfr,
+		Seed:             spec.Seed,
+		Workers:          spec.Workers,
+		MaxRetries:       spec.MaxRetries,
+		JobTimeout:       spec.JobTimeout,
+		RetryBackoff:     spec.RetryBackoff,
+		BreakerThreshold: spec.BreakerThreshold,
+		WatchdogFactor:   spec.WatchdogFactor,
+		Temps:            spec.Temps,
+		Fingerprint:      fmt.Sprintf("%016x", rng.HashString(fmt.Sprintf("scale:%+v|geom:%+v", scale, geom))),
+	}
+	// Normalize now so the checkpoint header hash is computed over the
+	// same defaults the engine will run with; an invalid spec is passed
+	// through untouched and rejected by Run with a proper error.
+	if n, err := cs.Normalize(); err == nil {
+		cs = n
+	}
+	return cs, scale, geom
+}
+
+// CreateCampaignCheckpoint creates (or truncates) a v2 checkpoint file
+// for the campaign; pass the writer as CampaignOptions.Records.
+func CreateCampaignCheckpoint(path string, spec CampaignSpec) (*CampaignCheckpointWriter, error) {
+	cs, _, _ := lowerSpec(spec)
+	return campaign.CreateCheckpoint(path, cs)
+}
+
+// AppendCampaignCheckpoint opens an existing checkpoint for appending
+// after verifying it belongs to this campaign (ErrCampaignSpecMismatch
+// otherwise); a file torn mid-record by a crash is newline-isolated so
+// the fragment cannot corrupt the first new record.
+func AppendCampaignCheckpoint(path string, spec CampaignSpec) (*CampaignCheckpointWriter, error) {
+	cs, _, _ := lowerSpec(spec)
+	return campaign.AppendCheckpoint(path, cs)
+}
+
+// LoadCampaignCheckpointReport reads a v1 or v2 checkpoint for resume.
+// With a non-nil spec the checkpoint's identity is verified
+// (ErrCampaignSpecMismatch on a stale or foreign checkpoint). CRC
+// verification quarantines corrupt interior lines to a .corrupt
+// sidecar — reported, never silently adopted — and tolerates only a
+// torn final record. A missing file yields an empty report.
+func LoadCampaignCheckpointReport(path string, spec *CampaignSpec) (*CampaignResumeReport, error) {
+	var opts campaign.ResumeOptions
+	if spec != nil {
+		cs, _, _ := lowerSpec(*spec)
+		opts.ExpectSpec = &cs
+	}
+	return campaign.LoadCheckpointReport(path, opts)
+}
+
+// CompactCampaignCheckpoint rewrites a checkpoint to one deduplicated
+// record per job in canonical order, publishing the result atomically
+// (the original is untouched if compaction fails anywhere). A nil spec
+// trusts the file's own v2 header; a non-nil spec is verified against
+// it, and is required to compact a headerless v1 file.
+func CompactCampaignCheckpoint(path string, spec *CampaignSpec) (*CampaignResumeReport, error) {
+	if spec == nil {
+		return campaign.CompactCheckpointFile(path, nil)
+	}
+	cs, _, _ := lowerSpec(*spec)
+	return campaign.CompactCheckpointFile(path, &cs)
+}
+
 // LoadCampaignCheckpoint reads a JSONL checkpoint file for
-// CampaignOptions.Resume. A missing file yields an empty map.
+// CampaignOptions.Resume. A missing file yields an empty map. It is
+// the strict loader: any corrupt interior line is an error. Prefer
+// LoadCampaignCheckpointReport, which verifies the campaign identity
+// and quarantines corruption instead of failing.
 func LoadCampaignCheckpoint(path string) (map[string]CampaignRecord, error) {
 	return campaign.LoadCheckpointFile(path)
 }
@@ -129,26 +262,7 @@ func WriteCampaignRecord(w io.Writer, rec CampaignRecord) error {
 // cancellation it returns the partial result together with ctx's
 // error; the checkpoint can be resumed via CampaignOptions.Resume.
 func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (*CampaignResult, error) {
-	scale := spec.Scale
-	if scale == (Scale{}) {
-		scale = DefaultScale()
-	}
-	geom := spec.Geometry
-	if geom == (Geometry{}) {
-		geom = DefaultDDR4Geometry()
-	}
-	cspec := campaign.Spec{
-		Kind:             spec.Kind,
-		Mfrs:             spec.Mfrs,
-		ModulesPerMfr:    spec.ModulesPerMfr,
-		Seed:             spec.Seed,
-		Workers:          spec.Workers,
-		MaxRetries:       spec.MaxRetries,
-		JobTimeout:       spec.JobTimeout,
-		RetryBackoff:     spec.RetryBackoff,
-		BreakerThreshold: spec.BreakerThreshold,
-		Temps:            spec.Temps,
-	}
+	cspec, scale, geom := lowerSpec(spec)
 	runner := moduleRunner(scale, geom)
 	if opts.FaultProfile != nil {
 		runner = inject.WrapRunner(runner, opts.FaultProfile)
@@ -156,8 +270,10 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (
 	res, err := campaign.Run(ctx, cspec, campaign.Options{
 		Runner:     runner,
 		Checkpoint: opts.Checkpoint,
+		Records:    opts.Records,
 		Done:       opts.Resume,
 		Progress:   opts.Progress,
+		Drain:      opts.Drain,
 	})
 	if res == nil {
 		return nil, err

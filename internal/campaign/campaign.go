@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"rowhammer/internal/pool"
+	"rowhammer/internal/rng"
 )
 
 // The built-in experiment kinds a campaign can run per module.
@@ -80,9 +81,40 @@ type Spec struct {
 	// remaining retries and excluding the module from the aggregate
 	// with explicit coverage accounting (0 = breaker disabled).
 	BreakerThreshold int `json:"breaker_threshold,omitempty"`
+	// WatchdogFactor arms the stuck-job watchdog: an attempt whose
+	// runner neither returns nor heartbeats (Heartbeat) for
+	// JobTimeout×WatchdogFactor is first cancelled, and if it still
+	// does not return within another such window the attempt is
+	// abandoned — the worker is freed and the job requeued through the
+	// bounded retry path, so one wedged module that ignores its
+	// context can no longer stall the fleet forever. 0 disables the
+	// watchdog; a non-zero value requires JobTimeout > 0.
+	WatchdogFactor int `json:"watchdog_factor,omitempty"`
 	// Temps is the temperature grid of BER campaigns; empty selects the
 	// runner's default grid.
 	Temps []float64 `json:"temps,omitempty"`
+	// Fingerprint is an opaque caller-supplied measurement-identity
+	// tag folded into IdentityHash. The rowhammer layer sets it from
+	// the Scale and Geometry, which change measured values without
+	// changing the job set — a checkpoint taken at one scale must not
+	// resume into a campaign at another.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// IdentityHash returns a 16-hex-digit hash of the fields that define
+// what the campaign measures — Kind, Mfrs, ModulesPerMfr, Seed, Temps
+// and Fingerprint. Scheduling knobs (workers, retries, timeouts,
+// backoff, breaker, watchdog) are deliberately excluded: changing how
+// fast a campaign runs never invalidates its checkpoint. A v2
+// checkpoint records the hash in its header, and resume rejects a
+// mismatch (ErrSpecMismatch).
+func (s Spec) IdentityHash() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d|%d|%s", s.Kind, strings.Join(s.Mfrs, ","), s.ModulesPerMfr, s.Seed, s.Fingerprint)
+	for _, t := range s.Temps {
+		fmt.Fprintf(&b, "|%g", t)
+	}
+	return fmt.Sprintf("%016x", rng.HashString(b.String()))
 }
 
 // Normalize fills Spec defaults and validates the kind.
@@ -119,6 +151,12 @@ func (s Spec) Normalize() (Spec, error) {
 	}
 	if s.BreakerThreshold < 0 {
 		s.BreakerThreshold = 0
+	}
+	if s.WatchdogFactor < 0 {
+		s.WatchdogFactor = 0
+	}
+	if s.WatchdogFactor > 0 && s.JobTimeout <= 0 {
+		return s, fmt.Errorf("campaign: WatchdogFactor requires JobTimeout > 0 (the watchdog deadline is JobTimeout×%d)", s.WatchdogFactor)
 	}
 	return s, nil
 }

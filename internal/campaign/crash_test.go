@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rowhammer/internal/durable"
+)
+
+// crashSpec is the small campaign the crash-injection harness kills
+// and resumes: 2 manufacturers × 2 modules, enough to have both
+// complete and in-flight records at any cut point.
+func crashSpec() Spec {
+	s := testSpec([]string{"A", "B"}, 2)
+	s.Workers = 2
+	return s
+}
+
+// crashDir returns a workspace for crash artifacts. When RH_CRASH_DIR
+// is set (the `make crash` target), artifacts land there so CI can
+// upload quarantine sidecars from failed runs; otherwise t.TempDir
+// keeps everything ephemeral.
+func crashDir(t *testing.T) string {
+	t.Helper()
+	base := os.Getenv("RH_CRASH_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	dir, err := os.MkdirTemp(base, filepath.Base(t.Name())+"-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// referenceSummary runs the crash spec uninterrupted and returns its
+// canonical summary bytes plus the full checkpoint image.
+func referenceSummary(t *testing.T, spec Spec) (sum, checkpoint []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	cw := NewCheckpointWriter(&buf, spec)
+	res, err := Run(context.Background(), spec, Options{Runner: fakeRunner(nil), Records: cw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Aggregate(res).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, buf.Bytes()
+}
+
+// TestCrashFailpointEveryByteOffset is the exhaustive half of the
+// kill-anywhere guarantee: the checkpoint write is cut at every
+// single byte offset of the full stream (header included), and every
+// resulting truncated checkpoint must resume to a summary
+// bit-identical to an uninterrupted run's. No offset may produce
+// interior corruption, a failed parse, or a divergent aggregate.
+func TestCrashFailpointEveryByteOffset(t *testing.T) {
+	spec := crashSpec()
+	refSum, full := referenceSummary(t, spec)
+	for off := 0; off <= len(full); off++ {
+		var buf bytes.Buffer
+		fp := &durable.FailpointWriter{W: &buf, Remaining: int64(off)}
+		cw := NewCheckpointWriter(fp, spec)
+		// The engine latches the write error and keeps running; only
+		// the checkpoint stream is cut, exactly as a full disk or
+		// yanked volume would.
+		_, runErr := Run(context.Background(), spec, Options{Runner: fakeRunner(nil), Records: cw})
+		if off < len(full) && runErr == nil {
+			t.Fatalf("offset %d: cut checkpoint stream must surface a write error", off)
+		}
+		if buf.Len() > off {
+			t.Fatalf("offset %d: %d bytes leaked past the failpoint", off, buf.Len())
+		}
+
+		rep, err := ReadCheckpointReport(bytes.NewReader(buf.Bytes()), ResumeOptions{ExpectSpec: &spec})
+		if err != nil {
+			t.Fatalf("offset %d: resume parse: %v", off, err)
+		}
+		if rep.CorruptRecords != 0 {
+			t.Fatalf("offset %d: a clean cut produced %d corrupt interior records", off, rep.CorruptRecords)
+		}
+		resumed, err := Run(context.Background(), spec, Options{Runner: fakeRunner(nil), Done: rep.Records})
+		if err != nil {
+			t.Fatalf("offset %d: resumed run: %v", off, err)
+		}
+		gotSum, err := Aggregate(resumed).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refSum, gotSum) {
+			t.Fatalf("offset %d: resumed summary differs from uninterrupted run\nref: %s\ngot: %s", off, refSum, gotSum)
+		}
+	}
+}
+
+// TestCrashFailpointDuringCompaction cuts the atomic publication of a
+// compacted checkpoint: because compaction writes through
+// AtomicWriteFile, a crash mid-compaction must leave the original
+// file untouched and loadable.
+func TestCrashFailpointDuringCompaction(t *testing.T) {
+	spec := crashSpec()
+	dir := crashDir(t)
+	path := filepath.Join(dir, "fleet.jsonl")
+	cw, err := CreateCheckpoint(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"hcfirst/A/0", "hcfirst/A/1"} {
+		if err := cw.WriteRecord(Record{Key: k, Kind: KindHCFirst, Mfr: "A", Metrics: map[string]float64{"x": 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure injected before publication: a stale spec aborts the
+	// compaction, which must leave the original file untouched.
+	wrong := spec
+	wrong.Seed++
+	if _, err := CompactCheckpointFile(path, &wrong); err == nil {
+		t.Fatal("compaction under a mismatched spec should fail")
+	}
+	// Failure injected at publication: a read-only directory blocks
+	// the atomic temp+rename. Root bypasses permission bits, so this
+	// sabotage only works for ordinary users.
+	if os.Geteuid() != 0 {
+		if err := os.Chmod(dir, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CompactCheckpointFile(path, &spec); err == nil {
+			t.Fatal("compaction into a read-only directory should fail")
+		}
+		os.Chmod(dir, 0o755)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed compaction modified the original checkpoint")
+	}
+	if _, err := LoadCheckpointReport(path, ResumeOptions{ExpectSpec: &spec}); err != nil {
+		t.Fatalf("original checkpoint unreadable after failed compaction: %v", err)
+	}
+}

@@ -2,14 +2,22 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rowhammer/internal/rng"
 )
+
+// ErrDrained is returned by Run when the graceful-drain signal
+// (Options.Drain) stopped dispatch before every job ran: in-flight
+// jobs were allowed to finish and their records checkpointed, so the
+// campaign is cleanly resumable.
+var ErrDrained = errors.New("campaign: drained: dispatch stopped by graceful shutdown; resume from the checkpoint")
 
 // Runner executes one job and returns its record. Runners must be
 // deterministic in (spec seed, job) and safe for concurrent use; the
@@ -36,6 +44,27 @@ func Attempt(ctx context.Context) int {
 	return 1
 }
 
+// beatKey carries the watchdog heartbeat slot in the job context.
+type beatKey struct{}
+
+// heartbeat is the watchdog's per-attempt liveness slot.
+type heartbeat struct{ last atomic.Int64 }
+
+// Heartbeat marks the running job attempt as live, resetting its
+// watchdog clock (Spec.WatchdogFactor). Long-running runners call it
+// between measurement phases to prove they are making progress; a
+// no-op when the context carries no watchdog (watchdog disabled, or a
+// runner called directly).
+func Heartbeat(ctx context.Context) {
+	if hb, ok := ctx.Value(beatKey{}).(*heartbeat); ok {
+		hb.last.Store(time.Now().UnixNano())
+	}
+}
+
+// RecordWriter is a record-granular checkpoint sink; *CheckpointWriter
+// implements it with the v2 header + CRC trailer format.
+type RecordWriter interface{ WriteRecord(Record) error }
+
 // Options configures one engine run.
 type Options struct {
 	// Runner executes jobs (required).
@@ -45,9 +74,19 @@ type Options struct {
 	// writer also implements Sync (like *os.File), it is synced after
 	// every record so a crash can lose at most the in-flight record.
 	Checkpoint io.Writer
+	// Records, when non-nil, takes precedence over Checkpoint as the
+	// per-record sink — this is how the v2 CRC-trailered
+	// CheckpointWriter plugs into the engine.
+	Records RecordWriter
 	// Done holds records from a previous run (see ReadCheckpoint);
 	// successful entries are adopted without re-running their jobs.
 	Done map[string]Record
+	// Drain, when non-nil, is the graceful-shutdown signal: once it is
+	// closed (or delivers), the engine stops dispatching queued jobs
+	// but lets in-flight jobs finish and checkpoint under ctx, then
+	// Run returns ErrDrained with the partial, resumable result. The
+	// hard stop remains ctx's cancellation.
+	Drain <-chan struct{}
 	// Progress, when non-nil, is called after every finished or skipped
 	// job with the running completion counts. It is called from the
 	// collector goroutine only, so it needs no locking.
@@ -132,12 +171,19 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 			}
 		}()
 	}
+	// drained is written by the dispatcher goroutine before it returns
+	// and read only after the collector loop ends; the close(jobCh) →
+	// wg.Wait → close(recCh) chain orders those accesses.
+	drained := false
 	go func() {
 		defer close(jobCh)
 		for _, j := range pending {
 			select {
 			case jobCh <- j:
 			case <-ctx.Done():
+				return
+			case <-opts.Drain:
+				drained = true
 				return
 			}
 		}
@@ -168,8 +214,13 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 			res.Retried++
 		}
 		done++
-		if opts.Checkpoint != nil && cpErr == nil {
-			cpErr = WriteRecord(opts.Checkpoint, rec)
+		if cpErr == nil {
+			switch {
+			case opts.Records != nil:
+				cpErr = opts.Records.WriteRecord(rec)
+			case opts.Checkpoint != nil:
+				cpErr = WriteRecord(opts.Checkpoint, rec)
+			}
 		}
 		if opts.Progress != nil {
 			opts.Progress(done, len(jobs), rec)
@@ -180,6 +231,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return res, err
+	}
+	if drained && len(res.Records) < len(jobs) {
+		return res, ErrDrained
 	}
 	if res.Failed > 0 {
 		if res.Quarantined > 0 {
@@ -289,15 +343,77 @@ func quarantinedRecord(job Job, attempts int, cause error) Record {
 }
 
 // safeRun invokes the runner for one attempt — with the attempt number
-// in the context, under the per-attempt deadline — converting a panic
-// into an error so a single bad module cannot take down the fleet run.
-func safeRun(ctx context.Context, spec Spec, runner Runner, job Job, attempt int) (rec Record, err error) {
+// in the context, under the per-attempt deadline — and, when the
+// watchdog is armed (Spec.WatchdogFactor), supervises the attempt so a
+// runner that wedges without respecting its context cannot hold a
+// worker hostage forever.
+func safeRun(ctx context.Context, spec Spec, runner Runner, job Job, attempt int) (Record, error) {
 	actx := withAttempt(ctx, attempt)
-	if spec.JobTimeout > 0 {
-		var cancel context.CancelFunc
-		actx, cancel = context.WithTimeout(actx, spec.JobTimeout)
-		defer cancel()
+	var hb *heartbeat
+	if spec.WatchdogFactor > 0 {
+		hb = &heartbeat{}
+		hb.last.Store(time.Now().UnixNano())
+		actx = context.WithValue(actx, beatKey{}, hb)
 	}
+	var cancel context.CancelFunc = func() {}
+	if spec.JobTimeout > 0 {
+		actx, cancel = context.WithTimeout(actx, spec.JobTimeout)
+	}
+	defer cancel()
+	if hb == nil {
+		return runAttempt(actx, spec, runner, job, attempt)
+	}
+
+	// Supervised attempt: the runner executes in its own goroutine
+	// while this worker watches the heartbeat clock. A stall of
+	// JobTimeout×WatchdogFactor first cancels the attempt (a runner
+	// that merely missed its deadline gets to unwind); a second full
+	// window with no return abandons the attempt — the goroutine is
+	// left to die on its own, the buffered channel swallows its late
+	// result, and the stall error feeds the normal bounded retry path,
+	// which is what requeues the job.
+	type outcome struct {
+		rec Record
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rec, err := runAttempt(actx, spec, runner, job, attempt)
+		ch <- outcome{rec, err}
+	}()
+	threshold := spec.JobTimeout * time.Duration(spec.WatchdogFactor)
+	cancelled := false
+	for {
+		idle := time.Duration(time.Now().UnixNano() - hb.last.Load())
+		wait := threshold - idle
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case o := <-ch:
+			t.Stop()
+			return o.rec, o.err
+		case <-t.C:
+			if time.Duration(time.Now().UnixNano()-hb.last.Load()) < threshold {
+				continue // a heartbeat arrived while we slept
+			}
+			if !cancelled {
+				cancelled = true
+				cancel()
+				// Grant one more full window to unwind after the cancel.
+				hb.last.Store(time.Now().UnixNano())
+				continue
+			}
+			return Record{}, fmt.Errorf("job %s attempt %d stalled: no heartbeat or return within %v after cancellation; attempt abandoned by watchdog",
+				job.Key(), attempt, threshold)
+		}
+	}
+}
+
+// runAttempt is one bare runner invocation, converting a panic into an
+// error so a single bad module cannot take down the fleet run.
+func runAttempt(actx context.Context, spec Spec, runner Runner, job Job, attempt int) (rec Record, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("job %s panicked: %v", job.Key(), r)

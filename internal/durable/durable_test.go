@@ -1,0 +1,164 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "summary.json")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := AtomicWriteFile(path, []byte("v2"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("replaced content = %q, want v2", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Fatalf("perm = %o, want 600", perm)
+	}
+	// No temp debris left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory has debris: %v", names)
+	}
+}
+
+func TestAtomicWriteFileMissingDir(t *testing.T) {
+	err := AtomicWriteFile(filepath.Join(t.TempDir(), "nope", "x"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}
+
+func TestAcquireLockExcludesSecondHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.lock")
+	l1, err := AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireLock(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second acquire: want ErrLocked, got %v", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("release should remove the lockfile, stat err = %v", err)
+	}
+	l2, err := AcquireLock(path)
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	defer l2.Release()
+	// Error message names the holder pid for diagnostics.
+	_, err = AcquireLock(path)
+	if err == nil || !strings.Contains(err.Error(), "pid") {
+		t.Fatalf("want holder pid in error, got %v", err)
+	}
+}
+
+func TestReleaseNilLockIsNoop(t *testing.T) {
+	var l *Lock
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := &Lock{}
+	if err := l2.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailpointWriterCutsAtExactOffset(t *testing.T) {
+	payload := []byte("abcdefghij")
+	for off := int64(0); off <= int64(len(payload)); off++ {
+		var buf bytes.Buffer
+		fp := &FailpointWriter{W: &buf, Remaining: off}
+		n, err := fp.Write(payload)
+		if off == int64(len(payload)) {
+			if err != nil || n != len(payload) {
+				t.Fatalf("offset %d: write = %d, %v; want full clean write", off, n, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrFailpoint) {
+			t.Fatalf("offset %d: err = %v, want ErrFailpoint", off, err)
+		}
+		if int64(n) != off || int64(buf.Len()) != off {
+			t.Fatalf("offset %d: wrote %d bytes (buffer %d), want exactly %d", off, n, buf.Len(), off)
+		}
+		// Once tripped, nothing further gets through.
+		if n2, err2 := fp.Write([]byte("x")); n2 != 0 || !errors.Is(err2, ErrFailpoint) {
+			t.Fatalf("offset %d: post-trip write = %d, %v", off, n2, err2)
+		}
+	}
+}
+
+func TestFailpointWriterSpansMultipleWrites(t *testing.T) {
+	var buf bytes.Buffer
+	fp := &FailpointWriter{W: &buf, Remaining: 5}
+	if _, err := fp.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fp.Write([]byte("defg"))
+	if !errors.Is(err, ErrFailpoint) || n != 2 {
+		t.Fatalf("second write = %d, %v; want 2, ErrFailpoint", n, err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Fatalf("buffer = %q, want abcde", got)
+	}
+	if !fp.Tripped() {
+		t.Fatal("Tripped() should report true")
+	}
+}
+
+func TestFailpointWriterOnTripHook(t *testing.T) {
+	sentinel := errors.New("custom crash")
+	fp := &FailpointWriter{W: &bytes.Buffer{}, Remaining: 0, OnTrip: func() error { return sentinel }}
+	if _, err := fp.Write([]byte("x")); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestFailpointWriterSyncPassthrough(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fp := &FailpointWriter{W: f, Remaining: 100}
+	if _, err := fp.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Sync(); err != nil {
+		t.Fatalf("Sync through to *os.File: %v", err)
+	}
+	// Non-syncable writer: Sync is a no-op.
+	fp2 := &FailpointWriter{W: &bytes.Buffer{}, Remaining: 1}
+	if err := fp2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package durable
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrFailpoint is the injected failure a tripped FailpointWriter
+// reports when its OnTrip hook does not terminate the process.
+var ErrFailpoint = errors.New("durable: failpoint tripped")
+
+// FailpointWriter is the crash-injection seam of the checkpoint
+// pipeline: it passes writes through to W until Remaining bytes have
+// gone by, then cuts the stream at exactly that offset — the tail of
+// the triggering write is dropped — and fires OnTrip. With the
+// default OnTrip (nil) the write returns ErrFailpoint, simulating a
+// full disk or I/O error; a test harness can instead SIGKILL its own
+// process from OnTrip to simulate a crash at an exact byte offset.
+// Every subsequent write fails too, so a tripped writer never lets a
+// later record sneak past the injected crash point.
+//
+// Sync is forwarded to W when supported, so fsync-per-record behavior
+// is preserved up to the cut: everything before the failpoint is as
+// durable as it would have been in a real run.
+type FailpointWriter struct {
+	W         io.Writer
+	Remaining int64
+	OnTrip    func() error
+
+	tripped bool
+}
+
+func (fp *FailpointWriter) Write(p []byte) (int, error) {
+	if fp.tripped {
+		return 0, fp.trip()
+	}
+	if int64(len(p)) <= fp.Remaining {
+		fp.Remaining -= int64(len(p))
+		return fp.W.Write(p)
+	}
+	n := int(fp.Remaining)
+	fp.Remaining = 0
+	fp.tripped = true
+	if n > 0 {
+		if wrote, err := fp.W.Write(p[:n]); err != nil {
+			return wrote, err
+		}
+	}
+	return n, fp.trip()
+}
+
+// Sync forwards to W when it supports fsync (like *os.File).
+func (fp *FailpointWriter) Sync() error {
+	if s, ok := fp.W.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Tripped reports whether the failpoint has fired.
+func (fp *FailpointWriter) Tripped() bool { return fp.tripped }
+
+func (fp *FailpointWriter) trip() error {
+	if fp.OnTrip != nil {
+		if err := fp.OnTrip(); err != nil {
+			return err
+		}
+	}
+	return ErrFailpoint
+}
