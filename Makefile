@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 20x
 BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: all build test race vet bench bench-json chaos crash fuzz check
+.PHONY: all build test race vet bench bench-json golden chaos chaos-exp crash fuzz check
 
 all: check
 
@@ -33,11 +33,31 @@ bench-json:
 	$(GO) test -bench 'HammerThroughput|CampaignFleet' -run '^$$' -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
+# Golden suite: every experiment's rendered text and JSON artifact is
+# byte-locked at tiny scale. On mismatch the actual bytes land next to
+# the goldens as *.actual so CI can upload them. Regenerate
+# deliberately with: go test ./internal/exp/ -run Golden -update
+golden:
+	$(GO) test -run Golden -count=1 -v ./internal/exp/
+
 # The fault-injection suite under the race detector: hardened engine
 # (retry/backoff/breaker) driven through internal/inject, proving the
 # bit-identical-summary and explicit-coverage-loss invariants.
 chaos:
 	$(GO) test -race -run Chaos -v ./internal/campaign/... ./internal/inject/...
+
+# End-to-end chaos drill on the experiment-generic engine path: run a
+# paper experiment (fig5, one job per shard) through the real rhfleet
+# binary twice — clean and under the chaos fault profile — and require
+# the published merged artifacts to be bit-identical.
+chaos-exp:
+	$(GO) build -o $(CURDIR)/rhfleet.chaos ./cmd/rhfleet
+	./rhfleet.chaos -exp fig5 -scale tiny -seed 7 -quiet -out fig5-ref.jsonl -artifact fig5-ref.artifact.json >/dev/null
+	./rhfleet.chaos -exp fig5 -scale tiny -seed 7 -quiet -fault-profile chaos+seed=11 -retries 6 \
+		-out fig5-chaos.jsonl -artifact fig5-chaos.artifact.json >/dev/null
+	cmp fig5-ref.artifact.json fig5-chaos.artifact.json
+	rm -f rhfleet.chaos fig5-ref.jsonl fig5-ref.jsonl.lock fig5-chaos.jsonl fig5-chaos.jsonl.lock \
+		fig5-ref.artifact.json fig5-chaos.artifact.json
 
 # Crash-injection suite: the checkpoint stream is cut at every byte
 # offset, the engine and the real rhfleet binary are SIGKILLed

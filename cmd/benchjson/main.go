@@ -37,15 +37,38 @@ type entry struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// schemaVersion stamps emitted documents. Reading a previous file with
+// a different (present) version is an error: regression tooling must
+// not silently mix layouts. A file without the key is a legacy
+// document and its baselines are still honored.
+const schemaVersion = 1
+
+// checkSchema validates a previous document's schema version.
+func checkSchema(old map[string]any) error {
+	v, ok := old["schema"]
+	if !ok {
+		return nil // legacy file, pre-versioning
+	}
+	f, ok := v.(float64)
+	if !ok || f != schemaVersion {
+		return fmt.Errorf("unknown schema version %v (this benchjson writes v%d)", v, schemaVersion)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output JSON path (default: stdout)")
 	flag.Parse()
 
-	doc := map[string]any{}
+	doc := map[string]any{"schema": schemaVersion}
 	if *out != "" {
 		if prev, err := os.ReadFile(*out); err == nil {
 			var old map[string]any
 			if json.Unmarshal(prev, &old) == nil {
+				if err := checkSchema(old); err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+					os.Exit(1)
+				}
 				if base, ok := old["baselines"]; ok {
 					doc["baselines"] = base
 				}

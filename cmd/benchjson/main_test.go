@@ -2,6 +2,24 @@ package main
 
 import "testing"
 
+func TestCheckSchema(t *testing.T) {
+	cases := []struct {
+		name   string
+		doc    map[string]any
+		wantOK bool
+	}{
+		{"legacy file without schema", map[string]any{"benchmarks": map[string]any{}}, true},
+		{"current version", map[string]any{"schema": float64(schemaVersion)}, true},
+		{"future version", map[string]any{"schema": float64(schemaVersion + 1)}, false},
+		{"non-numeric version", map[string]any{"schema": "v1"}, false},
+	}
+	for _, c := range cases {
+		if err := checkSchema(c.doc); (err == nil) != c.wantOK {
+			t.Errorf("%s: checkSchema = %v, want ok=%v", c.name, err, c.wantOK)
+		}
+	}
+}
+
 func TestBenchNameRegexp(t *testing.T) {
 	cases := []struct {
 		line       string

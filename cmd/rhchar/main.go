@@ -7,19 +7,29 @@
 //	rhchar -exp fig11
 //	rhchar -exp all -scale default
 //	rhchar -exp fig3 -scale paper -seed 42 -workers 8 -timeout 10m
+//	rhchar -exp fig5 -format json | jq '.rows[].values'
+//	rhchar -exp fig5 -format json -out fig5.artifact.json
+//
+// Every experiment computes a structured artifact first and renders
+// the text report from it, so -format json and -format tsv expose the
+// exact numbers behind the text tables; -out publishes the bytes
+// atomically (readers never see a torn file).
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	rh "rowhammer"
+	"rowhammer/internal/durable"
 	"rowhammer/internal/exp"
 	"rowhammer/internal/profiling"
 )
@@ -37,7 +47,9 @@ func main() {
 	var (
 		expID   = flag.String("exp", "", "experiment id to run (or \"all\")")
 		scale   = flag.String("scale", "default", "measurement scale: tiny, default, paper")
-		seed    = flag.Uint64("seed", 0x5eed, "master seed for module instances")
+		seed    = flag.Uint64("seed", rh.DefaultSeed, "master seed for module instances")
+		format  = flag.String("format", "text", "output format: text (paper report), json (artifact), tsv (artifact)")
+		outPath = flag.String("out", "", "publish the output atomically to this file instead of stdout")
 		list    = flag.Bool("list", false, "list available experiments")
 		workers = flag.Int("workers", 0, "max concurrent manufacturers (0 = one per CPU)")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
@@ -64,11 +76,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rhchar: -timeout must be >= 0 (0 = no limit), got %v\n", *timeout)
 		exit(2)
 	}
+	if *format != "text" && *format != "json" && *format != "tsv" {
+		fmt.Fprintf(os.Stderr, "rhchar: unknown format %q (text, json, tsv)\n", *format)
+		exit(2)
+	}
 
 	if *list || *expID == "" {
 		fmt.Println("Available experiments:")
 		for _, e := range exp.All() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-8s %s (%s, artifact schema v%d)\n", e.ID, e.Title, e.Section, e.Schema)
 		}
 		if *expID == "" && !*list {
 			fmt.Println("\nrun with -exp <id> or -exp all")
@@ -76,20 +92,13 @@ func main() {
 		return
 	}
 
-	cfg := exp.Config{Seed: *seed, Out: os.Stdout, Workers: *workers}
-	switch *scale {
-	case "tiny":
-		cfg.Scale = rh.Scale{RowsPerRegion: 10, Regions: 2, Hammers: 150_000, MaxHammers: 512_000, Repetitions: 1, ModulesPerMfr: 2}
-		cfg.Geometry = rh.Geometry{Banks: 1, RowsPerBank: 512, SubarrayRows: 128, Chips: 8, ChipWidth: 8, ColumnsPerRow: 32}
-	case "default":
-		cfg.Scale = rh.DefaultScale()
-	case "paper":
-		cfg.Scale = rh.PaperScale()
-		cfg.Geometry = rh.Geometry{Banks: 4, RowsPerBank: 65536, SubarrayRows: 512, Chips: 8, ChipWidth: 8, ColumnsPerRow: 128}
-	default:
-		fmt.Fprintf(os.Stderr, "rhchar: unknown scale %q\n", *scale)
+	cfg := exp.Config{Seed: *seed, Workers: *workers}
+	sc, geom, ok := rh.NamedScale(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rhchar: unknown scale %q (tiny, default, paper)\n", *scale)
 		exit(2)
 	}
+	cfg.Scale, cfg.Geometry = sc, geom
 
 	// SIGTERM is what fleet schedulers and `timeout(1)` send; treat it
 	// like Ctrl-C so a scheduled run cleans up instead of dying dirty.
@@ -101,10 +110,39 @@ func main() {
 		defer cancel()
 	}
 
+	// The payload (rendered text or artifact bytes) goes to stdout, or
+	// into a buffer published atomically via -out. Decorative banners
+	// and timings stay on stdout only in interactive text mode; with a
+	// machine format or -out they move to stderr so the payload stays
+	// clean.
+	var outBuf bytes.Buffer
+	var payload io.Writer = os.Stdout
+	banner := io.Writer(os.Stdout)
+	if *outPath != "" {
+		payload = &outBuf
+	}
+	if *outPath != "" || *format != "text" {
+		banner = os.Stderr
+	}
+
 	run := func(e exp.Experiment) {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(banner, "=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(ctx, cfg); err != nil {
+		a, err := e.ComputeAll(ctx, cfg)
+		if err == nil {
+			switch *format {
+			case "text":
+				err = e.Render(payload, a)
+			case "json":
+				var buf []byte
+				if buf, err = a.Encode(); err == nil {
+					_, err = payload.Write(buf)
+				}
+			case "tsv":
+				_, err = payload.Write(a.EncodeTSV())
+			}
+		}
+		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "rhchar: %s aborted: %v\n", e.ID, ctx.Err())
 			} else {
@@ -112,19 +150,26 @@ func main() {
 			}
 			exit(1)
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(banner, "(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
 	if *expID == "all" {
 		for _, e := range exp.All() {
 			run(e)
 		}
-		return
+	} else {
+		e := exp.ByID(*expID)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "rhchar: unknown experiment %q (use -list)\n", *expID)
+			exit(2)
+		}
+		run(*e)
 	}
-	e := exp.ByID(*expID)
-	if e == nil {
-		fmt.Fprintf(os.Stderr, "rhchar: unknown experiment %q (use -list)\n", *expID)
-		exit(2)
+	if *outPath != "" {
+		if err := durable.AtomicWriteFile(*outPath, outBuf.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rhchar: publishing %s: %v\n", *outPath, err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rhchar: published %s (%d bytes)\n", *outPath, outBuf.Len())
 	}
-	run(*e)
 }

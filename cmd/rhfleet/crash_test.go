@@ -128,6 +128,65 @@ func TestCrashRhfleetKillResume(t *testing.T) {
 	}
 }
 
+// expFleetArgs runs a paper experiment (not a measurement kind)
+// through rhfleet with fault injection active: the experiment-generic
+// engine path must survive the same kill-anywhere treatment as the
+// measurement cores.
+func expFleetArgs(ckpt, art string) []string {
+	return []string{"-exp", "fig5", "-scale", "tiny", "-seed", "7", "-quiet",
+		"-fault-profile", "transient+seed=3", "-retries", "4",
+		"-out", ckpt, "-artifact", art}
+}
+
+// TestCrashRhfleetExpKillResume SIGKILLs rhfleet mid-checkpoint-write
+// while it runs the fig5 *experiment* campaign (one job per shard,
+// transient fault injection active), resumes each run, and requires
+// the published merged artifact to be bit-identical to an
+// uninterrupted run's — the experiment pipeline inherits the engine's
+// kill-anywhere guarantee, not just the measurement kinds.
+func TestCrashRhfleetExpKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real subprocesses")
+	}
+	refDir := t.TempDir()
+	refCkpt := filepath.Join(refDir, "fig5.jsonl")
+	refArt := filepath.Join(refDir, "fig5.artifact.json")
+	if code, killed := runFleet(t, -1, expFleetArgs(refCkpt, refArt)...); code != 0 || killed {
+		t.Fatalf("reference run: exit %d, killed=%v", code, killed)
+	}
+	refBytes, err := os.ReadFile(refArt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(refCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, off := range []int64{0, int64(len(full)) / 2, int64(len(full)) - 1} {
+		dir := t.TempDir()
+		ckpt := filepath.Join(dir, "fig5.jsonl")
+		art := filepath.Join(dir, "fig5.artifact.json")
+		if _, killed := runFleet(t, off, expFleetArgs(ckpt, art)...); !killed {
+			t.Fatalf("offset %d: rhfleet survived its failpoint", off)
+		}
+		if _, err := os.Stat(art); !os.IsNotExist(err) {
+			t.Fatalf("offset %d: a killed run must not publish an artifact", off)
+		}
+		resumeArgs := append(expFleetArgs(ckpt, art), "-resume", ckpt)
+		if code, killed := runFleet(t, -1, resumeArgs...); code != 0 || killed {
+			t.Fatalf("offset %d: resume: exit %d, killed=%v", off, code, killed)
+		}
+		got, err := os.ReadFile(art)
+		if err != nil {
+			t.Fatalf("offset %d: artifact not published after resume: %v", off, err)
+		}
+		if !bytes.Equal(refBytes, got) {
+			t.Fatalf("offset %d: resumed artifact differs from uninterrupted run", off)
+		}
+	}
+}
+
 // TestCrashRhfleetLockExclusion holds the checkpoint's advisory lock
 // and requires a second rhfleet to refuse to start rather than
 // interleave writes.

@@ -4,11 +4,20 @@
 // resumes exactly where it stopped — and, because aggregation is
 // order-independent, produces a bit-identical fleet summary.
 //
+// -exp accepts both the built-in per-module measurement kinds
+// (hcfirst, ber, wcdp, spatial) and any paper experiment ID from
+// `rhchar -list` (fig5, table3, def1, ...): experiment campaigns run
+// one job per experiment shard through the same engine — worker pool,
+// retry/backoff, circuit breaker, fault injection, watchdog,
+// checkpoint/resume — and publish the experiment's merged artifact,
+// bit-identical to `rhchar -format json` at the same scale and seed.
+//
 // Usage:
 //
 //	rhfleet -mfrs A,B,C,D -modules 16 -exp hcfirst -workers 8 -out fleet.jsonl
 //	rhfleet -exp ber -modules 8 -out ber.jsonl -summary ber-summary.json
 //	rhfleet -resume fleet.jsonl -mfrs A,B,C,D -modules 16 -exp hcfirst -out fleet.jsonl
+//	rhfleet -exp fig5 -scale tiny -out fig5.jsonl -artifact fig5.artifact.json
 //	rhfleet -spec campaign.json
 //	rhfleet -exp hcfirst -modules 8 -fault-profile chaos -retries 4 -breaker 3
 //	rhfleet -compact -out fleet.jsonl
@@ -27,6 +36,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -41,7 +51,10 @@ import (
 	"time"
 
 	rh "rowhammer"
+	"rowhammer/internal/campaign"
 	"rowhammer/internal/durable"
+	"rowhammer/internal/exp"
+	"rowhammer/internal/inject"
 	"rowhammer/internal/profiling"
 )
 
@@ -62,10 +75,10 @@ func exit(code int) {
 
 func main() {
 	var (
-		mfrs    = flag.String("mfrs", "A,B,C,D", "comma-separated manufacturer profiles")
-		modules = flag.Int("modules", 4, "module instances per manufacturer")
-		expKind = flag.String("exp", "hcfirst", "experiment kind: "+strings.Join(rh.CampaignKinds(), ", "))
-		seed    = flag.Uint64("seed", 0x5eed, "master seed (module seeds derive from it)")
+		mfrs    = flag.String("mfrs", "A,B,C,D", "comma-separated manufacturer profiles (measurement kinds; experiment campaigns shard themselves)")
+		modules = flag.Int("modules", 4, "module instances per manufacturer (measurement kinds only)")
+		expKind = flag.String("exp", "hcfirst", "measurement kind ("+strings.Join(rh.CampaignKinds(), ", ")+") or a paper experiment id (rhchar -list)")
+		seed    = flag.Uint64("seed", rh.DefaultSeed, "master seed (module seeds derive from it)")
 		scale   = flag.String("scale", "default", "measurement scale: tiny, default, paper")
 		temps   = flag.String("temps", "", "comma-separated BER temperature grid in °C (default: 50-90 in 5° steps)")
 		workers = flag.Int("workers", 0, "worker pool size (0 = one per CPU)")
@@ -80,7 +93,9 @@ func main() {
 		faults  = flag.String("fault-profile", "", "deterministic fault injection: none, transient, latency, drift, chaos, dead=MFR/IDX[,...], combined with + (e.g. chaos+dead=A/0+seed=7)")
 		out     = flag.String("out", "fleet.jsonl", "JSONL checkpoint output path")
 		resume  = flag.String("resume", "", "resume from a JSONL checkpoint (skips completed jobs)")
-		sumOut  = flag.String("summary", "", "also write the fleet summary JSON to this path")
+		sumOut  = flag.String("summary", "", "also write the fleet summary JSON to this path (measurement kinds)")
+		artOut  = flag.String("artifact", "", "publish the merged experiment artifact atomically to this path (experiment kinds)")
+		format  = flag.String("format", "json", "experiment artifact output format: json, tsv, text")
 		specIn  = flag.String("spec", "", "load the campaign spec from a JSON file (flags above are ignored)")
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -113,6 +128,9 @@ rhfleet processes per checkpoint.
 	stopProfiles = stopProf
 	defer stopProfiles()
 
+	if *format != "json" && *format != "tsv" && *format != "text" {
+		fatalUsage(fmt.Errorf("unknown artifact format %q (json, tsv, text)", *format))
+	}
 	profile, err := rh.ParseFaultProfile(*faults)
 	if err != nil {
 		fatalUsage(err)
@@ -128,10 +146,40 @@ rhfleet processes per checkpoint.
 		spec.BreakerThreshold = *breaker
 		spec.WatchdogFactor = *wdog
 	}
+
+	// Resolve the engine spec and runner. Measurement kinds (hcfirst,
+	// ber, wcdp, spatial) expand mfrs × modules as before and win any
+	// name collision; everything else resolves as a paper experiment,
+	// which shards itself (one job per shard). An explicit exp: prefix
+	// forces the experiment (e.g. -exp exp:wcdp runs the Table 1
+	// survey experiment rather than the wcdp measurement kind).
 	// Validate before touching the output file: a typo'd -exp must not
 	// truncate an existing checkpoint.
-	if err := validKind(spec.Kind); err != nil {
-		fatal(err)
+	var (
+		cs     campaign.Spec
+		runner campaign.Runner
+		expE   *exp.Experiment
+	)
+	if e := resolveExperiment(spec.Kind); e != nil {
+		expE = e
+		ecfg := exp.Config{Scale: spec.Scale, Geometry: spec.Geometry, Seed: spec.Seed, Workers: spec.Workers}
+		cs = exp.FleetSpec(*e, ecfg)
+		cs.MaxRetries = spec.MaxRetries
+		cs.JobTimeout = spec.JobTimeout
+		cs.RetryBackoff = spec.RetryBackoff
+		cs.BreakerThreshold = spec.BreakerThreshold
+		cs.WatchdogFactor = spec.WatchdogFactor
+		if n, nerr := cs.Normalize(); nerr != nil {
+			fatal(nerr)
+		} else {
+			cs = n
+		}
+		runner = exp.FleetRunner(ecfg)
+	} else {
+		if err := validKind(spec.Kind); err != nil {
+			fatal(err)
+		}
+		cs, runner = rh.CampaignEngine(spec)
 	}
 
 	// Advisory exclusivity: one rhfleet per checkpoint file. The kernel
@@ -152,14 +200,14 @@ rhfleet processes per checkpoint.
 		// A v2 checkpoint is self-describing: trust its header unless the
 		// user explicitly named a campaign on the command line (needed to
 		// stamp a header onto a v1 file, verified against a v2 one).
-		var cspec *rh.CampaignSpec
+		var cspec *campaign.Spec
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "mfrs", "modules", "exp", "seed", "scale", "temps", "spec":
-				cspec = &spec
+				cspec = &cs
 			}
 		})
-		rep, err := rh.CompactCampaignCheckpoint(*out, cspec)
+		rep, err := campaign.CompactCheckpointFile(*out, cspec)
 		if err != nil {
 			fatal(fmt.Errorf("compacting %s: %w", *out, err))
 		}
@@ -170,7 +218,7 @@ rhfleet processes per checkpoint.
 
 	resumeRecs := map[string]rh.CampaignRecord{}
 	if *resume != "" {
-		rep, err := rh.LoadCampaignCheckpointReport(*resume, &spec)
+		rep, err := campaign.LoadCheckpointReport(*resume, campaign.ResumeOptions{ExpectSpec: &cs})
 		if err != nil {
 			fatal(fmt.Errorf("loading resume checkpoint: %w", err))
 		}
@@ -195,9 +243,9 @@ rhfleet processes per checkpoint.
 	// write the v2 format: header line + CRC32C per record.
 	var cw *rh.CampaignCheckpointWriter
 	if *resume == *out {
-		cw, err = rh.AppendCampaignCheckpoint(*out, spec)
+		cw, err = campaign.AppendCheckpoint(*out, cs)
 	} else {
-		cw, err = rh.CreateCampaignCheckpoint(*out, spec)
+		cw, err = campaign.CreateCheckpoint(*out, cs)
 	}
 	if err != nil {
 		fatal(err)
@@ -241,10 +289,11 @@ rhfleet processes per checkpoint.
 		}
 	}()
 
-	opts := rh.CampaignOptions{Records: cw, Resume: resumeRecs, FaultProfile: profile, Drain: drainCh}
 	if profile != nil {
+		runner = inject.WrapRunner(runner, profile)
 		fmt.Fprintf(os.Stderr, "rhfleet: fault injection active: %s (seed %d)\n", profile, profile.Seed)
 	}
+	opts := campaign.Options{Runner: runner, Records: cw, Done: resumeRecs, Drain: drainCh}
 	start := time.Now()
 	if !*quiet {
 		opts.Progress = func(done, total int, rec rh.CampaignRecord) {
@@ -257,7 +306,7 @@ rhfleet processes per checkpoint.
 		}
 	}
 
-	res, err := rh.RunCampaign(ctx, spec, opts)
+	res, err := campaign.Run(ctx, cs, opts)
 	// Flush and close the checkpoint before publishing anything built
 	// from it; a close failure is a durability failure.
 	if cerr := cw.Close(); cerr != nil && err == nil {
@@ -266,17 +315,28 @@ rhfleet processes per checkpoint.
 	if res != nil {
 		fmt.Fprintf(os.Stderr, "rhfleet: %d run, %d resumed, %d retried, %d failed in %v\n",
 			res.Completed, res.Skipped, res.Retried, res.Failed, time.Since(start).Round(time.Millisecond))
-		summary, merr := res.Summary.MarshalIndent()
-		if merr != nil {
-			fatal(merr)
-		}
-		fmt.Println(string(summary))
-		// Only a complete campaign publishes the summary artifact, and it
-		// lands atomically: readers see the old file or the new one,
-		// never a torn in-between.
-		if *sumOut != "" && err == nil {
-			if werr := durable.AtomicWriteFile(*sumOut, append(summary, '\n'), 0o644); werr != nil {
-				fatal(werr)
+		if expE != nil {
+			// Experiment campaign: the deliverable is the merged artifact,
+			// and only a complete campaign publishes it — atomically, so
+			// readers see the old file or the new one, never a torn one.
+			if err == nil && res.Failed == 0 {
+				if perr := publishArtifact(*expE, res, *format, *artOut); perr != nil {
+					fatal(perr)
+				}
+			}
+		} else {
+			summary, merr := campaign.Aggregate(res).MarshalIndent()
+			if merr != nil {
+				fatal(merr)
+			}
+			fmt.Println(string(summary))
+			// Only a complete campaign publishes the summary artifact, and it
+			// lands atomically: readers see the old file or the new one,
+			// never a torn in-between.
+			if *sumOut != "" && err == nil {
+				if werr := durable.AtomicWriteFile(*sumOut, append(summary, '\n'), 0o644); werr != nil {
+					fatal(werr)
+				}
 			}
 		}
 	}
@@ -290,13 +350,62 @@ rhfleet processes per checkpoint.
 			exit(3)
 		case res != nil && res.Quarantined > 0:
 			fmt.Fprintf(os.Stderr, "rhfleet: partial result: %d jobs quarantined (modules %s); coverage accounting is in the summary\n",
-				res.Quarantined, strings.Join(res.QuarantinedModules, ", "))
+				res.Quarantined, strings.Join(res.QuarantinedModules(), ", "))
 			exit(4)
 		default:
 			fatal(err)
 		}
 	}
 	exit(0)
+}
+
+// resolveExperiment maps an -exp value to a paper experiment, or nil
+// for the measurement kinds. Measurement kinds win a bare-name
+// collision (the "wcdp" measurement kind predates the wcdp
+// experiment); the exp: prefix selects the experiment explicitly.
+func resolveExperiment(kind string) *exp.Experiment {
+	if e := exp.FleetExperiment(kind); e != nil {
+		return e
+	}
+	for _, k := range rh.CampaignKinds() {
+		if kind == k {
+			return nil
+		}
+	}
+	return exp.ByID(kind)
+}
+
+// publishArtifact merges the experiment records, prints the artifact
+// in the requested format, and — when a path is given — publishes the
+// same bytes atomically via the durability layer.
+func publishArtifact(e exp.Experiment, res *campaign.Result, format, path string) error {
+	a, err := exp.MergeFleet(e, res.Records)
+	if err != nil {
+		return err
+	}
+	var payload []byte
+	switch format {
+	case "json":
+		if payload, err = a.Encode(); err != nil {
+			return err
+		}
+	case "tsv":
+		payload = a.EncodeTSV()
+	case "text":
+		var buf bytes.Buffer
+		if err := e.Render(&buf, a); err != nil {
+			return err
+		}
+		payload = buf.Bytes()
+	}
+	os.Stdout.Write(payload)
+	if path != "" {
+		if err := durable.AtomicWriteFile(path, payload, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rhfleet: published %s (%d bytes)\n", path, len(payload))
+	}
+	return nil
 }
 
 // buildSpec assembles the campaign spec from a JSON file or flags.
@@ -377,24 +486,18 @@ func (js jsonSpec) toSpec() (rh.CampaignSpec, error) {
 	return spec, err
 }
 
-// applyScale resolves a named measurement scale.
+// applyScale resolves a named measurement scale via the shared helper.
 func applyScale(spec *rh.CampaignSpec, name string) error {
-	switch name {
-	case "tiny":
-		spec.Scale = rh.Scale{RowsPerRegion: 10, Regions: 2, Hammers: 150_000, MaxHammers: 512_000, Repetitions: 1, ModulesPerMfr: 2}
-		spec.Geometry = rh.Geometry{Banks: 1, RowsPerBank: 512, SubarrayRows: 128, Chips: 8, ChipWidth: 8, ColumnsPerRow: 32}
-	case "default":
-		spec.Scale = rh.DefaultScale()
-	case "paper":
-		spec.Scale = rh.PaperScale()
-		spec.Geometry = rh.Geometry{Banks: 4, RowsPerBank: 65536, SubarrayRows: 512, Chips: 8, ChipWidth: 8, ColumnsPerRow: 128}
-	default:
+	sc, geom, ok := rh.NamedScale(name)
+	if !ok {
 		return fmt.Errorf("unknown scale %q (tiny, default, paper)", name)
 	}
+	spec.Scale, spec.Geometry = sc, geom
 	return nil
 }
 
-// validKind rejects unknown experiment kinds (empty defaults later).
+// validKind rejects unknown measurement kinds (empty defaults later);
+// experiment IDs are resolved before this runs.
 func validKind(kind string) error {
 	if kind == "" {
 		return nil
@@ -404,7 +507,8 @@ func validKind(kind string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown experiment kind %q (have %s)", kind, strings.Join(rh.CampaignKinds(), ", "))
+	return fmt.Errorf("unknown experiment kind %q (have %s, or a paper experiment id from rhchar -list)",
+		kind, strings.Join(rh.CampaignKinds(), ", "))
 }
 
 func fatal(err error) {

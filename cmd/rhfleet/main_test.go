@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+// TestResolveExperiment: measurement kinds win bare-name collisions
+// (the wcdp measurement kind predates the wcdp experiment), the exp:
+// prefix forces the experiment, and unknown names resolve to nothing.
+func TestResolveExperiment(t *testing.T) {
+	cases := []struct {
+		kind string
+		want string // experiment ID, "" = measurement/unknown
+	}{
+		{"hcfirst", ""},
+		{"ber", ""},
+		{"wcdp", ""}, // collision: measurement kind wins
+		{"spatial", ""},
+		{"fig5", "fig5"},
+		{"table3", "table3"},
+		{"exp:wcdp", "wcdp"}, // explicit prefix selects the experiment
+		{"exp:fig5", "fig5"},
+		{"nosuch", ""},
+		{"exp:nosuch", ""},
+	}
+	for _, c := range cases {
+		e := resolveExperiment(c.kind)
+		got := ""
+		if e != nil {
+			got = e.ID
+		}
+		if got != c.want {
+			t.Errorf("resolveExperiment(%q) = %q, want %q", c.kind, got, c.want)
+		}
+	}
+}

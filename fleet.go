@@ -167,14 +167,8 @@ func CampaignHeartbeat(ctx context.Context) { campaign.Heartbeat(ctx) }
 // change measured values without changing the job set, so a
 // checkpoint taken at one scale must not resume into another.
 func lowerSpec(spec CampaignSpec) (campaign.Spec, Scale, Geometry) {
-	scale := spec.Scale
-	if scale == (Scale{}) {
-		scale = DefaultScale()
-	}
-	geom := spec.Geometry
-	if geom == (Geometry{}) {
-		geom = DefaultDDR4Geometry()
-	}
+	scale, geom := spec.Scale, spec.Geometry
+	FillMeasureDefaults(&scale, &geom, nil, nil)
 	cs := campaign.Spec{
 		Kind:             spec.Kind,
 		Mfrs:             spec.Mfrs,
@@ -290,6 +284,27 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (
 	}, err
 }
 
+// measureCores maps the built-in measurement campaign kinds to their
+// per-module cores — the table-driven replacement of the old closed
+// switch. Experiment campaigns (exp.* kinds) register their own
+// runners through campaign.RegisterKind and exp.FleetRunner instead
+// of extending this table.
+var measureCores = map[string]func(*Tester, context.Context, MeasureScope) (PatternKind, map[string]float64, map[string][]float64, error){
+	campaign.KindHCFirst: (*Tester).MeasureModuleHCFirst,
+	campaign.KindBER:     (*Tester).MeasureModuleBER,
+	campaign.KindWCDP:    (*Tester).MeasureModuleWCDP,
+	campaign.KindSpatial: (*Tester).MeasureModuleSpatial,
+}
+
+// CampaignEngine lowers the public spec to the engine spec and the
+// measurement runner that executes it — the seam that lets callers
+// (rhfleet) drive campaign.Run directly, side by side with
+// experiment-generic runners from internal/exp.
+func CampaignEngine(spec CampaignSpec) (campaign.Spec, campaign.Runner) {
+	cs, scale, geom := lowerSpec(spec)
+	return cs, moduleRunner(scale, geom)
+}
+
 // moduleRunner builds the campaign runner that measures one real
 // module bench per job via the per-module measurement cores.
 func moduleRunner(scale Scale, geom Geometry) campaign.Runner {
@@ -321,21 +336,11 @@ func moduleRunner(scale Scale, geom Geometry) campaign.Runner {
 		t.SetWorkers(inner)
 		scope := MeasureScope{Scale: scale, Temps: spec.Temps}
 
-		var pat PatternKind
-		var metrics map[string]float64
-		var series map[string][]float64
-		switch job.Kind {
-		case campaign.KindHCFirst:
-			pat, metrics, series, err = t.MeasureModuleHCFirst(ctx, scope)
-		case campaign.KindBER:
-			pat, metrics, series, err = t.MeasureModuleBER(ctx, scope)
-		case campaign.KindWCDP:
-			pat, metrics, series, err = t.MeasureModuleWCDP(ctx, scope)
-		case campaign.KindSpatial:
-			pat, metrics, series, err = t.MeasureModuleSpatial(ctx, scope)
-		default:
-			err = fmt.Errorf("rowhammer: unknown campaign kind %q", job.Kind)
+		core, ok := measureCores[job.Kind]
+		if !ok {
+			return campaign.Record{}, fmt.Errorf("rowhammer: unknown campaign kind %q", job.Kind)
 		}
+		pat, metrics, series, err := core(t, ctx, scope)
 		if err != nil {
 			return campaign.Record{}, err
 		}

@@ -1,0 +1,271 @@
+// Package artifact defines the uniform result structure every
+// experiment emits: a schema-versioned set of keyed rows and series
+// that serializes deterministically to JSON and TSV. Experiments
+// compute fragments (one per shard, typically one per manufacturer);
+// fragments merge order-independently into the full artifact, so a
+// campaign can measure shards in any order — or resume half-done —
+// and still publish bit-identical bytes.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatVersion identifies the artifact container layout itself, as
+// distinct from each experiment's Schema: readers reject containers
+// from a future format the way the campaign checkpoint loader rejects
+// unknown checkpoint versions.
+const FormatVersion = 1
+
+// Artifact is one experiment's (or one shard's) structured result.
+type Artifact struct {
+	// Format is the container layout version (FormatVersion).
+	Format int `json:"format"`
+	// Experiment is the registry ID the artifact belongs to.
+	Experiment string `json:"experiment,omitempty"`
+	// Schema is the experiment's artifact schema version: it changes
+	// when the experiment's keys or value semantics change, and it is
+	// folded into campaign identity so stale checkpoints are rejected.
+	Schema int `json:"schema,omitempty"`
+	// Shard names the fragment's shard; empty on merged artifacts.
+	Shard string `json:"shard,omitempty"`
+	// Shards lists the merged fragments in canonical order; empty on
+	// fragments.
+	Shards []string `json:"shards,omitempty"`
+	// Meta holds scalar string facts (thresholds, units, captions).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Rows are the keyed records; order is canonical after Merge
+	// (fragments sorted by shard, construction order within one).
+	Rows []Row `json:"rows,omitempty"`
+	// Series are keyed numeric vectors (distributions, curves, grids).
+	Series []Series `json:"series,omitempty"`
+}
+
+// Row is one keyed record: numeric values plus string labels.
+type Row struct {
+	Key    string             `json:"key"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Series is one keyed numeric vector.
+type Series struct {
+	Key    string    `json:"key"`
+	Points []float64 `json:"points"`
+}
+
+// New returns an empty fragment for the given shard.
+func New(shard string) *Artifact {
+	return &Artifact{Format: FormatVersion, Shard: shard}
+}
+
+// SetMeta records a scalar string fact.
+func (a *Artifact) SetMeta(name, value string) {
+	if a.Meta == nil {
+		a.Meta = map[string]string{}
+	}
+	a.Meta[name] = value
+}
+
+// AddRow appends a row and returns it for fluent population.
+func (a *Artifact) AddRow(key string) *Row {
+	a.Rows = append(a.Rows, Row{Key: key})
+	return &a.Rows[len(a.Rows)-1]
+}
+
+// AddSeries appends a series under the given key.
+func (a *Artifact) AddSeries(key string, points []float64) {
+	a.Series = append(a.Series, Series{Key: key, Points: points})
+}
+
+// Set records a numeric value on the row.
+func (r *Row) Set(name string, v float64) *Row {
+	if r.Values == nil {
+		r.Values = map[string]float64{}
+	}
+	r.Values[name] = v
+	return r
+}
+
+// SetInt records an integer value on the row (stored as float64;
+// exact below 2⁵³).
+func (r *Row) SetInt(name string, v int64) *Row { return r.Set(name, float64(v)) }
+
+// Tag records a string label on the row.
+func (r *Row) Tag(name, value string) *Row {
+	if r.Labels == nil {
+		r.Labels = map[string]string{}
+	}
+	r.Labels[name] = value
+	return r
+}
+
+// V returns a row value (0 when absent).
+func (r Row) V(name string) float64 { return r.Values[name] }
+
+// Int returns a row value as an int64.
+func (r Row) Int(name string) int64 { return int64(r.Values[name]) }
+
+// Label returns a row label ("" when absent).
+func (r Row) Label(name string) string { return r.Labels[name] }
+
+// Row returns the row with the given key, or nil.
+func (a *Artifact) Row(key string) *Row {
+	for i := range a.Rows {
+		if a.Rows[i].Key == key {
+			return &a.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RowsWithPrefix returns the rows whose key starts with prefix, in
+// artifact order.
+func (a *Artifact) RowsWithPrefix(prefix string) []Row {
+	var out []Row
+	for _, r := range a.Rows {
+		if strings.HasPrefix(r.Key, prefix) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SeriesPoints returns the points of the series with the given key,
+// or nil.
+func (a *Artifact) SeriesPoints(key string) []float64 {
+	for _, s := range a.Series {
+		if s.Key == key {
+			return s.Points
+		}
+	}
+	return nil
+}
+
+// Merge combines shard fragments into the experiment's full artifact.
+// Fragments are ordered by shard name, so the result is independent
+// of the order they were computed or recovered in; duplicate shards,
+// row keys, or series keys are structural errors, as are conflicting
+// meta values.
+func Merge(experiment string, schema int, frags ...*Artifact) (*Artifact, error) {
+	merged := &Artifact{Format: FormatVersion, Experiment: experiment, Schema: schema}
+	sorted := make([]*Artifact, 0, len(frags))
+	for _, f := range frags {
+		if f == nil {
+			continue
+		}
+		if f.Experiment != "" && f.Experiment != experiment {
+			return nil, fmt.Errorf("artifact: fragment from experiment %q cannot merge into %q", f.Experiment, experiment)
+		}
+		if f.Schema != 0 && f.Schema != schema {
+			return nil, fmt.Errorf("artifact: fragment schema v%d cannot merge into %s schema v%d", f.Schema, experiment, schema)
+		}
+		sorted = append(sorted, f)
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	rowKeys := map[string]bool{}
+	seriesKeys := map[string]bool{}
+	shardSeen := map[string]bool{}
+	for _, f := range sorted {
+		if shardSeen[f.Shard] {
+			return nil, fmt.Errorf("artifact: duplicate shard %q in %s", f.Shard, experiment)
+		}
+		shardSeen[f.Shard] = true
+		merged.Shards = append(merged.Shards, f.Shard)
+		for name, v := range f.Meta {
+			if old, ok := merged.Meta[name]; ok && old != v {
+				return nil, fmt.Errorf("artifact: meta %q conflicts across shards (%q vs %q)", name, old, v)
+			}
+			merged.SetMeta(name, v)
+		}
+		for _, r := range f.Rows {
+			if rowKeys[r.Key] {
+				return nil, fmt.Errorf("artifact: duplicate row key %q in %s", r.Key, experiment)
+			}
+			rowKeys[r.Key] = true
+			merged.Rows = append(merged.Rows, r)
+		}
+		for _, s := range f.Series {
+			if seriesKeys[s.Key] {
+				return nil, fmt.Errorf("artifact: duplicate series key %q in %s", s.Key, experiment)
+			}
+			seriesKeys[s.Key] = true
+			merged.Series = append(merged.Series, s)
+		}
+	}
+	return merged, nil
+}
+
+// Encode renders the artifact as indented, deterministic JSON (struct
+// fields in declaration order, map keys sorted, float64 round-trip
+// exact) with a trailing newline.
+func (a *Artifact) Encode() ([]byte, error) {
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// EncodeCompact renders the artifact as single-line JSON for
+// embedding in campaign records.
+func (a *Artifact) EncodeCompact() ([]byte, error) { return json.Marshal(a) }
+
+// Decode parses an artifact, rejecting containers whose format
+// version this reader does not understand.
+func Decode(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if a.Format != FormatVersion {
+		return nil, fmt.Errorf("artifact: unknown format version %d (reader supports %d)", a.Format, FormatVersion)
+	}
+	return &a, nil
+}
+
+// num formats a float64 with full round-trip precision.
+func num(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// EncodeTSV renders the artifact in a long-form TSV: one header line,
+// then meta, row-label, row-value and series-point lines, each
+// self-describing — friendly to cut/awk/join pipelines.
+func (a *Artifact) EncodeTSV() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "artifact\t%s\tschema=%d\tformat=%d\n", a.Experiment, a.Schema, a.Format)
+	for _, name := range sortedNames(a.Meta) {
+		fmt.Fprintf(&b, "meta\t%s\t%s\n", name, a.Meta[name])
+	}
+	for _, r := range a.Rows {
+		for _, name := range sortedNames(r.Labels) {
+			fmt.Fprintf(&b, "label\t%s\t%s\t%s\n", r.Key, name, r.Labels[name])
+		}
+		names := make([]string, 0, len(r.Values))
+		for name := range r.Values {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "value\t%s\t%s\t%s\n", r.Key, name, num(r.Values[name]))
+		}
+	}
+	for _, s := range a.Series {
+		for i, p := range s.Points {
+			fmt.Fprintf(&b, "point\t%s\t%d\t%s\n", s.Key, i, num(p))
+		}
+	}
+	return []byte(b.String())
+}
+
+func sortedNames(m map[string]string) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

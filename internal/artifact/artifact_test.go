@@ -1,0 +1,141 @@
+package artifact
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func fragA() *Artifact {
+	f := New("A")
+	f.SetMeta("unit", "flips")
+	f.AddRow("mfr=A").Set("mean", 1.5).SetInt("n", 3).Tag("pattern", "checkered")
+	f.AddRow("mfr=A/p=0").Set("v", 0.1)
+	f.AddSeries("mfr=A/curve", []float64{3, 2, 1})
+	return f
+}
+
+func fragB() *Artifact {
+	f := New("B")
+	f.SetMeta("unit", "flips")
+	f.AddRow("mfr=B").Set("mean", 2.5)
+	f.AddSeries("mfr=B/curve", []float64{9})
+	return f
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	m1, err := Merge("fig0", 1, fragA(), fragB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge("fig0", 1, fragB(), fragA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := m1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := m2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("merge depends on fragment order:\n%s\nvs\n%s", b1, b2)
+	}
+	if got := m1.Shards; len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("shards = %v", got)
+	}
+	if m1.Row("mfr=B").V("mean") != 2.5 {
+		t.Fatal("row lookup broken")
+	}
+	if pts := m1.SeriesPoints("mfr=A/curve"); len(pts) != 3 || pts[0] != 3 {
+		t.Fatalf("series lookup = %v", pts)
+	}
+	if rows := m1.RowsWithPrefix("mfr=A"); len(rows) != 2 || rows[0].Key != "mfr=A" {
+		t.Fatalf("prefix scan = %v", rows)
+	}
+}
+
+func TestMergeRejectsConflicts(t *testing.T) {
+	if _, err := Merge("fig0", 1, fragA(), fragA()); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	other := fragB()
+	other.Shard = "C"
+	other.SetMeta("unit", "volts")
+	if _, err := Merge("fig0", 1, fragA(), other); err == nil {
+		t.Fatal("conflicting meta accepted")
+	}
+	alien := fragB()
+	alien.Experiment = "fig9"
+	if _, err := Merge("fig0", 1, fragA(), alien); err == nil {
+		t.Fatal("fragment from another experiment accepted")
+	}
+	stale := fragB()
+	stale.Experiment = "fig0"
+	stale.Schema = 2
+	if _, err := Merge("fig0", 1, fragA(), stale); err == nil {
+		t.Fatal("fragment with mismatched schema accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m, err := Merge("fig0", 1, fragA(), fragB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise float64 exactness through the JSON round trip.
+	m.Rows[0].Set("awkward", 0.1+0.2)
+	m.Rows[0].Set("tiny", math.SmallestNonzeroFloat64)
+	buf, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("decode/encode not byte-stable")
+	}
+	if back.Row("mfr=A").V("awkward") != 0.1+0.2 {
+		t.Fatal("float64 not exact through JSON")
+	}
+}
+
+func TestDecodeRejectsUnknownFormat(t *testing.T) {
+	if _, err := Decode([]byte(`{"format":99,"experiment":"x"}`)); err == nil {
+		t.Fatal("future format version accepted")
+	}
+	if _, err := Decode([]byte(`{not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEncodeTSV(t *testing.T) {
+	m, err := Merge("fig0", 1, fragA(), fragB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsv := string(m.EncodeTSV())
+	for _, want := range []string{
+		"artifact\tfig0\tschema=1\tformat=1\n",
+		"meta\tunit\tflips\n",
+		"label\tmfr=A\tpattern\tcheckered\n",
+		"value\tmfr=A\tmean\t1.5\n",
+		"point\tmfr=A/curve\t0\t3\n",
+	} {
+		if !strings.Contains(tsv, want) {
+			t.Fatalf("TSV missing %q:\n%s", want, tsv)
+		}
+	}
+	if m2, _ := Merge("fig0", 1, fragB(), fragA()); !bytes.Equal(m.EncodeTSV(), m2.EncodeTSV()) {
+		t.Fatal("TSV not deterministic")
+	}
+}

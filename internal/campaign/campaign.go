@@ -15,9 +15,11 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"rowhammer/internal/pool"
@@ -38,14 +40,48 @@ const (
 // Kinds lists the built-in experiment kinds.
 func Kinds() []string { return []string{KindHCFirst, KindBER, KindWCDP, KindSpatial} }
 
-// ValidKind reports whether kind names a built-in experiment kind.
+// extraKinds holds caller-registered experiment kinds. The engine is
+// experiment-generic: any registered kind can be expanded into jobs,
+// checkpointed and resumed; the registering layer supplies the Runner
+// that executes it (internal/exp registers one kind per experiment).
+var (
+	extraKindsMu sync.Mutex
+	extraKinds   = map[string]bool{}
+)
+
+// RegisterKind opens the campaign engine to a new experiment kind.
+// Registration is idempotent and typically happens in the registering
+// package's init.
+func RegisterKind(kind string) {
+	extraKindsMu.Lock()
+	defer extraKindsMu.Unlock()
+	extraKinds[kind] = true
+}
+
+// RegisteredKinds lists every valid kind — built-ins plus registered
+// experiment kinds — sorted.
+func RegisteredKinds() []string {
+	out := Kinds()
+	extraKindsMu.Lock()
+	for k := range extraKinds {
+		out = append(out, k)
+	}
+	extraKindsMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// ValidKind reports whether kind names a built-in or registered
+// experiment kind.
 func ValidKind(kind string) bool {
 	for _, k := range Kinds() {
 		if k == kind {
 			return true
 		}
 	}
-	return false
+	extraKindsMu.Lock()
+	defer extraKindsMu.Unlock()
+	return extraKinds[kind]
 }
 
 // Spec declares a fleet campaign. The zero value is normalized to a
@@ -124,7 +160,7 @@ func (s Spec) Normalize() (Spec, error) {
 	}
 	if !ValidKind(s.Kind) {
 		return s, fmt.Errorf("campaign: unknown experiment kind %q (have %s)",
-			s.Kind, strings.Join(Kinds(), ", "))
+			s.Kind, strings.Join(RegisteredKinds(), ", "))
 	}
 	if len(s.Mfrs) == 0 {
 		s.Mfrs = []string{"A", "B", "C", "D"}
@@ -214,6 +250,11 @@ type Record struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Series holds vector measurements (e.g. per-temperature BER).
 	Series map[string][]float64 `json:"series,omitempty"`
+	// Artifact carries an experiment shard's structured fragment
+	// (internal/artifact, compact JSON) for experiment-kind jobs;
+	// json.RawMessage keeps the bytes verbatim through checkpoint
+	// round trips so resumed fragments merge bit-identically.
+	Artifact json.RawMessage `json:"artifact,omitempty"`
 }
 
 // Failed reports whether the record describes a failed job.

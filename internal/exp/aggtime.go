@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 	"rowhammer/internal/dram"
 	"rowhammer/internal/softmc"
 	"rowhammer/internal/stats"
@@ -25,6 +27,9 @@ type Fig6Result struct {
 	// "aggressor-off".
 	OnSpacing, OffSpacing map[string]dram.Picos
 }
+
+// fig6Tests names the three §6 test types in print order.
+var fig6Tests = []string{"baseline", "aggressor-on", "aggressor-off"}
 
 // Fig6 builds the three §6 command sequences and measures the
 // ACT→PRE / PRE→ACT spacings from the executor trace.
@@ -67,19 +72,32 @@ func Fig6(cfg Config) (Fig6Result, error) {
 	return res, nil
 }
 
-// RunFig6 prints the measured command spacings.
-func RunFig6(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// fig6Shard measures the command spacings (single shard: one trace).
+func fig6Shard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
 	res, err := Fig6(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(shard)
+	for _, name := range fig6Tests {
+		a.AddRow("test="+name).Tag("test", name).
+			Set("on_ns", res.OnSpacing[name].Nanoseconds()).
+			Set("off_ns", res.OffSpacing[name].Nanoseconds())
+	}
+	return a, nil
+}
+
+// renderFig6 prints the measured command spacings from the artifact.
+func renderFig6(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "test\ttAggOn (ACT→PRE)\ttAggOff (PRE→ACT)")
-	for _, name := range []string{"baseline", "aggressor-on", "aggressor-off"} {
-		fmt.Fprintf(w, "%s\t%.1f ns\t%.1f ns\n", name,
-			res.OnSpacing[name].Nanoseconds(), res.OffSpacing[name].Nanoseconds())
+	for _, name := range fig6Tests {
+		r := a.Row("test=" + name)
+		if r == nil {
+			return fmt.Errorf("exp: fig6 artifact missing test %s", name)
+		}
+		fmt.Fprintf(w, "%s\t%.1f ns\t%.1f ns\n", name, r.V("on_ns"), r.V("off_ns"))
 	}
 	return w.Flush()
 }
@@ -104,72 +122,82 @@ type AggTimeResult struct {
 	Points [][]AggTimePoint // [mfr][gridIdx]
 }
 
-// aggSweep runs the §6 measurement over a timing grid; onSweep selects
-// the aggressor-on grid (vs off).
-//
-// The sweep uses wide (≥8K-bit) rows: BER amplification factors up to
-// ~10× need cell-count headroom on the weakest rows, which narrow
-// test-geometry rows would saturate.
-func aggSweep(cfg Config, gridNs []float64, onSweep bool) (AggTimeResult, error) {
+// aggNormalize applies the §6 geometry floor: BER amplification
+// factors up to ~10× need cell-count headroom (≥8K-bit rows) that
+// narrow test-geometry rows would saturate.
+func aggNormalize(cfg Config) Config {
 	cfg = cfg.normalize()
 	if cfg.Geometry.ColumnsPerRow < 128 {
 		cfg.Geometry.ColumnsPerRow = 128
 	}
-	var res AggTimeResult
-	perMfr, err := mapMfrs(cfg, func(mfr string) ([]AggTimePoint, error) {
-		bs, err := benches(cfg, mfr)
+	return cfg
+}
+
+// aggSweepMfr runs the §6 measurement of one manufacturer over a
+// timing grid; onSweep selects the aggressor-on grid (vs off).
+func aggSweepMfr(cfg Config, mfr string, gridNs []float64, onSweep bool) ([]AggTimePoint, error) {
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return nil, err
+	}
+	rows := sampleRows(cfg, aggSweepRows)
+	points := make([]AggTimePoint, len(gridNs))
+	for gi, v := range gridNs {
+		points[gi].ValueNs = v
+	}
+	for _, b := range bs {
+		t := rh.NewTester(b)
+		pat, err := wcdp(t, cfg)
 		if err != nil {
 			return nil, err
 		}
-		rows := sampleRows(cfg, aggSweepRows)
-		points := make([]AggTimePoint, len(gridNs))
 		for gi, v := range gridNs {
-			points[gi].ValueNs = v
-		}
-		for _, b := range bs {
-			t := rh.NewTester(b)
-			pat, err := wcdp(t, cfg)
-			if err != nil {
-				return nil, err
+			onNs, offNs := 0.0, 0.0
+			if onSweep {
+				onNs = v
+			} else {
+				offNs = v
 			}
-			for gi, v := range gridNs {
-				onNs, offNs := 0.0, 0.0
-				if onSweep {
-					onNs = v
-				} else {
-					offNs = v
+			for _, row := range rows {
+				hr, err := t.BER(rh.HammerConfig{
+					Bank: 0, VictimPhys: row, Hammers: cfg.Scale.Hammers,
+					AggOnNs: onNs, AggOffNs: offNs, Pattern: pat,
+				}, cfg.Scale.Repetitions)
+				if err != nil {
+					return nil, err
 				}
-				for _, row := range rows {
-					hr, err := t.BER(rh.HammerConfig{
-						Bank: 0, VictimPhys: row, Hammers: cfg.Scale.Hammers,
-						AggOnNs: onNs, AggOffNs: offNs, Pattern: pat,
-					}, cfg.Scale.Repetitions)
-					if err != nil {
-						return nil, err
-					}
-					points[gi].BERs = append(points[gi].BERs, float64(hr.Victim.Count()))
-					hc, err := t.HCFirstMin(rh.HCFirstConfig{
-						Bank: 0, VictimPhys: row, MaxHammers: cfg.Scale.MaxHammers,
-						AggOnNs: onNs, AggOffNs: offNs, Pattern: pat,
-					}, cfg.Scale.Repetitions)
-					if err != nil {
-						return nil, err
-					}
-					if hc.Found {
-						points[gi].HCs = append(points[gi].HCs, float64(hc.HCfirst))
-					}
+				points[gi].BERs = append(points[gi].BERs, float64(hr.Victim.Count()))
+				hc, err := t.HCFirstMin(rh.HCFirstConfig{
+					Bank: 0, VictimPhys: row, MaxHammers: cfg.Scale.MaxHammers,
+					AggOnNs: onNs, AggOffNs: offNs, Pattern: pat,
+				}, cfg.Scale.Repetitions)
+				if err != nil {
+					return nil, err
+				}
+				if hc.Found {
+					points[gi].HCs = append(points[gi].HCs, float64(hc.HCfirst))
 				}
 			}
 		}
-		for gi := range points {
-			if len(points[gi].BERs) > 0 {
-				points[gi].BERBox, _ = stats.NewBoxPlot(points[gi].BERs)
-			}
-			if len(points[gi].HCs) > 0 {
-				points[gi].HCLV, _ = stats.NewLetterValues(points[gi].HCs, 2)
-			}
+	}
+	for gi := range points {
+		if len(points[gi].BERs) > 0 {
+			points[gi].BERBox, _ = stats.NewBoxPlot(points[gi].BERs)
 		}
-		return points, nil
+		if len(points[gi].HCs) > 0 {
+			points[gi].HCLV, _ = stats.NewLetterValues(points[gi].HCs, 2)
+		}
+	}
+	return points, nil
+}
+
+// aggSweep runs the §6 measurement over a timing grid for all
+// manufacturers.
+func aggSweep(cfg Config, gridNs []float64, onSweep bool) (AggTimeResult, error) {
+	cfg = aggNormalize(cfg)
+	var res AggTimeResult
+	perMfr, err := mapMfrs(cfg, func(mfr string) ([]AggTimePoint, error) {
+		return aggSweepMfr(cfg, mfr, gridNs, onSweep)
 	})
 	if err != nil {
 		return res, err
@@ -217,83 +245,100 @@ func (r AggTimeResult) CVChange(mfrIdx int) float64 {
 	return stats.CV(pts[len(pts)-1].BERs)/base - 1
 }
 
-func printAggBER(cfg Config, res AggTimeResult, label string) error {
-	for i, mfr := range res.Mfrs {
-		fmt.Fprintf(cfg.Out, "Mfr. %s (mean BER ratio last/first: %.1fx)\n", mfr, res.MeanBERRatio(i))
-		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(w, "%s\tmin\tQ1\tmedian\tQ3\tmax\tmean\n", label)
-		for _, p := range res.Points[i] {
-			fmt.Fprintf(w, "%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\n",
-				p.ValueNs, p.BERBox.Min, p.BERBox.Q1, p.BERBox.Median, p.BERBox.Q3, p.BERBox.Max, stats.Mean(p.BERs))
+// aggShard returns the per-manufacturer Compute of one §6 sweep. The
+// artifact stores the raw per-grid-point samples; renderers rebuild
+// the box/letter statistics from them, so the fragment stays compact
+// and the rendered text stays byte-identical.
+func aggShard(gridNs []float64, onSweep bool) func(context.Context, Config, string) (*artifact.Artifact, error) {
+	return func(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+		cfg = aggNormalize(cfg.WithContext(ctx))
+		points, err := aggSweepMfr(cfg, mfr, gridNs, onSweep)
+		if err != nil {
+			return nil, err
 		}
-		if err := w.Flush(); err != nil {
-			return err
+		a := artifact.New(mfr)
+		for gi, p := range points {
+			key := fmt.Sprintf("%s/g=%02d", mfrKey(mfr), gi)
+			a.AddRow(key).Set("value_ns", p.ValueNs)
+			a.AddSeries(key+"/bers", p.BERs)
+			a.AddSeries(key+"/hcs", p.HCs)
 		}
-		fmt.Fprintln(cfg.Out)
+		return a, nil
 	}
-	return nil
 }
 
-func printAggHC(cfg Config, res AggTimeResult, label string) error {
-	for i, mfr := range res.Mfrs {
-		fmt.Fprintf(cfg.Out, "Mfr. %s (mean HCfirst change: %+.1f%%)\n", mfr, 100*res.MeanHCChange(i))
-		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
-		fmt.Fprintf(w, "%s\tmedian HCfirst\tquartile box\tsamples\n", label)
-		for _, p := range res.Points[i] {
-			box := "-"
-			if len(p.HCLV.Boxes) > 0 {
-				box = fmt.Sprintf("[%.0f, %.0f]", p.HCLV.Boxes[0][0], p.HCLV.Boxes[0][1])
+// aggPoints rebuilds one manufacturer's sweep points from the
+// artifact, recomputing the derived statistics from the stored raw
+// samples with the same stats code the typed compute uses.
+func aggPoints(a *artifact.Artifact, mfr string) []AggTimePoint {
+	var points []AggTimePoint
+	for _, r := range a.RowsWithPrefix(mfrKey(mfr) + "/g=") {
+		p := AggTimePoint{
+			ValueNs: r.V("value_ns"),
+			BERs:    a.SeriesPoints(r.Key + "/bers"),
+			HCs:     a.SeriesPoints(r.Key + "/hcs"),
+		}
+		if len(p.BERs) > 0 {
+			p.BERBox, _ = stats.NewBoxPlot(p.BERs)
+		}
+		if len(p.HCs) > 0 {
+			p.HCLV, _ = stats.NewLetterValues(p.HCs, 2)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// aggResult rebuilds the full sweep result from the merged artifact.
+func aggResult(a *artifact.Artifact) AggTimeResult {
+	res := AggTimeResult{Mfrs: a.Shards}
+	for _, mfr := range a.Shards {
+		res.Points = append(res.Points, aggPoints(a, mfr))
+	}
+	return res
+}
+
+// renderAggBER returns the BER-sweep renderer (Figs. 7 and 9).
+func renderAggBER(label string) func(io.Writer, *artifact.Artifact) error {
+	return func(out io.Writer, a *artifact.Artifact) error {
+		res := aggResult(a)
+		for i, mfr := range res.Mfrs {
+			fmt.Fprintf(out, "Mfr. %s (mean BER ratio last/first: %.1fx)\n", mfr, res.MeanBERRatio(i))
+			w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+			fmt.Fprintf(w, "%s\tmin\tQ1\tmedian\tQ3\tmax\tmean\n", label)
+			for _, p := range res.Points[i] {
+				fmt.Fprintf(w, "%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\n",
+					p.ValueNs, p.BERBox.Min, p.BERBox.Q1, p.BERBox.Median, p.BERBox.Q3, p.BERBox.Max, stats.Mean(p.BERs))
 			}
-			fmt.Fprintf(w, "%.1f\t%.0f\t%s\t%d\n", p.ValueNs, p.HCLV.Median, box, len(p.HCs))
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		if err := w.Flush(); err != nil {
-			return err
+		return nil
+	}
+}
+
+// renderAggHC returns the HCfirst-sweep renderer (Figs. 8 and 10).
+func renderAggHC(label string) func(io.Writer, *artifact.Artifact) error {
+	return func(out io.Writer, a *artifact.Artifact) error {
+		res := aggResult(a)
+		for i, mfr := range res.Mfrs {
+			fmt.Fprintf(out, "Mfr. %s (mean HCfirst change: %+.1f%%)\n", mfr, 100*res.MeanHCChange(i))
+			w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+			fmt.Fprintf(w, "%s\tmedian HCfirst\tquartile box\tsamples\n", label)
+			for _, p := range res.Points[i] {
+				box := "-"
+				if len(p.HCLV.Boxes) > 0 {
+					box = fmt.Sprintf("[%.0f, %.0f]", p.HCLV.Boxes[0][0], p.HCLV.Boxes[0][1])
+				}
+				fmt.Fprintf(w, "%.1f\t%.0f\t%s\t%d\n", p.ValueNs, p.HCLV.Median, box, len(p.HCs))
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		fmt.Fprintln(cfg.Out)
+		return nil
 	}
-	return nil
-}
-
-// RunFig7 prints BER vs aggressor on-time.
-func RunFig7(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := AggOnSweep(cfg)
-	if err != nil {
-		return err
-	}
-	return printAggBER(cfg, res, "tAggOn(ns)")
-}
-
-// RunFig8 prints HCfirst vs aggressor on-time.
-func RunFig8(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := AggOnSweep(cfg)
-	if err != nil {
-		return err
-	}
-	return printAggHC(cfg, res, "tAggOn(ns)")
-}
-
-// RunFig9 prints BER vs aggressor off-time.
-func RunFig9(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := AggOffSweep(cfg)
-	if err != nil {
-		return err
-	}
-	return printAggBER(cfg, res, "tAggOff(ns)")
-}
-
-// RunFig10 prints HCfirst vs aggressor off-time.
-func RunFig10(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := AggOffSweep(cfg)
-	if err != nil {
-		return err
-	}
-	return printAggHC(cfg, res, "tAggOff(ns)")
 }

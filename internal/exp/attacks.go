@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 	"rowhammer/internal/attack"
 	"rowhammer/internal/defense"
 )
@@ -20,28 +22,38 @@ type Attack1Result struct {
 	Reduction []float64
 }
 
+// attack1Mfr profiles one manufacturer's candidate rows and compares
+// the informed choice against the median row.
+func attack1Mfr(cfg Config, mfr string) (best, median int64, err error) {
+	const attackTemp = 90
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return 0, 0, err
+	}
+	t := rh.NewTester(bs[0])
+	rows := sampleRows(cfg, 12)
+	planner, err := attack.BuildPlanner(t, 0, rows, []float64{50, 70, 90})
+	if err != nil {
+		return 0, 0, err
+	}
+	_, best, err = planner.BestRowAt(attackTemp)
+	if err != nil {
+		return 0, 0, err
+	}
+	median, err = planner.MedianRowAt(attackTemp)
+	if err != nil {
+		return 0, 0, err
+	}
+	return best, median, nil
+}
+
 // Attack1 profiles candidate rows across temperatures and compares
 // the informed choice against the median row.
 func Attack1(cfg Config) (Attack1Result, error) {
 	cfg = cfg.normalize()
 	var res Attack1Result
-	const attackTemp = 90
 	for _, mfr := range mfrNames {
-		bs, err := benches(cfg, mfr)
-		if err != nil {
-			return res, err
-		}
-		t := rh.NewTester(bs[0])
-		rows := sampleRows(cfg, 12)
-		planner, err := attack.BuildPlanner(t, 0, rows, []float64{50, 70, 90})
-		if err != nil {
-			return res, err
-		}
-		_, best, err := planner.BestRowAt(attackTemp)
-		if err != nil {
-			return res, err
-		}
-		median, err := planner.MedianRowAt(attackTemp)
+		best, median, err := attack1Mfr(cfg, mfr)
 		if err != nil {
 			return res, err
 		}
@@ -53,18 +65,30 @@ func Attack1(cfg Config) (Attack1Result, error) {
 	return res, nil
 }
 
-// RunAttack1 prints Improvement 1.
-func RunAttack1(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Attack1(cfg)
+// attack1Shard measures one manufacturer's Improvement 1 numbers.
+func attack1Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	best, median, err := attack1Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).
+		SetInt("informed_hc", best).SetInt("median_hc", median).
+		Set("reduction", 1-float64(best)/float64(median))
+	return a, nil
+}
+
+// renderAttack1 prints Improvement 1 from the artifact.
+func renderAttack1(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tinformed HCfirst @90°C\tmedian (uninformed)\thammer-count reduction")
-	for i, mfr := range res.Mfrs {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", mfr, res.InformedHC[i], res.MedianHC[i], pct(res.Reduction[i]))
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: atk1 artifact missing shard %s", mfr)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\n", mfr, r.Int("informed_hc"), r.Int("median_hc"), pct(r.V("reduction")))
 	}
 	return w.Flush()
 }
@@ -153,22 +177,46 @@ func maskLoHi(mask uint32) (lo, hi int) {
 	return lo, hi
 }
 
-// RunAttack2 prints Improvement 2.
-func RunAttack2(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// boolInt stores a bool as an artifact value.
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// attack2Shard measures Improvement 2 (single shard: the demo runs on
+// one Mfr A module end to end).
+func attack2Shard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
 	res, err := Attack2(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(cfg.Out, "Mfr. %s sensor census @70°C: exact-temperature cells %s, at-or-above cells %s\n",
-		res.Mfr, pct(res.ExactCellFrac), pct(res.AboveCellFrac))
-	if !res.TriggerFound {
-		fmt.Fprintln(cfg.Out, "no at-or-above trigger cell in this sample (increase scale)")
+	a := artifact.New(shard)
+	a.AddRow("trigger").Tag("mfr", res.Mfr).
+		Set("exact_frac", res.ExactCellFrac).Set("above_frac", res.AboveCellFrac).
+		SetInt("found", boolInt(res.TriggerFound)).
+		SetInt("fired_below", boolInt(res.FiredBelow)).
+		SetInt("fired_above", boolInt(res.FiredAbove)).
+		SetInt("valid", boolInt(res.Valid))
+	return a, nil
+}
+
+// renderAttack2 prints Improvement 2 from the artifact.
+func renderAttack2(out io.Writer, a *artifact.Artifact) error {
+	r := a.Row("trigger")
+	if r == nil {
+		return fmt.Errorf("exp: atk2 artifact missing trigger row")
+	}
+	fmt.Fprintf(out, "Mfr. %s sensor census @70°C: exact-temperature cells %s, at-or-above cells %s\n",
+		r.Label("mfr"), pct(r.V("exact_frac")), pct(r.V("above_frac")))
+	if r.Int("found") == 0 {
+		fmt.Fprintln(out, "no at-or-above trigger cell in this sample (increase scale)")
 		return nil
 	}
-	fmt.Fprintf(cfg.Out, "trigger demo: fired@55°C=%v fired@85°C=%v → valid=%v\n",
-		res.FiredBelow, res.FiredAbove, res.Valid)
+	fmt.Fprintf(out, "trigger demo: fired@55°C=%v fired@85°C=%v → valid=%v\n",
+		r.Int("fired_below") != 0, r.Int("fired_above") != 0, r.Int("valid") != 0)
 	return nil
 }
 
@@ -189,135 +237,194 @@ type Attack3Result struct {
 	BaselinePrevented, ExtendedDefeats []bool
 }
 
+// attack3Reads is the READs-per-activation count of Improvement 3.
+const attack3Reads = 15
+
+// attack3Out is one manufacturer's Improvement 3 measurement. ok is
+// false when the module produced no usable sample at test scale (the
+// manufacturer is left out of the table, as in the paper's appendix).
+type attack3Out struct {
+	onTimeNs                  float64
+	ok                        bool
+	baseHC, extHC, berRatio   float64
+	basePrevented, extDefeats bool
+}
+
+// attack3Mfr measures one manufacturer's on-time extension attack and
+// its effect on a threshold-configured defense.
+func attack3Mfr(cfg Config, mfr string) (attack3Out, error) {
+	var out attack3Out
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return out, err
+	}
+	b := bs[0]
+	t := rh.NewTester(b)
+	tm := b.Timing()
+	onNs := attack.OnTimeWithReads(tm, attack3Reads).Nanoseconds()
+	out.onTimeNs = onNs
+	rows := sampleRows(cfg, 8)
+	var baseSum, extSum, baseBER, extBER float64
+	n := 0
+	for _, row := range rows {
+		base, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: row, Pattern: rh.PatCheckered, Trial: 1, MaxHammers: cfg.Scale.MaxHammers})
+		if err != nil {
+			return out, err
+		}
+		ext, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: row, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs, MaxHammers: cfg.Scale.MaxHammers})
+		if err != nil {
+			return out, err
+		}
+		if !base.Found || !ext.Found {
+			continue
+		}
+		baseSum += float64(base.HCfirst)
+		extSum += float64(ext.HCfirst)
+		n++
+		// 2× hammers so even the steep-tailed manufacturers show a
+		// measurable baseline BER at test scale.
+		hb, err := t.Hammer(rh.HammerConfig{Bank: 0, VictimPhys: row, Hammers: 2 * cfg.Scale.Hammers, Pattern: rh.PatCheckered, Trial: 1})
+		if err != nil {
+			return out, err
+		}
+		he, err := t.Hammer(rh.HammerConfig{Bank: 0, VictimPhys: row, Hammers: 2 * cfg.Scale.Hammers, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs})
+		if err != nil {
+			return out, err
+		}
+		baseBER += float64(hb.Victim.Count())
+		extBER += float64(he.Victim.Count())
+	}
+	if n == 0 {
+		return out, nil
+	}
+	baseHC := baseSum / float64(n)
+	extHC := extSum / float64(n)
+
+	// Defense defeat demo: a tracker is configured for the
+	// *baseline* HCfirst of the victim (with a safety margin that
+	// still sits above the extended-on-time HCfirst, since the
+	// designer did not anticipate Obsv. 8). It stops the baseline
+	// attack; the extended attack flips bits before the tracker's
+	// threshold is reached.
+	victim := rows[0]
+	vb, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: victim, Pattern: rh.PatCheckered, Trial: 1, MaxHammers: cfg.Scale.MaxHammers})
+	if err != nil {
+		return out, err
+	}
+	ve, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: victim, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs, MaxHammers: cfg.Scale.MaxHammers})
+	if err != nil {
+		return out, err
+	}
+	if !vb.Found || !ve.Found || ve.HCfirst >= vb.HCfirst {
+		return out, nil
+	}
+	threshold := (vb.HCfirst + ve.HCfirst) / 2
+	mk := func() (*rh.Bench, error) {
+		return rh.NewBench(rh.BenchConfig{Profile: b.Profile, Seed: b.Seed, Geometry: cfg.Geometry})
+	}
+	b1, err := mk()
+	if err != nil {
+		return out, err
+	}
+	g1 := defense.NewGraphene(threshold, 64, cfg.Geometry.RowsPerBank)
+	r1, err := defense.Evaluate(defense.EvalConfig{
+		Bench: b1, Mechanism: g1, Bank: 0, VictimPhys: victim,
+		Hammers: cfg.Scale.MaxHammers, Pattern: rh.PatCheckered, Trial: 1,
+	})
+	if err != nil {
+		return out, err
+	}
+	b2, err := mk()
+	if err != nil {
+		return out, err
+	}
+	g2 := defense.NewGraphene(threshold, 64, cfg.Geometry.RowsPerBank)
+	r2, err := defense.Evaluate(defense.EvalConfig{
+		Bench: b2, Mechanism: g2, Bank: 0, VictimPhys: victim,
+		Hammers: cfg.Scale.MaxHammers, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs,
+	})
+	if err != nil {
+		return out, err
+	}
+
+	out.ok = true
+	out.baseHC = baseHC
+	out.extHC = extHC
+	if baseBER > 0 {
+		out.berRatio = extBER / baseBER
+	}
+	out.basePrevented = r1.VictimFlips == 0
+	out.extDefeats = r2.VictimFlips > 0
+	return out, nil
+}
+
 // Attack3 measures the on-time extension attack and its effect on a
 // threshold-configured defense.
 func Attack3(cfg Config) (Attack3Result, error) {
 	cfg = cfg.normalize()
-	res := Attack3Result{Reads: 15}
+	res := Attack3Result{Reads: attack3Reads}
 	for _, mfr := range mfrNames {
-		bs, err := benches(cfg, mfr)
+		o, err := attack3Mfr(cfg, mfr)
 		if err != nil {
 			return res, err
 		}
-		b := bs[0]
-		t := rh.NewTester(b)
-		tm := b.Timing()
-		onNs := attack.OnTimeWithReads(tm, res.Reads).Nanoseconds()
-		res.OnTimeNs = onNs
-		rows := sampleRows(cfg, 8)
-		var baseSum, extSum, baseBER, extBER float64
-		n := 0
-		for _, row := range rows {
-			base, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: row, Pattern: rh.PatCheckered, Trial: 1, MaxHammers: cfg.Scale.MaxHammers})
-			if err != nil {
-				return res, err
-			}
-			ext, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: row, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs, MaxHammers: cfg.Scale.MaxHammers})
-			if err != nil {
-				return res, err
-			}
-			if !base.Found || !ext.Found {
-				continue
-			}
-			baseSum += float64(base.HCfirst)
-			extSum += float64(ext.HCfirst)
-			n++
-			// 2× hammers so even the steep-tailed manufacturers show a
-			// measurable baseline BER at test scale.
-			hb, err := t.Hammer(rh.HammerConfig{Bank: 0, VictimPhys: row, Hammers: 2 * cfg.Scale.Hammers, Pattern: rh.PatCheckered, Trial: 1})
-			if err != nil {
-				return res, err
-			}
-			he, err := t.Hammer(rh.HammerConfig{Bank: 0, VictimPhys: row, Hammers: 2 * cfg.Scale.Hammers, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs})
-			if err != nil {
-				return res, err
-			}
-			baseBER += float64(hb.Victim.Count())
-			extBER += float64(he.Victim.Count())
-		}
-		if n == 0 {
+		res.OnTimeNs = o.onTimeNs
+		if !o.ok {
 			continue
 		}
-		baseHC := baseSum / float64(n)
-		extHC := extSum / float64(n)
-
-		// Defense defeat demo: a tracker is configured for the
-		// *baseline* HCfirst of the victim (with a safety margin that
-		// still sits above the extended-on-time HCfirst, since the
-		// designer did not anticipate Obsv. 8). It stops the baseline
-		// attack; the extended attack flips bits before the tracker's
-		// threshold is reached.
-		victim := rows[0]
-		vb, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: victim, Pattern: rh.PatCheckered, Trial: 1, MaxHammers: cfg.Scale.MaxHammers})
-		if err != nil {
-			return res, err
-		}
-		ve, err := t.HCFirst(rh.HCFirstConfig{Bank: 0, VictimPhys: victim, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs, MaxHammers: cfg.Scale.MaxHammers})
-		if err != nil {
-			return res, err
-		}
-		if !vb.Found || !ve.Found || ve.HCfirst >= vb.HCfirst {
-			continue
-		}
-		threshold := (vb.HCfirst + ve.HCfirst) / 2
-		mk := func() (*rh.Bench, error) {
-			return rh.NewBench(rh.BenchConfig{Profile: b.Profile, Seed: b.Seed, Geometry: cfg.Geometry})
-		}
-		b1, err := mk()
-		if err != nil {
-			return res, err
-		}
-		g1 := defense.NewGraphene(threshold, 64, cfg.Geometry.RowsPerBank)
-		r1, err := defense.Evaluate(defense.EvalConfig{
-			Bench: b1, Mechanism: g1, Bank: 0, VictimPhys: victim,
-			Hammers: cfg.Scale.MaxHammers, Pattern: rh.PatCheckered, Trial: 1,
-		})
-		if err != nil {
-			return res, err
-		}
-		b2, err := mk()
-		if err != nil {
-			return res, err
-		}
-		g2 := defense.NewGraphene(threshold, 64, cfg.Geometry.RowsPerBank)
-		r2, err := defense.Evaluate(defense.EvalConfig{
-			Bench: b2, Mechanism: g2, Bank: 0, VictimPhys: victim,
-			Hammers: cfg.Scale.MaxHammers, Pattern: rh.PatCheckered, Trial: 1, AggOnNs: onNs,
-		})
-		if err != nil {
-			return res, err
-		}
-
 		res.Mfrs = append(res.Mfrs, mfr)
-		res.BaseHC = append(res.BaseHC, baseHC)
-		res.ExtHC = append(res.ExtHC, extHC)
-		res.HCReduction = append(res.HCReduction, 1-extHC/baseHC)
-		if baseBER > 0 {
-			res.BERRatio = append(res.BERRatio, extBER/baseBER)
-		} else {
-			res.BERRatio = append(res.BERRatio, 0)
-		}
-		res.BaselinePrevented = append(res.BaselinePrevented, r1.VictimFlips == 0)
-		res.ExtendedDefeats = append(res.ExtendedDefeats, r2.VictimFlips > 0)
+		res.BaseHC = append(res.BaseHC, o.baseHC)
+		res.ExtHC = append(res.ExtHC, o.extHC)
+		res.HCReduction = append(res.HCReduction, 1-o.extHC/o.baseHC)
+		res.BERRatio = append(res.BERRatio, o.berRatio)
+		res.BaselinePrevented = append(res.BaselinePrevented, o.basePrevented)
+		res.ExtendedDefeats = append(res.ExtendedDefeats, o.extDefeats)
 	}
 	return res, nil
 }
 
-// RunAttack3 prints Improvement 3.
-func RunAttack3(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Attack3(cfg)
+// attack3Shard measures one manufacturer's Improvement 3 numbers. The
+// on-time info row is always present (the header uses the last
+// shard's value, mirroring the serial loop); the result row only when
+// the module produced a usable sample.
+func attack3Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	o, err := attack3Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(cfg.Out, "%d READs per activation → tAggOn %.1f ns\n", res.Reads, res.OnTimeNs)
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)+"/info").Set("on_time_ns", o.onTimeNs)
+	if o.ok {
+		a.AddRow(mfrKey(mfr)+"/res").
+			Set("base_hc", o.baseHC).Set("ext_hc", o.extHC).
+			Set("reduction", 1-o.extHC/o.baseHC).Set("ber_ratio", o.berRatio).
+			SetInt("base_prevented", boolInt(o.basePrevented)).
+			SetInt("ext_defeats", boolInt(o.extDefeats))
+	}
+	return a, nil
+}
+
+// renderAttack3 prints Improvement 3 from the artifact.
+func renderAttack3(out io.Writer, a *artifact.Artifact) error {
+	if len(a.Shards) == 0 {
+		return fmt.Errorf("exp: atk3 artifact has no shards")
+	}
+	info := a.Row(mfrKey(a.Shards[len(a.Shards)-1]) + "/info")
+	if info == nil {
+		return fmt.Errorf("exp: atk3 artifact missing on-time info row")
+	}
+	fmt.Fprintf(out, "%d READs per activation → tAggOn %.1f ns\n", attack3Reads, info.V("on_time_ns"))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tbase HCfirst\textended HCfirst\treduction\tBER ratio\tbaseline stopped\textended defeats defense")
-	for i, mfr := range res.Mfrs {
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr) + "/res")
+		if r == nil {
+			continue
+		}
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%s\t%.1fx\t%v\t%v\n",
-			mfr, res.BaseHC[i], res.ExtHC[i], pct(res.HCReduction[i]), res.BERRatio[i],
-			res.BaselinePrevented[i], res.ExtendedDefeats[i])
+			mfr, r.V("base_hc"), r.V("ext_hc"), pct(r.V("reduction")), r.V("ber_ratio"),
+			r.Int("base_prevented") != 0, r.Int("ext_defeats") != 0)
 	}
 	return w.Flush()
 }

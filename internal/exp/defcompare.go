@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 	"rowhammer/internal/defense"
 	"rowhammer/internal/dram"
 	"rowhammer/internal/sched"
@@ -126,25 +128,46 @@ func DefCompare(cfg Config) (DefCompareResult, error) {
 	return res, nil
 }
 
-// RunDefCompare prints the comparison.
-func RunDefCompare(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// defCompareShard measures the mechanism scorecard (single shard:
+// every mechanism faces the same module and workload).
+func defCompareShard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
 	res, err := DefCompare(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(cfg.Out, "Mfr. %s module, protection threshold %d (half the probed HCfirst), %d-hammer attack\n",
-		res.Mfr, res.Threshold, cfg.Scale.MaxHammers)
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(shard)
+	a.AddRow("probe").Tag("mfr", res.Mfr).
+		SetInt("threshold", res.Threshold).SetInt("max_hammers", cfg.Scale.MaxHammers)
+	for i, r := range res.Rows {
+		a.AddRow(fmt.Sprintf("mech=%02d", i)).Tag("name", r.Name).
+			SetInt("attack_flips", int64(r.AttackFlips)).
+			SetInt("attack_refreshes", r.AttackRefreshes).
+			Set("throttle_ms", r.ThrottleMs).
+			Set("benign_refresh_rate", r.BenignRefreshRate).
+			Set("area_pct", r.AreaPct)
+	}
+	return a, nil
+}
+
+// renderDefCompare prints the comparison from the artifact.
+func renderDefCompare(out io.Writer, a *artifact.Artifact) error {
+	p := a.Row("probe")
+	if p == nil {
+		return fmt.Errorf("exp: defcompare artifact missing probe row")
+	}
+	fmt.Fprintf(out, "Mfr. %s module, protection threshold %d (half the probed HCfirst), %d-hammer attack\n",
+		p.Label("mfr"), p.Int("threshold"), p.Int("max_hammers"))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "mechanism\tattack flips\tattack refreshes\tthrottle (ms)\tbenign refresh rate\tarea (% die)")
-	for _, r := range res.Rows {
+	for _, r := range a.RowsWithPrefix("mech=") {
 		area := "n/a"
-		if r.AreaPct >= 0 {
-			area = fmt.Sprintf("%.2f", r.AreaPct)
+		if r.V("area_pct") >= 0 {
+			area = fmt.Sprintf("%.2f", r.V("area_pct"))
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.4f\t%s\n",
-			r.Name, r.AttackFlips, r.AttackRefreshes, r.ThrottleMs, r.BenignRefreshRate, area)
+			r.Label("name"), r.Int("attack_flips"), r.Int("attack_refreshes"),
+			r.V("throttle_ms"), r.V("benign_refresh_rate"), area)
 	}
 	return w.Flush()
 }

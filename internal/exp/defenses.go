@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 	"rowhammer/internal/defense"
 	"rowhammer/internal/sched"
 )
@@ -24,6 +26,38 @@ type Defense1Result struct {
 	PARABase, PARARelaxed []float64
 }
 
+// defense1Out is one manufacturer's row-aware configuration study.
+type defense1Out struct {
+	worst, p5             float64
+	gBase, gRow, gRed     float64
+	bBase, bRow, bRed     float64
+	paraBase, paraRelaxed float64
+}
+
+// defense1From derives the row-aware configuration from one
+// manufacturer's row-variation summary.
+func defense1From(cfg Config, s rh.RowVariationSummary) defense1Out {
+	worst := s.MinHC
+	p5 := s.MinHC * s.RatioP95
+	rcfg := defense.RowAwareConfig{
+		WeakRowFraction: 0.05,
+		ThresholdWeak:   int64(worst),
+		ThresholdStrong: int64(p5),
+		RowsPerBank:     cfg.Geometry.RowsPerBank,
+	}
+	gb := defense.GrapheneArea(rcfg.ThresholdWeak)
+	gr := defense.RowAwareGrapheneArea(rcfg)
+	bb := defense.BlockHammerArea(rcfg.ThresholdWeak)
+	br := defense.RowAwareBlockHammerArea(rcfg)
+	return defense1Out{
+		worst: worst, p5: p5,
+		gBase: gb, gRow: gr, gRed: defense.AreaReduction(gb, gr),
+		bBase: bb, bRow: br, bRed: defense.AreaReduction(bb, br),
+		paraBase:    defense.PARASlowdown(defense.PARAProbability(int64(worst), 1e-15)),
+		paraRelaxed: defense.PARASlowdown(defense.PARAProbability(int64(p5), 1e-15)),
+	}
+}
+
 // Defense1 derives row-aware defense configurations from measured row
 // variation.
 func Defense1(cfg Config) (Defense1Result, error) {
@@ -34,52 +68,53 @@ func Defense1(cfg Config) (Defense1Result, error) {
 	}
 	var res Defense1Result
 	for i, mfr := range f11.Mfrs {
-		s := f11.Summary[i]
-		worst := s.MinHC
-		p5 := s.MinHC * s.RatioP95
-		rcfg := defense.RowAwareConfig{
-			WeakRowFraction: 0.05,
-			ThresholdWeak:   int64(worst),
-			ThresholdStrong: int64(p5),
-			RowsPerBank:     cfg.Geometry.RowsPerBank,
-		}
-		gb := defense.GrapheneArea(rcfg.ThresholdWeak)
-		gr := defense.RowAwareGrapheneArea(rcfg)
-		bb := defense.BlockHammerArea(rcfg.ThresholdWeak)
-		br := defense.RowAwareBlockHammerArea(rcfg)
+		o := defense1From(cfg, f11.Summary[i])
 		res.Mfrs = append(res.Mfrs, mfr)
-		res.WorstHC = append(res.WorstHC, worst)
-		res.P5HC = append(res.P5HC, p5)
-		res.GrapheneBase = append(res.GrapheneBase, gb)
-		res.GrapheneRowAware = append(res.GrapheneRowAware, gr)
-		res.BlockHammerBase = append(res.BlockHammerBase, bb)
-		res.BlockHammerRowAware = append(res.BlockHammerRowAware, br)
-		res.GrapheneReduction = append(res.GrapheneReduction, defense.AreaReduction(gb, gr))
-		res.BHReduction = append(res.BHReduction, defense.AreaReduction(bb, br))
-		pBase := defense.PARAProbability(int64(worst), 1e-15)
-		pRelax := defense.PARAProbability(int64(p5), 1e-15)
-		res.PARABase = append(res.PARABase, defense.PARASlowdown(pBase))
-		res.PARARelaxed = append(res.PARARelaxed, defense.PARASlowdown(pRelax))
+		res.WorstHC = append(res.WorstHC, o.worst)
+		res.P5HC = append(res.P5HC, o.p5)
+		res.GrapheneBase = append(res.GrapheneBase, o.gBase)
+		res.GrapheneRowAware = append(res.GrapheneRowAware, o.gRow)
+		res.BlockHammerBase = append(res.BlockHammerBase, o.bBase)
+		res.BlockHammerRowAware = append(res.BlockHammerRowAware, o.bRow)
+		res.GrapheneReduction = append(res.GrapheneReduction, o.gRed)
+		res.BHReduction = append(res.BHReduction, o.bRed)
+		res.PARABase = append(res.PARABase, o.paraBase)
+		res.PARARelaxed = append(res.PARARelaxed, o.paraRelaxed)
 	}
 	return res, nil
 }
 
-// RunDefense1 prints Improvement 1.
-func RunDefense1(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Defense1(cfg)
+// defense1Shard measures one manufacturer's row-aware configuration.
+func defense1Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	_, s, err := fig11Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	o := defense1From(cfg, s)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).
+		Set("worst_hc", o.worst).Set("p5_hc", o.p5).
+		Set("graphene_base", o.gBase).Set("graphene_row", o.gRow).Set("graphene_red", o.gRed).
+		Set("bh_base", o.bBase).Set("bh_row", o.bRow).Set("bh_red", o.bRed).
+		Set("para_base", o.paraBase).Set("para_relaxed", o.paraRelaxed)
+	return a, nil
+}
+
+// renderDefense1 prints Improvement 1 from the artifact.
+func renderDefense1(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tworst HCfirst\tP5 HCfirst\tGraphene area\t→ row-aware\tsaving\tBlockHammer area\t→ row-aware\tsaving\tPARA slowdown\t→ relaxed")
-	for i, mfr := range res.Mfrs {
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: def1 artifact missing shard %s", mfr)
+		}
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.2f%%\t%.2f%%\t%s\t%.2f%%\t%.2f%%\t%s\t%s\t%s\n",
-			mfr, res.WorstHC[i], res.P5HC[i],
-			100*res.GrapheneBase[i], 100*res.GrapheneRowAware[i], pct(res.GrapheneReduction[i]),
-			100*res.BlockHammerBase[i], 100*res.BlockHammerRowAware[i], pct(res.BHReduction[i]),
-			pct(res.PARABase[i]), pct(res.PARARelaxed[i]))
+			mfr, r.V("worst_hc"), r.V("p5_hc"),
+			100*r.V("graphene_base"), 100*r.V("graphene_row"), pct(r.V("graphene_red")),
+			100*r.V("bh_base"), 100*r.V("bh_row"), pct(r.V("bh_red")),
+			pct(r.V("para_base")), pct(r.V("para_relaxed")))
 	}
 	return w.Flush()
 }
@@ -96,6 +131,65 @@ type Defense2Result struct {
 	Speedup []float64
 }
 
+// defense2Out is one manufacturer's sampled-profiling prediction. ok
+// is false when the manufacturer lacks the modules/subarrays for the
+// transfer study at test scale.
+type defense2Out struct {
+	ok                        bool
+	trueMin, estimate, relErr float64
+	speedup                   float64
+}
+
+// defense2Mfr predicts one manufacturer's new-module worst case from
+// one sampled subarray plus a through-origin model fitted on the
+// other modules.
+func defense2Mfr(cfg Config, mfr string) (defense2Out, error) {
+	var out defense2Out
+	perModule, err := profileSubarrays(cfg, mfr)
+	if err != nil {
+		return out, err
+	}
+	if len(perModule) < 2 || len(perModule[0]) < 2 {
+		return out, nil
+	}
+	// Train on modules 1..n-1 with a through-origin (ratio)
+	// estimator: the min/avg relation transfers across modules of
+	// a manufacturer even when their absolute HCfirst levels
+	// differ (Fig. 14's intercepts are small relative to the
+	// HCfirst range).
+	ratioSum, ratioN := 0.0, 0
+	for _, subs := range perModule[1:] {
+		for _, s := range subs {
+			if s.Avg > 0 {
+				ratioSum += s.Min / s.Avg
+				ratioN++
+			}
+		}
+	}
+	if ratioN == 0 {
+		return out, nil
+	}
+	ratio := ratioSum / float64(ratioN)
+	// Predict module 0's worst case from one sampled subarray.
+	target := perModule[0]
+	sampled := target[0]
+	estimate := ratio * sampled.Avg
+	trueMin := target[0].Min
+	for _, s := range target[1:] {
+		if s.Min < trueMin {
+			trueMin = s.Min
+		}
+	}
+	out.ok = true
+	out.trueMin = trueMin
+	out.estimate = estimate
+	if trueMin > 0 {
+		out.relErr = (estimate - trueMin) / trueMin
+	}
+	out.speedup = float64(len(target))
+	return out, nil
+}
+
 // Defense2 predicts a new module's worst-case HCfirst from one sampled
 // subarray plus a min-vs-avg linear model fitted on *other* modules of
 // the same manufacturer (Obsv. 15/16: the relation transfers across
@@ -104,67 +198,49 @@ func Defense2(cfg Config) (Defense2Result, error) {
 	cfg = cfg.normalize()
 	var res Defense2Result
 	for _, mfr := range mfrNames {
-		perModule, err := profileSubarrays(cfg, mfr)
+		o, err := defense2Mfr(cfg, mfr)
 		if err != nil {
 			return res, err
 		}
-		if len(perModule) < 2 || len(perModule[0]) < 2 {
+		if !o.ok {
 			continue
-		}
-		// Train on modules 1..n-1 with a through-origin (ratio)
-		// estimator: the min/avg relation transfers across modules of
-		// a manufacturer even when their absolute HCfirst levels
-		// differ (Fig. 14's intercepts are small relative to the
-		// HCfirst range).
-		ratioSum, ratioN := 0.0, 0
-		for _, subs := range perModule[1:] {
-			for _, s := range subs {
-				if s.Avg > 0 {
-					ratioSum += s.Min / s.Avg
-					ratioN++
-				}
-			}
-		}
-		if ratioN == 0 {
-			continue
-		}
-		ratio := ratioSum / float64(ratioN)
-		// Predict module 0's worst case from one sampled subarray.
-		target := perModule[0]
-		sampled := target[0]
-		estimate := ratio * sampled.Avg
-		trueMin := target[0].Min
-		for _, s := range target[1:] {
-			if s.Min < trueMin {
-				trueMin = s.Min
-			}
 		}
 		res.Mfrs = append(res.Mfrs, mfr)
-		res.FullMin = append(res.FullMin, trueMin)
-		res.SampledEstimate = append(res.SampledEstimate, estimate)
-		rel := 0.0
-		if trueMin > 0 {
-			rel = (estimate - trueMin) / trueMin
-		}
-		res.RelError = append(res.RelError, rel)
-		res.Speedup = append(res.Speedup, float64(len(target)))
+		res.FullMin = append(res.FullMin, o.trueMin)
+		res.SampledEstimate = append(res.SampledEstimate, o.estimate)
+		res.RelError = append(res.RelError, o.relErr)
+		res.Speedup = append(res.Speedup, o.speedup)
 	}
 	return res, nil
 }
 
-// RunDefense2 prints Improvement 2.
-func RunDefense2(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Defense2(cfg)
+// defense2Shard measures one manufacturer's sampled-profiling study.
+func defense2Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	o, err := defense2Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	if o.ok {
+		a.AddRow(mfrKey(mfr)).
+			Set("true_min", o.trueMin).Set("estimate", o.estimate).
+			Set("rel_error", o.relErr).Set("speedup", o.speedup)
+	}
+	return a, nil
+}
+
+// renderDefense2 prints Improvement 2 from the artifact.
+func renderDefense2(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\ttrue min HCfirst\tsampled estimate\trel. error\tprofiling speedup")
-	for i, mfr := range res.Mfrs {
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			continue
+		}
 		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%\t%.0fx\n",
-			mfr, res.FullMin[i], res.SampledEstimate[i], 100*res.RelError[i], res.Speedup[i])
+			mfr, r.V("true_min"), r.V("estimate"), 100*r.V("rel_error"), r.V("speedup"))
 	}
 	return w.Flush()
 }
@@ -233,16 +309,31 @@ func Defense3(cfg Config) (Defense3Result, error) {
 	return res, nil
 }
 
-// RunDefense3 prints Improvement 3.
-func RunDefense3(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// defense3Shard measures the retirement study (single shard: one
+// Mfr A module).
+func defense3Shard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
 	res, err := Defense3(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(cfg.Out, "Mfr. %s: %d profiled rows; retire %d rows at 50°C, %d at 85°C; 85°C coverage %s\n",
-		res.Mfr, res.ProfiledRows, res.RetiredAt50, res.RetiredAt85, pct(res.Coverage))
+	a := artifact.New(shard)
+	a.AddRow("retirement").Tag("mfr", res.Mfr).
+		SetInt("profiled", int64(res.ProfiledRows)).
+		SetInt("retired_50", int64(res.RetiredAt50)).
+		SetInt("retired_85", int64(res.RetiredAt85)).
+		Set("coverage", res.Coverage)
+	return a, nil
+}
+
+// renderDefense3 prints Improvement 3 from the artifact.
+func renderDefense3(out io.Writer, a *artifact.Artifact) error {
+	r := a.Row("retirement")
+	if r == nil {
+		return fmt.Errorf("exp: def3 artifact missing retirement row")
+	}
+	fmt.Fprintf(out, "Mfr. %s: %d profiled rows; retire %d rows at 50°C, %d at 85°C; 85°C coverage %s\n",
+		r.Label("mfr"), r.Int("profiled"), r.Int("retired_50"), r.Int("retired_85"), pct(r.V("coverage")))
 	return nil
 }
 
@@ -254,6 +345,15 @@ type Defense4Result struct {
 	BERReduction []float64
 }
 
+// defense4Reduction derives the cooling reduction from the Fig. 4
+// trend at 90 °C: BER(90) = (1+at90)×BER(50).
+func defense4Reduction(at90 float64) float64 {
+	if 1+at90 > 0 {
+		return at90 / (1 + at90)
+	}
+	return 0
+}
+
 // Defense4 compares BER at 90 °C and 50 °C.
 func Defense4(cfg Config) (Defense4Result, error) {
 	cfg = cfg.normalize()
@@ -263,30 +363,34 @@ func Defense4(cfg Config) (Defense4Result, error) {
 	}
 	var res Defense4Result
 	for i, mfr := range f4.Mfrs {
-		at90 := f4.TrendAt(i, 90)
-		// BER(90) = (1+at90)×BER(50) ⇒ cooling reduction:
-		red := 0.0
-		if 1+at90 > 0 {
-			red = at90 / (1 + at90)
-		}
 		res.Mfrs = append(res.Mfrs, mfr)
-		res.BERReduction = append(res.BERReduction, red)
+		res.BERReduction = append(res.BERReduction, defense4Reduction(f4.TrendAt(i, 90)))
 	}
 	return res, nil
 }
 
-// RunDefense4 prints Improvement 4.
-func RunDefense4(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Defense4(cfg)
+// defense4Shard measures one manufacturer's cooling reduction.
+func defense4Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	points, err := fig4Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).Set("ber_reduction", defense4Reduction(trendAt(points, 90)))
+	return a, nil
+}
+
+// renderDefense4 prints Improvement 4 from the artifact.
+func renderDefense4(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tBER reduction from cooling 90→50 °C")
-	for i, mfr := range res.Mfrs {
-		fmt.Fprintf(w, "%s\t%s\n", mfr, pct(res.BERReduction[i]))
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: def4 artifact missing shard %s", mfr)
+		}
+		fmt.Fprintf(w, "%s\t%s\n", mfr, pct(r.V("ber_reduction")))
 	}
 	return w.Flush()
 }
@@ -370,18 +474,33 @@ func Defense5(cfg Config) (Defense5Result, error) {
 	return res, nil
 }
 
-// RunDefense5 prints Improvement 5.
-func RunDefense5(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// defense5Shard measures the open-time limiter study (single shard:
+// one Mfr A module plus a scheduler simulation).
+func defense5Shard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
 	res, err := Defense5(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(cfg.Out, "Mfr. %s: HCfirst baseline %d; extended-on-time attack %d; with open-time limiter %d (restored); limiter cost: %d extra ACTs per long open\n",
-		res.Mfr, res.BaselineHC, res.ExtendedHC, res.LimitedHC, res.ExtraActs)
-	fmt.Fprintf(cfg.Out, "benign workload (85%% row locality): %.1f ns avg latency open-page → %.1f ns capped (%.1f%% slowdown); max row-open bounded to %.1f ns\n",
-		res.OpenPageLatencyNs, res.CappedLatencyNs, 100*res.BenignSlowdown, res.MaxRowOpenNsCapped)
+	a := artifact.New(shard)
+	a.AddRow("limiter").Tag("mfr", res.Mfr).
+		SetInt("baseline_hc", res.BaselineHC).SetInt("extended_hc", res.ExtendedHC).
+		SetInt("limited_hc", res.LimitedHC).SetInt("extra_acts", res.ExtraActs).
+		Set("open_latency_ns", res.OpenPageLatencyNs).Set("capped_latency_ns", res.CappedLatencyNs).
+		Set("benign_slowdown", res.BenignSlowdown).Set("max_row_open_ns", res.MaxRowOpenNsCapped)
+	return a, nil
+}
+
+// renderDefense5 prints Improvement 5 from the artifact.
+func renderDefense5(out io.Writer, a *artifact.Artifact) error {
+	r := a.Row("limiter")
+	if r == nil {
+		return fmt.Errorf("exp: def5 artifact missing limiter row")
+	}
+	fmt.Fprintf(out, "Mfr. %s: HCfirst baseline %d; extended-on-time attack %d; with open-time limiter %d (restored); limiter cost: %d extra ACTs per long open\n",
+		r.Label("mfr"), r.Int("baseline_hc"), r.Int("extended_hc"), r.Int("limited_hc"), r.Int("extra_acts"))
+	fmt.Fprintf(out, "benign workload (85%% row locality): %.1f ns avg latency open-page → %.1f ns capped (%.1f%% slowdown); max row-open bounded to %.1f ns\n",
+		r.V("open_latency_ns"), r.V("capped_latency_ns"), 100*r.V("benign_slowdown"), r.V("max_row_open_ns"))
 	return nil
 }
 
@@ -393,6 +512,25 @@ type Defense6Result struct {
 	ExposureRatio []float64
 }
 
+// defense6From plans ECC provisioning from one measured column
+// profile.
+func defense6From(acc *rh.ColumnAccumulator) float64 {
+	// Flatten (chip, column) counts to one profile.
+	var flips []int
+	for _, chip := range acc.Counts {
+		flips = append(flips, chip...)
+	}
+	budget := len(flips) / 4
+	aware := defense.PlanColumnECC(flips, budget, 1)
+	uniform := defense.UniformECCPlan(len(flips), budget, 1)
+	ea := aware.UncorrectedExposure(flips)
+	eu := uniform.UncorrectedExposure(flips)
+	if eu > 0 {
+		return ea / eu
+	}
+	return 1.0
+}
+
 // Defense6 plans ECC provisioning from measured column profiles.
 func Defense6(cfg Config) (Defense6Result, error) {
 	cfg = cfg.normalize()
@@ -402,38 +540,35 @@ func Defense6(cfg Config) (Defense6Result, error) {
 	}
 	var res Defense6Result
 	for i, mfr := range f12.Mfrs {
-		// Flatten (chip, column) counts to one profile.
-		var flips []int
-		for _, chip := range f12.Acc[i].Counts {
-			flips = append(flips, chip...)
-		}
-		budget := len(flips) / 4
-		aware := defense.PlanColumnECC(flips, budget, 1)
-		uniform := defense.UniformECCPlan(len(flips), budget, 1)
-		ea := aware.UncorrectedExposure(flips)
-		eu := uniform.UncorrectedExposure(flips)
-		ratio := 1.0
-		if eu > 0 {
-			ratio = ea / eu
-		}
 		res.Mfrs = append(res.Mfrs, mfr)
-		res.ExposureRatio = append(res.ExposureRatio, ratio)
+		res.ExposureRatio = append(res.ExposureRatio, defense6From(f12.Acc[i]))
 	}
 	return res, nil
 }
 
-// RunDefense6 prints Improvement 6.
-func RunDefense6(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Defense6(cfg)
+// defense6Shard measures one manufacturer's ECC planning study.
+func defense6Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	cfg.Geometry = columnGeometry(cfg.Geometry)
+	acc, err := fig12Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).Set("exposure_ratio", defense6From(acc))
+	return a, nil
+}
+
+// renderDefense6 prints Improvement 6 from the artifact.
+func renderDefense6(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tcolumn-aware / uniform uncorrected exposure")
-	for i, mfr := range res.Mfrs {
-		fmt.Fprintf(w, "%s\t%.2f\n", mfr, res.ExposureRatio[i])
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: def6 artifact missing shard %s", mfr)
+		}
+		fmt.Fprintf(w, "%s\t%.2f\n", mfr, r.V("exposure_ratio"))
 	}
 	return w.Flush()
 }

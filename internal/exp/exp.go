@@ -1,8 +1,11 @@
 // Package exp contains one driver per table and figure of the paper's
-// evaluation (§5–§8), each re-measuring the artifact through the full
-// command-level methodology and printing the same rows/series the
-// paper reports. Compute functions return typed results so tests can
-// assert the reproduced trends; Run methods print them.
+// evaluation (§5–§8). Every experiment is split into three stages:
+// Compute (typed, pure, ctx-aware measurement of one shard), Artifact
+// (the uniform rows/series structure of internal/artifact), and
+// Render (the paper's text report, generated from the artifact alone).
+// Typed compute functions remain exported so tests can assert the
+// reproduced trends; the registry drives everything else — rhchar,
+// golden tests, and experiment-generic fleet campaigns.
 package exp
 
 import (
@@ -12,6 +15,8 @@ import (
 	"sort"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
+	"rowhammer/internal/pool"
 )
 
 // Config parameterizes an experiment run.
@@ -20,7 +25,9 @@ type Config struct {
 	Scale rh.Scale
 	// Seed derives per-module seeds.
 	Seed uint64
-	// Out receives the printed artifact.
+	// Out receives the rendered report in Run; Compute never writes
+	// to it. A nil Out is rejected by Run rather than silently
+	// discarded.
 	Out io.Writer
 	// Geometry of the modules under test; zero value selects the
 	// reduced-scale DDR4 geometry.
@@ -28,25 +35,15 @@ type Config struct {
 	// Ctx carries cancellation and deadlines into the measurement
 	// loops; nil selects context.Background().
 	Ctx context.Context
-	// Workers bounds the per-manufacturer fan-out (< 1 selects one
-	// worker per CPU).
+	// Workers bounds the per-shard fan-out (< 1 selects one worker
+	// per CPU).
 	Workers int
 }
 
-// normalize fills config defaults.
+// normalize fills config defaults via the shared helper all
+// measurement layers use.
 func (c Config) normalize() Config {
-	if c.Scale == (rh.Scale{}) {
-		c.Scale = rh.DefaultScale()
-	}
-	if c.Out == nil {
-		c.Out = io.Discard
-	}
-	if c.Geometry == (rh.Geometry{}) {
-		c.Geometry = rh.DefaultDDR4Geometry()
-	}
-	if c.Seed == 0 {
-		c.Seed = 0x5eed
-	}
+	rh.FillMeasureDefaults(&c.Scale, &c.Geometry, &c.Seed, nil)
 	if c.Ctx == nil {
 		c.Ctx = context.Background()
 	}
@@ -61,43 +58,93 @@ func (c Config) WithContext(ctx context.Context) Config {
 
 // Experiment is one runnable paper artifact.
 type Experiment struct {
-	ID    string
+	// ID is the registry key (rhchar -exp, rhfleet -exp).
+	ID string
+	// Title is the human-readable caption.
 	Title string
-	Run   func(ctx context.Context, cfg Config) error
+	// Section is the paper section the artifact reproduces.
+	Section string
+	// Schema versions the experiment's artifact layout; it is folded
+	// into campaign identity so a checkpoint written under an older
+	// layout cannot silently resume.
+	Schema int
+	// Shards is the experiment's decomposition hint: independent
+	// units of work (typically one per manufacturer) that the fleet
+	// engine schedules as separate jobs.
+	Shards []string
+	// Compute measures one shard and returns its artifact fragment.
+	Compute func(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error)
+	// Render writes the paper's text report from the merged artifact.
+	Render func(w io.Writer, a *artifact.Artifact) error
 }
+
+// ComputeAll measures every shard on the config's worker pool and
+// merges the fragments into the experiment's full artifact. Results
+// are independent of worker count and shard completion order.
+func (e Experiment) ComputeAll(ctx context.Context, cfg Config) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	frags, err := pool.Map(cfg.Ctx, cfg.Workers, len(e.Shards), func(i int) (*artifact.Artifact, error) {
+		return e.Compute(cfg.Ctx, cfg, e.Shards[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return artifact.Merge(e.ID, e.Schema, frags...)
+}
+
+// Run computes the full artifact and renders the text report to
+// cfg.Out.
+func (e Experiment) Run(ctx context.Context, cfg Config) error {
+	if cfg.Out == nil {
+		return fmt.Errorf("exp: %s: Config.Out is nil — the caller must supply a writer (or use ComputeAll for the artifact)", e.ID)
+	}
+	a, err := e.ComputeAll(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	return e.Render(cfg.Out, a)
+}
+
+// Shard names: most experiments decompose per manufacturer; a few are
+// single-module or cross-module studies that run as one shard.
+var (
+	mfrShards  = mfrNames
+	oneShard   = []string{"all"}
+	ddr3Shards = []string{"A", "B", "C"}
+)
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table2", "Table 2/4: tested DRAM module inventory", RunTable2},
-		{"table3", "Table 3: cells flipping at all in-range temperatures", RunTable3},
-		{"fig3", "Fig. 3: vulnerable temperature range clusters", RunFig3},
-		{"fig4", "Fig. 4: BER change vs temperature", RunFig4},
-		{"fig5", "Fig. 5: HCfirst change distribution vs temperature", RunFig5},
-		{"fig6", "Fig. 6: aggressor on/off-time command timing", RunFig6},
-		{"fig7", "Fig. 7: BER vs aggressor on-time", RunFig7},
-		{"fig8", "Fig. 8: HCfirst vs aggressor on-time", RunFig8},
-		{"fig9", "Fig. 9: BER vs aggressor off-time", RunFig9},
-		{"fig10", "Fig. 10: HCfirst vs aggressor off-time", RunFig10},
-		{"fig11", "Fig. 11: HCfirst distribution across rows", RunFig11},
-		{"fig12", "Fig. 12: bit flips across columns", RunFig12},
-		{"fig13", "Fig. 13: column vulnerability vs cross-chip variation", RunFig13},
-		{"fig14", "Fig. 14: subarray min-vs-avg HCfirst regression", RunFig14},
-		{"fig15", "Fig. 15: subarray HCfirst similarity (Bhattacharyya)", RunFig15},
-		{"atk1", "Attack Improvement 1: temperature-targeted row choice", RunAttack1},
-		{"atk2", "Attack Improvement 2: temperature-triggered attack", RunAttack2},
-		{"atk3", "Attack Improvement 3: extended aggressor on-time", RunAttack3},
-		{"def1", "Defense Improvement 1: row-aware thresholds", RunDefense1},
-		{"def2", "Defense Improvement 2: subarray-sampled profiling", RunDefense2},
-		{"def3", "Defense Improvement 3: temperature-aware row retirement", RunDefense3},
-		{"def4", "Defense Improvement 4: cooling reduces BER", RunDefense4},
-		{"def5", "Defense Improvement 5: row open-time limiting", RunDefense5},
-		{"def6", "Defense Improvement 6: column-aware ECC", RunDefense6},
-		{"ddr3", "Extension: Obsv. 2 verified on DDR3 SODIMMs", RunDDR3},
-		{"manysided", "Extension: many-sided (TRRespass-style) attack vs TRR", RunManySided},
-		{"interference", "Extension: §4.2 interference-isolation checklist", RunInterference},
-		{"defcompare", "Extension: mechanism scorecard (coverage, overhead, area)", RunDefCompare},
-		{"wcdp", "Extension: worst-case data pattern survey (§4.2, Table 1)", RunWCDP},
+		{ID: "table2", Title: "Table 2/4: tested DRAM module inventory", Section: "§4.1", Schema: 1, Shards: oneShard, Compute: table2Shard, Render: renderTable2},
+		{ID: "table3", Title: "Table 3: cells flipping at all in-range temperatures", Section: "§5.1", Schema: 1, Shards: mfrShards, Compute: table3Shard, Render: renderTable3},
+		{ID: "fig3", Title: "Fig. 3: vulnerable temperature range clusters", Section: "§5.1", Schema: 1, Shards: mfrShards, Compute: fig3Shard, Render: renderFig3},
+		{ID: "fig4", Title: "Fig. 4: BER change vs temperature", Section: "§5.2", Schema: 1, Shards: mfrShards, Compute: fig4Shard, Render: renderFig4},
+		{ID: "fig5", Title: "Fig. 5: HCfirst change distribution vs temperature", Section: "§5.3", Schema: 1, Shards: mfrShards, Compute: fig5Shard, Render: renderFig5},
+		{ID: "fig6", Title: "Fig. 6: aggressor on/off-time command timing", Section: "§6", Schema: 1, Shards: oneShard, Compute: fig6Shard, Render: renderFig6},
+		{ID: "fig7", Title: "Fig. 7: BER vs aggressor on-time", Section: "§6.1", Schema: 1, Shards: mfrShards, Compute: aggShard(aggOnGridNs, true), Render: renderAggBER("tAggOn(ns)")},
+		{ID: "fig8", Title: "Fig. 8: HCfirst vs aggressor on-time", Section: "§6.1", Schema: 1, Shards: mfrShards, Compute: aggShard(aggOnGridNs, true), Render: renderAggHC("tAggOn(ns)")},
+		{ID: "fig9", Title: "Fig. 9: BER vs aggressor off-time", Section: "§6.2", Schema: 1, Shards: mfrShards, Compute: aggShard(aggOffGridNs, false), Render: renderAggBER("tAggOff(ns)")},
+		{ID: "fig10", Title: "Fig. 10: HCfirst vs aggressor off-time", Section: "§6.2", Schema: 1, Shards: mfrShards, Compute: aggShard(aggOffGridNs, false), Render: renderAggHC("tAggOff(ns)")},
+		{ID: "fig11", Title: "Fig. 11: HCfirst distribution across rows", Section: "§7.1", Schema: 1, Shards: mfrShards, Compute: fig11Shard, Render: renderFig11},
+		{ID: "fig12", Title: "Fig. 12: bit flips across columns", Section: "§7.2", Schema: 1, Shards: mfrShards, Compute: fig12Shard, Render: renderFig12},
+		{ID: "fig13", Title: "Fig. 13: column vulnerability vs cross-chip variation", Section: "§7.2", Schema: 1, Shards: mfrShards, Compute: fig13Shard, Render: renderFig13},
+		{ID: "fig14", Title: "Fig. 14: subarray min-vs-avg HCfirst regression", Section: "§7.3", Schema: 1, Shards: mfrShards, Compute: fig14Shard, Render: renderFig14},
+		{ID: "fig15", Title: "Fig. 15: subarray HCfirst similarity (Bhattacharyya)", Section: "§7.3", Schema: 1, Shards: mfrShards, Compute: fig15Shard, Render: renderFig15},
+		{ID: "atk1", Title: "Attack Improvement 1: temperature-targeted row choice", Section: "§8.1", Schema: 1, Shards: mfrShards, Compute: attack1Shard, Render: renderAttack1},
+		{ID: "atk2", Title: "Attack Improvement 2: temperature-triggered attack", Section: "§8.1", Schema: 1, Shards: oneShard, Compute: attack2Shard, Render: renderAttack2},
+		{ID: "atk3", Title: "Attack Improvement 3: extended aggressor on-time", Section: "§8.1", Schema: 1, Shards: mfrShards, Compute: attack3Shard, Render: renderAttack3},
+		{ID: "def1", Title: "Defense Improvement 1: row-aware thresholds", Section: "§8.2", Schema: 1, Shards: mfrShards, Compute: defense1Shard, Render: renderDefense1},
+		{ID: "def2", Title: "Defense Improvement 2: subarray-sampled profiling", Section: "§8.2", Schema: 1, Shards: mfrShards, Compute: defense2Shard, Render: renderDefense2},
+		{ID: "def3", Title: "Defense Improvement 3: temperature-aware row retirement", Section: "§8.2", Schema: 1, Shards: oneShard, Compute: defense3Shard, Render: renderDefense3},
+		{ID: "def4", Title: "Defense Improvement 4: cooling reduces BER", Section: "§8.2", Schema: 1, Shards: mfrShards, Compute: defense4Shard, Render: renderDefense4},
+		{ID: "def5", Title: "Defense Improvement 5: row open-time limiting", Section: "§8.2", Schema: 1, Shards: oneShard, Compute: defense5Shard, Render: renderDefense5},
+		{ID: "def6", Title: "Defense Improvement 6: column-aware ECC", Section: "§8.2", Schema: 1, Shards: mfrShards, Compute: defense6Shard, Render: renderDefense6},
+		{ID: "ddr3", Title: "Extension: Obsv. 2 verified on DDR3 SODIMMs", Section: "§5.1", Schema: 1, Shards: ddr3Shards, Compute: ddr3Shard, Render: renderDDR3},
+		{ID: "manysided", Title: "Extension: many-sided (TRRespass-style) attack vs TRR", Section: "§2.3", Schema: 1, Shards: oneShard, Compute: manySidedShard, Render: renderManySided},
+		{ID: "interference", Title: "Extension: §4.2 interference-isolation checklist", Section: "§4.2", Schema: 1, Shards: oneShard, Compute: interferenceShard, Render: renderInterference},
+		{ID: "defcompare", Title: "Extension: mechanism scorecard (coverage, overhead, area)", Section: "§8.2", Schema: 1, Shards: oneShard, Compute: defCompareShard, Render: renderDefCompare},
+		{ID: "wcdp", Title: "Extension: worst-case data pattern survey (§4.2, Table 1)", Section: "§4.2", Schema: 1, Shards: mfrShards, Compute: wcdpShard, Render: renderWCDP},
 	}
 }
 
@@ -159,3 +206,6 @@ func sortedCopy(xs []float64) []float64 {
 	sort.Float64s(out)
 	return out
 }
+
+// mfrKey is the row/series key prefix of one manufacturer shard.
+func mfrKey(mfr string) string { return "mfr=" + mfr }

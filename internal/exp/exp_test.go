@@ -31,7 +31,8 @@ func tinyConfig() Config {
 func TestRegistryComplete(t *testing.T) {
 	ids := map[string]bool{}
 	for _, e := range All() {
-		if e.ID == "" || e.Title == "" || e.Run == nil {
+		if e.ID == "" || e.Title == "" || e.Section == "" || e.Schema < 1 ||
+			len(e.Shards) == 0 || e.Compute == nil || e.Render == nil {
 			t.Fatalf("incomplete experiment %+v", e)
 		}
 		if ids[e.ID] {
@@ -65,7 +66,7 @@ func TestTable2Inventory(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig()
 	cfg.Out = &buf
-	if err := RunTable2(context.Background(), cfg); err != nil {
+	if err := ByID("table2").Run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "248 DDR4 chips") {

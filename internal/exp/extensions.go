@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 	"rowhammer/internal/attack"
 	"rowhammer/internal/dram"
 	"rowhammer/internal/softmc"
@@ -25,34 +27,43 @@ type DDR3Result struct {
 	Vulnerable    []int
 }
 
+// ddr3Mfr sweeps one manufacturer's DDR3 module across the study
+// temperatures.
+func ddr3Mfr(cfg Config, mfr string) (*rh.TempClusterMatrix, error) {
+	geo := cfg.Geometry
+	b, err := rh.NewBench(rh.BenchConfig{
+		Profile:  rh.ProfileByName(mfr),
+		Seed:     moduleSeed(cfg, mfr, 100), // distinct from DDR4 instances
+		Geometry: geo,
+		Timing:   rh.DDR3Timing(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := rh.NewTester(b)
+	sweep, err := t.TemperatureSweep(rh.TempSweepConfig{
+		Bank:        0,
+		Victims:     sampleRows(cfg, tempSweepRows),
+		Hammers:     2 * cfg.Scale.Hammers,
+		Pattern:     rh.PatCheckered,
+		Repetitions: cfg.Scale.Repetitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sweep.ClusterByRange(), nil
+}
+
 // DDR3 sweeps DDR3 modules (manufacturers A–C have DDR3 SODIMMs in
 // Table 2) across the study temperatures.
 func DDR3(cfg Config) (DDR3Result, error) {
 	cfg = cfg.normalize()
 	var res DDR3Result
-	for _, mfr := range []string{"A", "B", "C"} {
-		geo := cfg.Geometry
-		b, err := rh.NewBench(rh.BenchConfig{
-			Profile:  rh.ProfileByName(mfr),
-			Seed:     moduleSeed(cfg, mfr, 100), // distinct from DDR4 instances
-			Geometry: geo,
-			Timing:   rh.DDR3Timing(),
-		})
+	for _, mfr := range ddr3Shards {
+		m, err := ddr3Mfr(cfg, mfr)
 		if err != nil {
 			return res, err
 		}
-		t := rh.NewTester(b)
-		sweep, err := t.TemperatureSweep(rh.TempSweepConfig{
-			Bank:        0,
-			Victims:     sampleRows(cfg, tempSweepRows),
-			Hammers:     2 * cfg.Scale.Hammers,
-			Pattern:     rh.PatCheckered,
-			Repetitions: cfg.Scale.Repetitions,
-		})
-		if err != nil {
-			return res, err
-		}
-		m := sweep.ClusterByRange()
 		res.Mfrs = append(res.Mfrs, mfr)
 		res.FullRangeFrac = append(res.FullRangeFrac, m.FullRangeFraction())
 		res.NoGapFrac = append(res.NoGapFrac, m.NoGapFraction())
@@ -61,19 +72,32 @@ func DDR3(cfg Config) (DDR3Result, error) {
 	return res, nil
 }
 
-// RunDDR3 prints the DDR3 verification.
-func RunDDR3(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := DDR3(cfg)
+// ddr3Shard measures one manufacturer's DDR3 verification.
+func ddr3Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	m, err := ddr3Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).
+		SetInt("vulnerable", int64(m.Total)).
+		Set("full_range_frac", m.FullRangeFraction()).
+		Set("no_gap_frac", m.NoGapFraction())
+	return a, nil
+}
+
+// renderDDR3 prints the DDR3 verification from the artifact.
+func renderDDR3(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr (DDR3)\tvulnerable cells\tfull-range fraction\tno-gap fraction")
-	for i, mfr := range res.Mfrs {
-		fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", mfr, res.Vulnerable[i],
-			pct(res.FullRangeFrac[i]), pct(res.NoGapFrac[i]))
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: ddr3 artifact missing shard %s", mfr)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", mfr, r.Int("vulnerable"),
+			pct(r.V("full_range_frac")), pct(r.V("no_gap_frac")))
 	}
 	return w.Flush()
 }
@@ -168,18 +192,30 @@ func ManySided(cfg Config) (ManySidedResult, error) {
 	return res, nil
 }
 
-// RunManySided prints the TRR-evasion comparison.
-func RunManySided(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// manySidedShard measures the TRR-evasion comparison (single shard:
+// both attacks target the same module).
+func manySidedShard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
 	res, err := ManySided(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(cfg.Out, "double-sided vs TRR: %d victim flips (%d targeted refreshes)\n",
-		res.DoubleFlips, res.TRRRefreshesDouble)
-	fmt.Fprintf(cfg.Out, "many-sided  vs TRR: %d victim flips (%d targeted refreshes)\n",
-		res.ManyFlips, res.TRRRefreshesMany)
+	a := artifact.New(shard)
+	a.AddRow("double").SetInt("flips", int64(res.DoubleFlips)).SetInt("trr_refreshes", res.TRRRefreshesDouble)
+	a.AddRow("many").SetInt("flips", int64(res.ManyFlips)).SetInt("trr_refreshes", res.TRRRefreshesMany)
+	return a, nil
+}
+
+// renderManySided prints the TRR-evasion comparison from the artifact.
+func renderManySided(out io.Writer, a *artifact.Artifact) error {
+	d, m := a.Row("double"), a.Row("many")
+	if d == nil || m == nil {
+		return fmt.Errorf("exp: manysided artifact missing attack rows")
+	}
+	fmt.Fprintf(out, "double-sided vs TRR: %d victim flips (%d targeted refreshes)\n",
+		d.Int("flips"), d.Int("trr_refreshes"))
+	fmt.Fprintf(out, "many-sided  vs TRR: %d victim flips (%d targeted refreshes)\n",
+		m.Int("flips"), m.Int("trr_refreshes"))
 	return nil
 }
 
@@ -264,19 +300,35 @@ func Interference(cfg Config) (InterferenceResult, error) {
 	return res, nil
 }
 
-// RunInterference prints the checklist.
-func RunInterference(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// interferenceShard measures the §4.2 checklist (single shard: one
+// instrumented module).
+func interferenceShard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
 	res, err := Interference(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(cfg.Out, "longest hammer test: %.1f ms of DRAM time (budget: 64 ms)\n",
-		float64(res.HCfirstDuration)/1e9)
-	fmt.Fprintf(cfg.Out, "retention flips during test (model enabled): %d\n", res.RetentionFlips)
-	fmt.Fprintf(cfg.Out, "TRR refreshes without REF commands: %d\n", res.TRRActivity)
-	fmt.Fprintf(cfg.Out, "ECC masking: %d raw flips → %d visible with on-die ECC\n",
-		res.ECCRawFlips, res.ECCVisibleFlips)
+	a := artifact.New(shard)
+	a.AddRow("checklist").
+		SetInt("duration_ps", int64(res.HCfirstDuration)).
+		SetInt("retention_flips", res.RetentionFlips).
+		SetInt("trr_activity", res.TRRActivity).
+		SetInt("ecc_raw", int64(res.ECCRawFlips)).
+		SetInt("ecc_visible", int64(res.ECCVisibleFlips))
+	return a, nil
+}
+
+// renderInterference prints the checklist from the artifact.
+func renderInterference(out io.Writer, a *artifact.Artifact) error {
+	r := a.Row("checklist")
+	if r == nil {
+		return fmt.Errorf("exp: interference artifact missing checklist row")
+	}
+	fmt.Fprintf(out, "longest hammer test: %.1f ms of DRAM time (budget: 64 ms)\n",
+		float64(r.Int("duration_ps"))/1e9)
+	fmt.Fprintf(out, "retention flips during test (model enabled): %d\n", r.Int("retention_flips"))
+	fmt.Fprintf(out, "TRR refreshes without REF commands: %d\n", r.Int("trr_activity"))
+	fmt.Fprintf(out, "ECC masking: %d raw flips → %d visible with on-die ECC\n",
+		r.Int("ecc_raw"), r.Int("ecc_visible"))
 	return nil
 }

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestGoldenArtifact locks every experiment's JSON artifact at tiny
+// scale: the artifact is the contract between Compute and Render (and
+// between rhchar and rhfleet), so its bytes must be as stable as the
+// rendered text.
+func TestGoldenArtifact(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			a, err := e.ComputeAll(context.Background(), tinyConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf, err := a.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, goldenPath(e.ID+".json"), buf)
+		})
+	}
+}
+
+// TestGoldenArtifactWorkerInvariance re-computes a parallel experiment
+// at several worker counts: artifact bytes must not depend on shard
+// scheduling or completion order.
+func TestGoldenArtifactWorkerInvariance(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			cfg := tinyConfig()
+			cfg.Workers = workers
+			a, err := ByID("fig5").ComputeAll(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf, err := a.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, goldenPath("fig5.json"), buf)
+		})
+	}
+}

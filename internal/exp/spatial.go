@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 	"rowhammer/internal/stats"
 )
 
@@ -23,6 +25,34 @@ type Fig11Result struct {
 	Summary []rh.RowVariationSummary
 }
 
+// fig11Mfr profiles one manufacturer's row HCfirst distribution.
+func fig11Mfr(cfg Config, mfr string) ([][]float64, rh.RowVariationSummary, error) {
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return nil, rh.RowVariationSummary{}, err
+	}
+	rows := sampleRows(cfg, fig11Rows)
+	var curves [][]float64
+	var all []rh.RowHC
+	for _, b := range bs {
+		t := rh.NewTester(b)
+		pat, err := wcdp(t, cfg)
+		if err != nil {
+			return nil, rh.RowVariationSummary{}, err
+		}
+		profile, err := t.RowHCFirstProfileCtx(cfg.Ctx, 0, rows, rh.HCFirstConfig{
+			Pattern: pat, MaxHammers: cfg.Scale.MaxHammers,
+		}, cfg.Scale.Repetitions)
+		if err != nil {
+			return nil, rh.RowVariationSummary{}, err
+		}
+		curves = append(curves, rh.VulnerableHCs(profile))
+		all = append(all, profile...)
+	}
+	summary, err := rh.SummarizeRowVariation(all)
+	return curves, summary, err
+}
+
 // Fig11 measures the distribution of HCfirst across rows.
 func Fig11(cfg Config) (Fig11Result, error) {
 	cfg = cfg.normalize()
@@ -32,30 +62,8 @@ func Fig11(cfg Config) (Fig11Result, error) {
 		summary rh.RowVariationSummary
 	}
 	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
-		bs, err := benches(cfg, mfr)
-		if err != nil {
-			return mfrOut{}, err
-		}
-		rows := sampleRows(cfg, fig11Rows)
-		var out mfrOut
-		var all []rh.RowHC
-		for _, b := range bs {
-			t := rh.NewTester(b)
-			pat, err := wcdp(t, cfg)
-			if err != nil {
-				return out, err
-			}
-			profile, err := t.RowHCFirstProfileCtx(cfg.Ctx, 0, rows, rh.HCFirstConfig{
-				Pattern: pat, MaxHammers: cfg.Scale.MaxHammers,
-			}, cfg.Scale.Repetitions)
-			if err != nil {
-				return out, err
-			}
-			out.curves = append(out.curves, rh.VulnerableHCs(profile))
-			all = append(all, profile...)
-		}
-		out.summary, err = rh.SummarizeRowVariation(all)
-		return out, err
+		curves, summary, err := fig11Mfr(cfg, mfr)
+		return mfrOut{curves: curves, summary: summary}, err
 	})
 	if err != nil {
 		return res, err
@@ -68,21 +76,37 @@ func Fig11(cfg Config) (Fig11Result, error) {
 	return res, nil
 }
 
-// RunFig11 prints the Fig. 11 percentile curves and Obsv. 12 ratios.
-func RunFig11(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Fig11(cfg)
+// fig11Shard measures one manufacturer's Fig. 11 profile.
+func fig11Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	curves, s, err := fig11Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for i, mfr := range res.Mfrs {
-		s := res.Summary[i]
-		fmt.Fprintf(cfg.Out, "Mfr. %s: min HCfirst %.0f; P99/P95/P90 ratios %.1fx/%.1fx/%.1fx (%d vulnerable rows)\n",
-			mfr, s.MinHC, s.RatioP99, s.RatioP95, s.RatioP90, s.Vulnerable)
-		w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).
+		Set("min_hc", s.MinHC).Set("ratio_p99", s.RatioP99).
+		Set("ratio_p95", s.RatioP95).Set("ratio_p90", s.RatioP90).
+		SetInt("vulnerable", int64(s.Vulnerable)).SetInt("modules", int64(len(curves)))
+	for mi, curve := range curves {
+		a.AddSeries(fmt.Sprintf("%s/curve/m=%02d", mfrKey(mfr), mi), curve)
+	}
+	return a, nil
+}
+
+// renderFig11 prints the Fig. 11 percentile curves and Obsv. 12 ratios.
+func renderFig11(out io.Writer, a *artifact.Artifact) error {
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: fig11 artifact missing shard %s", mfr)
+		}
+		fmt.Fprintf(out, "Mfr. %s: min HCfirst %.0f; P99/P95/P90 ratios %.1fx/%.1fx/%.1fx (%d vulnerable rows)\n",
+			mfr, r.V("min_hc"), r.V("ratio_p99"), r.V("ratio_p95"), r.V("ratio_p90"), r.Int("vulnerable"))
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "module\tP1\tP25\tP50\tP75\tP99")
-		for mi, curve := range res.Curves[i] {
+		for mi := 0; mi < int(r.Int("modules")); mi++ {
+			curve := a.SeriesPoints(fmt.Sprintf("%s/curve/m=%02d", mfrKey(mfr), mi))
 			if len(curve) == 0 {
 				continue
 			}
@@ -112,6 +136,9 @@ func columnGeometry(g rh.Geometry) rh.Geometry {
 // count: victims are spread across the whole bank.
 const fig12Rows = 96
 
+// fig12HotThreshold is the "hot column" flip-count cutoff (Obsv. 13).
+const fig12HotThreshold = 20
+
 // spreadRows selects up to n victim rows spread uniformly across the
 // bank, skipping subarray edges.
 func spreadRows(g rh.Geometry, n int) []int {
@@ -139,52 +166,58 @@ type Fig12Result struct {
 	HotThreshold      int
 }
 
+// fig12Mfr accumulates one manufacturer's per-(chip, column) flips.
+// cfg must already carry the narrowed column geometry.
+func fig12Mfr(cfg Config, mfr string) (*rh.ColumnAccumulator, error) {
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return nil, err
+	}
+	acc := rh.NewColumnAccumulator(cfg.Geometry)
+	rows := spreadRows(cfg.Geometry, fig12Rows)
+	for _, b := range bs {
+		t := rh.NewTester(b)
+		pat, err := wcdp(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Calibrate the hammer count so every manufacturer
+		// accumulates comparably dense counts (the paper gets
+		// density from 24K rows; we compensate with hammers).
+		hammers := cfg.Scale.Hammers
+		for ; hammers < cfg.Scale.MaxHammers; hammers = min64(2*hammers, cfg.Scale.MaxHammers) {
+			probe, err := t.Hammer(rh.HammerConfig{
+				Bank: 0, VictimPhys: rows[len(rows)/2], Hammers: hammers, Pattern: pat, Trial: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if probe.Victim.Count() >= 25 {
+				break
+			}
+		}
+		for _, row := range rows {
+			hr, err := t.Hammer(rh.HammerConfig{
+				Bank: 0, VictimPhys: row, Hammers: hammers, Pattern: pat, Trial: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			acc.Add(hr.Victim)
+			acc.Add(hr.SingleLo)
+			acc.Add(hr.SingleHi)
+		}
+	}
+	return acc, nil
+}
+
 // Fig12 accumulates bit flips per (chip, array column).
 func Fig12(cfg Config) (Fig12Result, error) {
 	cfg = cfg.normalize()
 	cfg.Geometry = columnGeometry(cfg.Geometry)
-	res := Fig12Result{HotThreshold: 20}
+	res := Fig12Result{HotThreshold: fig12HotThreshold}
 	accs, err := mapMfrs(cfg, func(mfr string) (*rh.ColumnAccumulator, error) {
-		bs, err := benches(cfg, mfr)
-		if err != nil {
-			return nil, err
-		}
-		acc := rh.NewColumnAccumulator(cfg.Geometry)
-		rows := spreadRows(cfg.Geometry, fig12Rows)
-		for _, b := range bs {
-			t := rh.NewTester(b)
-			pat, err := wcdp(t, cfg)
-			if err != nil {
-				return nil, err
-			}
-			// Calibrate the hammer count so every manufacturer
-			// accumulates comparably dense counts (the paper gets
-			// density from 24K rows; we compensate with hammers).
-			hammers := cfg.Scale.Hammers
-			for ; hammers < cfg.Scale.MaxHammers; hammers = min64(2*hammers, cfg.Scale.MaxHammers) {
-				probe, err := t.Hammer(rh.HammerConfig{
-					Bank: 0, VictimPhys: rows[len(rows)/2], Hammers: hammers, Pattern: pat, Trial: 1,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if probe.Victim.Count() >= 25 {
-					break
-				}
-			}
-			for _, row := range rows {
-				hr, err := t.Hammer(rh.HammerConfig{
-					Bank: 0, VictimPhys: row, Hammers: hammers, Pattern: pat, Trial: 1,
-				})
-				if err != nil {
-					return nil, err
-				}
-				acc.Add(hr.Victim)
-				acc.Add(hr.SingleLo)
-				acc.Add(hr.SingleHi)
-			}
-		}
-		return acc, nil
+		return fig12Mfr(cfg, mfr)
 	})
 	if err != nil {
 		return res, err
@@ -205,26 +238,40 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// RunFig12 prints the column heatmap summary.
-func RunFig12(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Fig12(cfg)
+// fig12Shard measures one manufacturer's column flip summary.
+func fig12Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	cfg.Geometry = columnGeometry(cfg.Geometry)
+	acc, err := fig12Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "Mfr\tzero-flip columns\t>%d-flip columns\tmax column flips\n", res.HotThreshold)
-	for i, mfr := range res.Mfrs {
-		maxFlips := 0
-		for _, chip := range res.Acc[i].Counts {
-			for _, n := range chip {
-				if n > maxFlips {
-					maxFlips = n
-				}
+	maxFlips := 0
+	for _, chip := range acc.Counts {
+		for _, n := range chip {
+			if n > maxFlips {
+				maxFlips = n
 			}
 		}
-		fmt.Fprintf(w, "%s\t%s\t%s\t%d\n", mfr, pct(res.ZeroFrac[i]), pct(res.HotFrac[i]), maxFlips)
+	}
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).
+		Set("zero_frac", acc.ZeroColumnFraction()).
+		Set("hot_frac", acc.HotColumnFraction(fig12HotThreshold)).
+		SetInt("max_flips", int64(maxFlips))
+	return a, nil
+}
+
+// renderFig12 prints the column heatmap summary from the artifact.
+func renderFig12(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Mfr\tzero-flip columns\t>%d-flip columns\tmax column flips\n", fig12HotThreshold)
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: fig12 artifact missing shard %s", mfr)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\n", mfr, pct(r.V("zero_frac")), pct(r.V("hot_frac")), r.Int("max_flips"))
 	}
 	return w.Flush()
 }
@@ -250,6 +297,57 @@ type Fig13Result struct {
 	ColumnSkew []float64
 }
 
+// fig13Stats holds one manufacturer's Fig. 13 clustering.
+type fig13Stats struct {
+	hist               [][]int
+	zeroFrac, oneFrac  float64
+	meanCV, columnSkew float64
+}
+
+// fig13FromAcc clusters one accumulator's columns by relative
+// vulnerability and cross-chip CV.
+func fig13FromAcc(acc *rh.ColumnAccumulator) fig13Stats {
+	rel, cv := acc.ColumnVariation()
+	// Only vulnerable columns participate (paper plots the
+	// population of columns with flips).
+	var relV, cvV []float64
+	zero, one := 0, 0
+	for c := range rel {
+		if rel[c] == 0 {
+			continue
+		}
+		relV = append(relV, rel[c])
+		cvV = append(cvV, cv[c])
+		if cv[c] < 1.0/11 {
+			zero++
+		}
+		if cv[c] >= 10.0/11 {
+			one++
+		}
+	}
+	var hist [][]int
+	if len(relV) > 0 {
+		hist = stats.Histogram2D(cvV, relV, 0, 1.0001, 11, 0, 1.0001, 11)
+	}
+	// Mean within-chip column skew.
+	var chipCVs []float64
+	for chip := range acc.Counts {
+		var counts []float64
+		for _, n := range acc.Counts[chip] {
+			counts = append(counts, float64(n))
+		}
+		chipCVs = append(chipCVs, stats.CV(counts))
+	}
+	n := float64(max1(len(relV)))
+	return fig13Stats{
+		hist:       hist,
+		zeroFrac:   float64(zero) / n,
+		oneFrac:    float64(one) / n,
+		meanCV:     stats.Mean(cvV),
+		columnSkew: stats.Mean(chipCVs),
+	}
+}
+
 // Fig13 clusters columns by relative vulnerability and cross-chip CV.
 func Fig13(cfg Config) (Fig13Result, error) {
 	cfg = cfg.normalize()
@@ -259,73 +357,71 @@ func Fig13(cfg Config) (Fig13Result, error) {
 	}
 	var res Fig13Result
 	for i, mfr := range f12.Mfrs {
-		rel, cv := f12.Acc[i].ColumnVariation()
-		// Only vulnerable columns participate (paper plots the
-		// population of columns with flips).
-		var relV, cvV []float64
-		zero, one := 0, 0
-		for c := range rel {
-			if rel[c] == 0 {
-				continue
-			}
-			relV = append(relV, rel[c])
-			cvV = append(cvV, cv[c])
-			if cv[c] < 1.0/11 {
-				zero++
-			}
-			if cv[c] >= 10.0/11 {
-				one++
-			}
-		}
-		var hist [][]int
-		if len(relV) > 0 {
-			hist = stats.Histogram2D(cvV, relV, 0, 1.0001, 11, 0, 1.0001, 11)
-		}
-		// Mean within-chip column skew.
-		var chipCVs []float64
-		for chip := range f12.Acc[i].Counts {
-			var counts []float64
-			for _, n := range f12.Acc[i].Counts[chip] {
-				counts = append(counts, float64(n))
-			}
-			chipCVs = append(chipCVs, stats.CV(counts))
-		}
-		n := float64(max1(len(relV)))
+		s := fig13FromAcc(f12.Acc[i])
 		res.Mfrs = append(res.Mfrs, mfr)
-		res.Hist = append(res.Hist, hist)
-		res.ZeroCVFrac = append(res.ZeroCVFrac, float64(zero)/n)
-		res.OneCVFrac = append(res.OneCVFrac, float64(one)/n)
-		res.MeanCV = append(res.MeanCV, stats.Mean(cvV))
-		res.ColumnSkew = append(res.ColumnSkew, stats.Mean(chipCVs))
+		res.Hist = append(res.Hist, s.hist)
+		res.ZeroCVFrac = append(res.ZeroCVFrac, s.zeroFrac)
+		res.OneCVFrac = append(res.OneCVFrac, s.oneFrac)
+		res.MeanCV = append(res.MeanCV, s.meanCV)
+		res.ColumnSkew = append(res.ColumnSkew, s.columnSkew)
 	}
 	return res, nil
 }
 
-// RunFig13 prints the Fig. 13 cluster summary.
-func RunFig13(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Fig13(cfg)
+// fig13Shard measures one manufacturer's Fig. 13 clustering.
+func fig13Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	cfg.Geometry = columnGeometry(cfg.Geometry)
+	acc, err := fig12Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	s := fig13FromAcc(acc)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).
+		Set("zero_cv_frac", s.zeroFrac).Set("one_cv_frac", s.oneFrac).
+		Set("mean_cv", s.meanCV).Set("column_skew", s.columnSkew)
+	for yi, row := range s.hist {
+		pts := make([]float64, len(row))
+		for xi, n := range row {
+			pts[xi] = float64(n)
+		}
+		a.AddSeries(fmt.Sprintf("%s/hist/y=%02d", mfrKey(mfr), yi), pts)
+	}
+	return a, nil
+}
+
+// renderFig13 prints the Fig. 13 cluster summary from the artifact.
+func renderFig13(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tCV≈0 columns (design)\tCV≈1 columns (process)\tmean cross-chip CV\tcolumn skew")
-	for i, mfr := range res.Mfrs {
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: fig13 artifact missing shard %s", mfr)
+		}
 		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%.2f\n", mfr,
-			pct(res.ZeroCVFrac[i]), pct(res.OneCVFrac[i]), res.MeanCV[i], res.ColumnSkew[i])
+			pct(r.V("zero_cv_frac")), pct(r.V("one_cv_frac")), r.V("mean_cv"), r.V("column_skew"))
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
 	// The paper's 11×11 bucket grid (rows: relative vulnerability,
 	// high to low; columns: CV 0→1), in percent of vulnerable columns.
-	for i, mfr := range res.Mfrs {
-		if res.Hist[i] == nil {
+	for _, mfr := range a.Shards {
+		var hist [][]float64
+		for yi := 0; ; yi++ {
+			row := a.SeriesPoints(fmt.Sprintf("%s/hist/y=%02d", mfrKey(mfr), yi))
+			if row == nil {
+				break
+			}
+			hist = append(hist, row)
+		}
+		if hist == nil {
 			continue
 		}
-		total := 0
-		for _, row := range res.Hist[i] {
+		total := 0.0
+		for _, row := range hist {
 			for _, n := range row {
 				total += n
 			}
@@ -333,17 +429,17 @@ func RunFig13(ctx context.Context, cfg Config) error {
 		if total == 0 {
 			continue
 		}
-		fmt.Fprintf(cfg.Out, "\nMfr. %s bucket grid (rows: rel. vulnerability 1.0→0.0; cols: CV 0.0→1.0)\n", mfr)
-		hw := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
-		for yi := len(res.Hist[i]) - 1; yi >= 0; yi-- {
-			for xi, n := range res.Hist[i][yi] {
+		fmt.Fprintf(out, "\nMfr. %s bucket grid (rows: rel. vulnerability 1.0→0.0; cols: CV 0.0→1.0)\n", mfr)
+		hw := tabwriter.NewWriter(out, 2, 4, 1, ' ', 0)
+		for yi := len(hist) - 1; yi >= 0; yi-- {
+			for xi, n := range hist[yi] {
 				if xi > 0 {
 					fmt.Fprint(hw, "\t")
 				}
 				if n == 0 {
 					fmt.Fprint(hw, ".")
 				} else {
-					fmt.Fprintf(hw, "%.1f%%", 100*float64(n)/float64(total))
+					fmt.Fprintf(hw, "%.1f%%", 100*n/total)
 				}
 			}
 			fmt.Fprintln(hw)
@@ -409,6 +505,21 @@ type Fig14Result struct {
 	Fits      []stats.LinearFit
 }
 
+// fig14Mfr pools one manufacturer's subarray stats and fits min vs
+// avg.
+func fig14Mfr(cfg Config, mfr string) ([]rh.SubarrayStat, stats.LinearFit, error) {
+	perModule, err := profileSubarrays(cfg, mfr)
+	if err != nil {
+		return nil, stats.LinearFit{}, err
+	}
+	var pooled []rh.SubarrayStat
+	for _, subs := range perModule {
+		pooled = append(pooled, subs...)
+	}
+	fit, err := rh.FitSubarrayMinVsAvg(pooled)
+	return pooled, fit, err
+}
+
 // Fig14 regresses subarray minimum HCfirst on subarray average.
 func Fig14(cfg Config) (Fig14Result, error) {
 	cfg = cfg.normalize()
@@ -418,16 +529,8 @@ func Fig14(cfg Config) (Fig14Result, error) {
 		fit    stats.LinearFit
 	}
 	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
-		perModule, err := profileSubarrays(cfg, mfr)
-		if err != nil {
-			return mfrOut{}, err
-		}
-		var out mfrOut
-		for _, subs := range perModule {
-			out.pooled = append(out.pooled, subs...)
-		}
-		out.fit, err = rh.FitSubarrayMinVsAvg(out.pooled)
-		return out, err
+		pooled, fit, err := fig14Mfr(cfg, mfr)
+		return mfrOut{pooled: pooled, fit: fit}, err
 	})
 	if err != nil {
 		return res, err
@@ -440,19 +543,31 @@ func Fig14(cfg Config) (Fig14Result, error) {
 	return res, nil
 }
 
-// RunFig14 prints the Fig. 14 regression.
-func RunFig14(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Fig14(cfg)
+// fig14Shard measures one manufacturer's Fig. 14 regression.
+func fig14Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	_, fit, err := fig14Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).
+		Set("slope", fit.Slope).Set("intercept", fit.Intercept).
+		Set("r2", fit.R2).SetInt("n", int64(fit.N))
+	return a, nil
+}
+
+// renderFig14 prints the Fig. 14 regression from the artifact.
+func renderFig14(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tfit\tR²\tsubarrays")
-	for i, mfr := range res.Mfrs {
-		f := res.Fits[i]
-		fmt.Fprintf(w, "%s\ty=%.2fx%+.0f\t%.2f\t%d\n", mfr, f.Slope, f.Intercept, f.R2, f.N)
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: fig14 artifact missing shard %s", mfr)
+		}
+		fmt.Fprintf(w, "%s\ty=%.2fx%+.0f\t%.2f\t%d\n", mfr,
+			r.V("slope"), r.V("intercept"), r.V("r2"), r.Int("n"))
 	}
 	return w.Flush()
 }
@@ -468,63 +583,79 @@ type Fig15Result struct {
 	P5Same, P5Diff []float64
 }
 
+// fig15Mfr computes one manufacturer's pairwise subarray similarities.
+func fig15Mfr(cfg Config, mfr string) (same, diff []float64, err error) {
+	perModule, err := profileSubarrays(cfg, mfr)
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, subsA := range perModule {
+		for ai := range subsA {
+			for bi := ai + 1; bi < len(subsA); bi++ {
+				same = append(same, rh.SubarraySimilarity(subsA[ai], subsA[bi]))
+			}
+			for mj := mi + 1; mj < len(perModule); mj++ {
+				for _, sb := range perModule[mj] {
+					diff = append(diff, rh.SubarraySimilarity(subsA[ai], sb))
+				}
+			}
+		}
+	}
+	return same, diff, nil
+}
+
+// fig15P5 is the population summary of Fig. 15 (0 when empty).
+func fig15P5(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return stats.Percentile(xs, 5)
+}
+
 // Fig15 computes similarity of subarray HCfirst distributions.
 func Fig15(cfg Config) (Fig15Result, error) {
 	cfg = cfg.normalize()
 	var res Fig15Result
 	type mfrOut struct{ same, diff []float64 }
 	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
-		perModule, err := profileSubarrays(cfg, mfr)
-		if err != nil {
-			return mfrOut{}, err
-		}
-		var same, diff []float64
-		for mi, subsA := range perModule {
-			for ai := range subsA {
-				for bi := ai + 1; bi < len(subsA); bi++ {
-					same = append(same, rh.SubarraySimilarity(subsA[ai], subsA[bi]))
-				}
-				for mj := mi + 1; mj < len(perModule); mj++ {
-					for _, sb := range perModule[mj] {
-						diff = append(diff, rh.SubarraySimilarity(subsA[ai], sb))
-					}
-				}
-			}
-		}
-		return mfrOut{same: same, diff: diff}, nil
+		same, diff, err := fig15Mfr(cfg, mfr)
+		return mfrOut{same: same, diff: diff}, err
 	})
 	if err != nil {
 		return res, err
 	}
 	res.Mfrs = mfrNames
-	p5 := func(xs []float64) float64 {
-		if len(xs) == 0 {
-			return 0
-		}
-		return stats.Percentile(xs, 5)
-	}
 	for _, o := range perMfr {
 		res.SameModule = append(res.SameModule, o.same)
 		res.DiffModule = append(res.DiffModule, o.diff)
-		res.P5Same = append(res.P5Same, p5(o.same))
-		res.P5Diff = append(res.P5Diff, p5(o.diff))
+		res.P5Same = append(res.P5Same, fig15P5(o.same))
+		res.P5Diff = append(res.P5Diff, fig15P5(o.diff))
 	}
 	return res, nil
 }
 
-// RunFig15 prints the similarity comparison.
-func RunFig15(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := Fig15(cfg)
+// fig15Shard measures one manufacturer's similarity populations.
+func fig15Shard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	same, diff, err := fig15Mfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddSeries(mfrKey(mfr)+"/same", same)
+	a.AddSeries(mfrKey(mfr)+"/diff", diff)
+	return a, nil
+}
+
+// renderFig15 prints the similarity comparison from the artifact.
+func renderFig15(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tP5 BDnorm same module\tP5 BDnorm different modules\tpairs (same/diff)")
-	for i, mfr := range res.Mfrs {
-		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%d/%d\n", mfr, res.P5Same[i], res.P5Diff[i],
-			len(res.SameModule[i]), len(res.DiffModule[i]))
+	for _, mfr := range a.Shards {
+		same := a.SeriesPoints(mfrKey(mfr) + "/same")
+		diff := a.SeriesPoints(mfrKey(mfr) + "/diff")
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%d/%d\n", mfr, fig15P5(same), fig15P5(diff),
+			len(same), len(diff))
 	}
 	return w.Flush()
 }

@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 )
 
 // Table2Result is the tested-module inventory (Tables 2 and 4).
@@ -53,21 +55,42 @@ func Table2() Table2Result {
 	return res
 }
 
-// RunTable2 prints Tables 2/4.
-func RunTable2(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
+// table2Shard builds the inventory artifact (single shard: the
+// inventory is pure metadata, no measurement to decompose).
+func table2Shard(ctx context.Context, cfg Config, shard string) (*artifact.Artifact, error) {
 	res := Table2()
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(shard)
+	for i, r := range res.Rows {
+		a.AddRow(fmt.Sprintf("row=%02d", i)).
+			Tag("mfr", r.Mfr).Tag("type", r.Type).Tag("chip", r.ChipID).
+			Tag("module", r.ModuleID).Tag("date", r.DateCode).Tag("density", r.Density).
+			Tag("die", r.DieRev).Tag("org", r.Org).
+			SetInt("freq_mts", int64(r.Freq)).SetInt("modules", int64(r.Modules)).SetInt("chips", int64(r.Chips))
+	}
+	a.AddRow("totals").
+		SetInt("ddr4_chips", int64(res.DDR4Chips)).SetInt("ddr4_modules", int64(res.DDR4Modules)).
+		SetInt("ddr3_chips", int64(res.DDR3Chips)).SetInt("ddr3_modules", int64(res.DDR3Modules))
+	return a, nil
+}
+
+// renderTable2 prints Tables 2/4 from the artifact.
+func renderTable2(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tType\tChip\tModule\tMT/s\tDate\tDensity\tDie\tOrg\t#Mod\t#Chips")
-	for _, r := range res.Rows {
+	for _, r := range a.RowsWithPrefix("row=") {
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%d\t%d\n",
-			r.Mfr, r.Type, r.ChipID, r.ModuleID, r.Freq, r.DateCode, r.Density, r.DieRev, r.Org, r.Modules, r.Chips)
+			r.Label("mfr"), r.Label("type"), r.Label("chip"), r.Label("module"),
+			r.Int("freq_mts"), r.Label("date"), r.Label("density"), r.Label("die"),
+			r.Label("org"), r.Int("modules"), r.Int("chips"))
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Fprintf(cfg.Out, "Total: %d DDR4 chips (%d modules), %d DDR3 chips (%d modules)\n",
-		res.DDR4Chips, res.DDR4Modules, res.DDR3Chips, res.DDR3Modules)
+	t := a.Row("totals")
+	if t == nil {
+		return fmt.Errorf("exp: table2 artifact missing totals row")
+	}
+	fmt.Fprintf(out, "Total: %d DDR4 chips (%d modules), %d DDR3 chips (%d modules)\n",
+		t.Int("ddr4_chips"), t.Int("ddr4_modules"), t.Int("ddr3_chips"), t.Int("ddr3_modules"))
 	return nil
 }

@@ -3,9 +3,11 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"text/tabwriter"
 
 	rh "rowhammer"
+	"rowhammer/internal/artifact"
 )
 
 // WCDPResult records which Table 1 data pattern is the worst case for
@@ -21,6 +23,29 @@ type WCDPResult struct {
 	Gain []float64
 }
 
+// wcdpMfr surveys one manufacturer's modules for their worst-case
+// pattern.
+func wcdpMfr(cfg Config, mfr string) ([]rh.PatternKind, float64, error) {
+	bs, err := benches(cfg, mfr)
+	if err != nil {
+		return nil, 0, err
+	}
+	victims := sampleRows(cfg, 6)
+	var pats []rh.PatternKind
+	bestSum, worstSum := 0, 0
+	for _, b := range bs {
+		t := rh.NewTester(b)
+		s, err := t.SurveyPatterns(cfg.Ctx, 0, victims, cfg.Scale.Hammers)
+		if err != nil {
+			return nil, 0, err
+		}
+		pats = append(pats, s.Best)
+		bestSum += s.BestFlips
+		worstSum += s.WorstFlips
+	}
+	return pats, float64(bestSum+1) / float64(worstSum+1), nil
+}
+
 // WCDP surveys the worst-case data pattern across modules.
 func WCDP(cfg Config) (WCDPResult, error) {
 	cfg = cfg.normalize()
@@ -30,25 +55,8 @@ func WCDP(cfg Config) (WCDPResult, error) {
 		gain float64
 	}
 	perMfr, err := mapMfrs(cfg, func(mfr string) (mfrOut, error) {
-		bs, err := benches(cfg, mfr)
-		if err != nil {
-			return mfrOut{}, err
-		}
-		victims := sampleRows(cfg, 6)
-		var out mfrOut
-		bestSum, worstSum := 0, 0
-		for _, b := range bs {
-			t := rh.NewTester(b)
-			s, err := t.SurveyPatterns(cfg.Ctx, 0, victims, cfg.Scale.Hammers)
-			if err != nil {
-				return out, err
-			}
-			out.pats = append(out.pats, s.Best)
-			bestSum += s.BestFlips
-			worstSum += s.WorstFlips
-		}
-		out.gain = float64(bestSum+1) / float64(worstSum+1)
-		return out, nil
+		pats, gain, err := wcdpMfr(cfg, mfr)
+		return mfrOut{pats: pats, gain: gain}, err
 	})
 	if err != nil {
 		return res, err
@@ -61,25 +69,40 @@ func WCDP(cfg Config) (WCDPResult, error) {
 	return res, nil
 }
 
-// RunWCDP prints the pattern survey.
-func RunWCDP(ctx context.Context, cfg Config) error {
-	cfg = cfg.WithContext(ctx)
-	cfg = cfg.normalize()
-	res, err := WCDP(cfg)
+// wcdpShard surveys one manufacturer's worst-case patterns.
+func wcdpShard(ctx context.Context, cfg Config, mfr string) (*artifact.Artifact, error) {
+	cfg = cfg.WithContext(ctx).normalize()
+	pats, gain, err := wcdpMfr(cfg, mfr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	a := artifact.New(mfr)
+	a.AddRow(mfrKey(mfr)).Set("gain", gain)
+	pts := make([]float64, len(pats))
+	for i, p := range pats {
+		pts[i] = float64(p)
+	}
+	a.AddSeries(mfrKey(mfr)+"/patterns", pts)
+	return a, nil
+}
+
+// renderWCDP prints the pattern survey from the artifact.
+func renderWCDP(out io.Writer, a *artifact.Artifact) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Mfr\tper-module WCDP\tbest/worst pattern flip ratio")
-	for i, mfr := range res.Mfrs {
+	for _, mfr := range a.Shards {
+		r := a.Row(mfrKey(mfr))
+		if r == nil {
+			return fmt.Errorf("exp: wcdp artifact missing shard %s", mfr)
+		}
 		names := ""
-		for mi, p := range res.Patterns[i] {
+		for mi, v := range a.SeriesPoints(mfrKey(mfr) + "/patterns") {
 			if mi > 0 {
 				names += ", "
 			}
-			names += p.String()
+			names += rh.PatternKind(int(v)).String()
 		}
-		fmt.Fprintf(w, "%s\t%s\t%.1fx\n", mfr, names, res.Gain[i])
+		fmt.Fprintf(w, "%s\t%s\t%.1fx\n", mfr, names, r.V("gain"))
 	}
 	return w.Flush()
 }

@@ -114,12 +114,7 @@ type MeasureScope struct {
 }
 
 func (sc MeasureScope) normalize() MeasureScope {
-	if sc.Scale == (Scale{}) {
-		sc.Scale = DefaultScale()
-	}
-	if len(sc.Temps) == 0 {
-		sc.Temps = StudyTemps()
-	}
+	FillMeasureDefaults(&sc.Scale, nil, nil, &sc.Temps)
 	return sc
 }
 

@@ -1,0 +1,58 @@
+package rowhammer
+
+// DefaultSeed is the master seed every measurement layer defaults to.
+const DefaultSeed uint64 = 0x5eed
+
+// FillMeasureDefaults is the single normalization helper behind every
+// default-filling path (exp.Config, MeasureScope, campaign spec
+// lowering, CLI flag resolution): a zero Scale becomes DefaultScale(),
+// a zero Geometry becomes DefaultDDR4Geometry(), a zero seed becomes
+// DefaultSeed, and an empty temperature grid becomes StudyTemps().
+// A nil pointer skips that knob, so callers normalize exactly the
+// fields they own.
+func FillMeasureDefaults(scale *Scale, geom *Geometry, seed *uint64, temps *[]float64) {
+	if scale != nil && *scale == (Scale{}) {
+		*scale = DefaultScale()
+	}
+	if geom != nil && *geom == (Geometry{}) {
+		*geom = DefaultDDR4Geometry()
+	}
+	if seed != nil && *seed == 0 {
+		*seed = DefaultSeed
+	}
+	if temps != nil && len(*temps) == 0 {
+		*temps = StudyTemps()
+	}
+}
+
+// TinyScale returns the CI-friendly measurement scale the CLIs expose
+// as -scale tiny (matching internal/exp's test scale).
+func TinyScale() Scale {
+	return Scale{RowsPerRegion: 10, Regions: 2, Hammers: 150_000, MaxHammers: 512_000, Repetitions: 1, ModulesPerMfr: 2}
+}
+
+// TinyGeometry returns the reduced geometry paired with TinyScale.
+func TinyGeometry() Geometry {
+	return Geometry{Banks: 1, RowsPerBank: 512, SubarrayRows: 128, Chips: 8, ChipWidth: 8, ColumnsPerRow: 32}
+}
+
+// PaperGeometry returns the full-size geometry paired with
+// PaperScale.
+func PaperGeometry() Geometry {
+	return Geometry{Banks: 4, RowsPerBank: 65536, SubarrayRows: 512, Chips: 8, ChipWidth: 8, ColumnsPerRow: 128}
+}
+
+// NamedScale resolves the scale names shared by the rhchar and
+// rhfleet CLIs ("tiny", "default", "paper"). A zero Geometry return
+// means "use the defaults"; ok is false for unknown names.
+func NamedScale(name string) (scale Scale, geom Geometry, ok bool) {
+	switch name {
+	case "tiny":
+		return TinyScale(), TinyGeometry(), true
+	case "default":
+		return DefaultScale(), Geometry{}, true
+	case "paper":
+		return PaperScale(), PaperGeometry(), true
+	}
+	return Scale{}, Geometry{}, false
+}

@@ -1,0 +1,83 @@
+package rowhammer
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFillMeasureDefaults(t *testing.T) {
+	custom := Scale{RowsPerRegion: 7, Regions: 1, Hammers: 10, MaxHammers: 20, Repetitions: 1, ModulesPerMfr: 1}
+	customG := Geometry{Banks: 2, RowsPerBank: 64, SubarrayRows: 32, Chips: 4, ChipWidth: 16, ColumnsPerRow: 8}
+	cases := []struct {
+		name      string
+		scale     Scale
+		geom      Geometry
+		seed      uint64
+		temps     []float64
+		wantScale Scale
+		wantGeom  Geometry
+		wantSeed  uint64
+		wantTemps []float64
+	}{
+		{
+			name:      "all zero fills every default",
+			wantScale: DefaultScale(), wantGeom: DefaultDDR4Geometry(),
+			wantSeed: DefaultSeed, wantTemps: StudyTemps(),
+		},
+		{
+			name:  "explicit values survive",
+			scale: custom, geom: customG, seed: 42, temps: []float64{60, 70},
+			wantScale: custom, wantGeom: customG, wantSeed: 42, wantTemps: []float64{60, 70},
+		},
+		{
+			name:  "partial zero fills only the zero knobs",
+			scale: custom, seed: 0, temps: nil,
+			wantScale: custom, wantGeom: DefaultDDR4Geometry(),
+			wantSeed: DefaultSeed, wantTemps: StudyTemps(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scale, geom, seed, temps := tc.scale, tc.geom, tc.seed, tc.temps
+			FillMeasureDefaults(&scale, &geom, &seed, &temps)
+			if scale != tc.wantScale {
+				t.Errorf("scale = %+v, want %+v", scale, tc.wantScale)
+			}
+			if geom != tc.wantGeom {
+				t.Errorf("geom = %+v, want %+v", geom, tc.wantGeom)
+			}
+			if seed != tc.wantSeed {
+				t.Errorf("seed = %d, want %d", seed, tc.wantSeed)
+			}
+			if !reflect.DeepEqual(temps, tc.wantTemps) {
+				t.Errorf("temps = %v, want %v", temps, tc.wantTemps)
+			}
+		})
+	}
+}
+
+func TestFillMeasureDefaultsNilKnobs(t *testing.T) {
+	// Nil pointers must be skipped, not dereferenced.
+	seed := uint64(0)
+	FillMeasureDefaults(nil, nil, &seed, nil)
+	if seed != DefaultSeed {
+		t.Fatalf("seed = %d", seed)
+	}
+}
+
+func TestNamedScale(t *testing.T) {
+	for _, name := range []string{"tiny", "default", "paper"} {
+		if _, _, ok := NamedScale(name); !ok {
+			t.Errorf("NamedScale(%q) not ok", name)
+		}
+	}
+	if _, _, ok := NamedScale("huge"); ok {
+		t.Error("NamedScale accepted an unknown name")
+	}
+	if s, g, _ := NamedScale("default"); s != DefaultScale() || g != (Geometry{}) {
+		t.Error("default scale mapping wrong")
+	}
+	if _, g, _ := NamedScale("tiny"); g != TinyGeometry() {
+		t.Error("tiny geometry mapping wrong")
+	}
+}
