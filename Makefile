@@ -2,7 +2,7 @@ GO ?= go
 BENCHTIME ?= 20x
 BENCHOUT ?= BENCH_pr3.json
 
-.PHONY: all build test race vet bench bench-json golden chaos chaos-exp crash fuzz check
+.PHONY: all build test race vet bench bench-json golden chaos chaos-exp crash fuzz serve-smoke check
 
 all: check
 
@@ -13,10 +13,12 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent packages: the campaign engine, the
-# durability layer, the worker pool they are built on, and the
-# experiment drivers that fan out per manufacturer.
+# durability layer, the worker pool they are built on, the experiment
+# drivers that fan out per manufacturer, and the serving tier (store +
+# campaign server, including the 1k-client load test).
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/durable/... ./internal/pool/... ./internal/exp/...
+	$(GO) test -race ./internal/campaign/... ./internal/durable/... ./internal/pool/... ./internal/exp/... \
+		./internal/store/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +69,15 @@ chaos-exp:
 crash:
 	mkdir -p crash-artifacts
 	RH_CRASH_DIR=$(abspath crash-artifacts) $(GO) test -race -run Crash -v ./internal/campaign/... ./cmd/rhfleet/...
+
+# Serve-smoke suite: drive the real rhserved binary end to end —
+# start it on a temp store, submit a fig5 campaign over HTTP, stream
+# SSE to completion, fetch the artifact and byte-compare it against
+# `rhchar -format json`, drain cleanly on SIGTERM (exit 0), reload the
+# index on restart, and SIGKILL mid-campaign + restart converging to
+# the same bytes.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -count=1 -v ./cmd/rhserved/
 
 # Short fuzz pass over the checkpoint parsers and the CRC trailer
 # codec; the committed corpora under internal/campaign/testdata/fuzz

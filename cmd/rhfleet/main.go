@@ -56,6 +56,7 @@ import (
 	"rowhammer/internal/exp"
 	"rowhammer/internal/inject"
 	"rowhammer/internal/profiling"
+	"rowhammer/internal/server"
 )
 
 // stopProfiles finishes any active pprof profiles; releaseLock drops
@@ -147,40 +148,16 @@ rhfleet processes per checkpoint.
 		spec.WatchdogFactor = *wdog
 	}
 
-	// Resolve the engine spec and runner. Measurement kinds (hcfirst,
-	// ber, wcdp, spatial) expand mfrs × modules as before and win any
-	// name collision; everything else resolves as a paper experiment,
-	// which shards itself (one job per shard). An explicit exp: prefix
-	// forces the experiment (e.g. -exp exp:wcdp runs the Table 1
-	// survey experiment rather than the wcdp measurement kind).
-	// Validate before touching the output file: a typo'd -exp must not
-	// truncate an existing checkpoint.
-	var (
-		cs     campaign.Spec
-		runner campaign.Runner
-		expE   *exp.Experiment
-	)
-	if e := resolveExperiment(spec.Kind); e != nil {
-		expE = e
-		ecfg := exp.Config{Scale: spec.Scale, Geometry: spec.Geometry, Seed: spec.Seed, Workers: spec.Workers}
-		cs = exp.FleetSpec(*e, ecfg)
-		cs.MaxRetries = spec.MaxRetries
-		cs.JobTimeout = spec.JobTimeout
-		cs.RetryBackoff = spec.RetryBackoff
-		cs.BreakerThreshold = spec.BreakerThreshold
-		cs.WatchdogFactor = spec.WatchdogFactor
-		if n, nerr := cs.Normalize(); nerr != nil {
-			fatal(nerr)
-		} else {
-			cs = n
-		}
-		runner = exp.FleetRunner(ecfg)
-	} else {
-		if err := validKind(spec.Kind); err != nil {
-			fatal(err)
-		}
-		cs, runner = rh.CampaignEngine(spec)
+	// Resolve the engine spec and runner through the shared resolution
+	// the campaign server uses — measurement kinds win bare-name
+	// collisions, the exp: prefix forces the experiment, and all
+	// validation happens here, before touching the output file: a
+	// typo'd -exp must not truncate an existing checkpoint.
+	rsv, rerr := server.Resolve(spec)
+	if rerr != nil {
+		fatal(rerr)
 	}
+	cs, runner, expE := rsv.Spec, rsv.Runner, rsv.Exp
 
 	// Advisory exclusivity: one rhfleet per checkpoint file. The kernel
 	// drops the flock with the process, so a SIGKILLed run never leaves
@@ -359,22 +336,6 @@ rhfleet processes per checkpoint.
 	exit(0)
 }
 
-// resolveExperiment maps an -exp value to a paper experiment, or nil
-// for the measurement kinds. Measurement kinds win a bare-name
-// collision (the "wcdp" measurement kind predates the wcdp
-// experiment); the exp: prefix selects the experiment explicitly.
-func resolveExperiment(kind string) *exp.Experiment {
-	if e := exp.FleetExperiment(kind); e != nil {
-		return e
-	}
-	for _, k := range rh.CampaignKinds() {
-		if kind == k {
-			return nil
-		}
-	}
-	return exp.ByID(kind)
-}
-
 // publishArtifact merges the experiment records, prints the artifact
 // in the requested format, and — when a path is given — publishes the
 // same bytes atomically via the durability layer.
@@ -416,11 +377,13 @@ func buildSpec(specPath, mfrs string, modules int, kind string, seed uint64, sca
 		if err != nil {
 			return spec, err
 		}
-		var js jsonSpec
+		// The -spec file schema is the server's wire Spec — the same
+		// JSON submits to rhserved's POST /v1/campaigns unchanged.
+		var js server.Spec
 		if err := json.Unmarshal(b, &js); err != nil {
 			return spec, fmt.Errorf("parsing %s: %w", specPath, err)
 		}
-		return js.toSpec()
+		return js.CampaignSpec()
 	}
 	spec = rh.CampaignSpec{
 		Kind:          kind,
@@ -449,43 +412,6 @@ func buildSpec(specPath, mfrs string, modules int, kind string, seed uint64, sca
 	return spec, nil
 }
 
-// jsonSpec is the -spec file schema.
-type jsonSpec struct {
-	Kind             string    `json:"kind"`
-	Mfrs             []string  `json:"mfrs"`
-	ModulesPerMfr    int       `json:"modules_per_mfr"`
-	Seed             uint64    `json:"seed"`
-	Scale            string    `json:"scale"`
-	Temps            []float64 `json:"temps"`
-	Workers          int       `json:"workers"`
-	MaxRetries       int       `json:"max_retries"`
-	JobTimeoutMS     int64     `json:"job_timeout_ms"`
-	RetryBackoffMS   int64     `json:"retry_backoff_ms"`
-	BreakerThreshold int       `json:"breaker_threshold"`
-	WatchdogFactor   int       `json:"watchdog_factor"`
-}
-
-func (js jsonSpec) toSpec() (rh.CampaignSpec, error) {
-	spec := rh.CampaignSpec{
-		Kind:             js.Kind,
-		Mfrs:             js.Mfrs,
-		ModulesPerMfr:    js.ModulesPerMfr,
-		Seed:             js.Seed,
-		Temps:            js.Temps,
-		Workers:          js.Workers,
-		MaxRetries:       js.MaxRetries,
-		JobTimeout:       time.Duration(js.JobTimeoutMS) * time.Millisecond,
-		RetryBackoff:     time.Duration(js.RetryBackoffMS) * time.Millisecond,
-		BreakerThreshold: js.BreakerThreshold,
-		WatchdogFactor:   js.WatchdogFactor,
-	}
-	if js.Scale == "" {
-		js.Scale = "default"
-	}
-	err := applyScale(&spec, js.Scale)
-	return spec, err
-}
-
 // applyScale resolves a named measurement scale via the shared helper.
 func applyScale(spec *rh.CampaignSpec, name string) error {
 	sc, geom, ok := rh.NamedScale(name)
@@ -494,21 +420,6 @@ func applyScale(spec *rh.CampaignSpec, name string) error {
 	}
 	spec.Scale, spec.Geometry = sc, geom
 	return nil
-}
-
-// validKind rejects unknown measurement kinds (empty defaults later);
-// experiment IDs are resolved before this runs.
-func validKind(kind string) error {
-	if kind == "" {
-		return nil
-	}
-	for _, k := range rh.CampaignKinds() {
-		if kind == k {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown experiment kind %q (have %s, or a paper experiment id from rhchar -list)",
-		kind, strings.Join(rh.CampaignKinds(), ", "))
 }
 
 func fatal(err error) {

@@ -1,0 +1,144 @@
+// Command rhserved is the campaign-as-a-service daemon: a
+// long-running HTTP server that accepts characterization campaign
+// specs, runs them concurrently on the fleet engine (FIFO scheduling,
+// per-campaign worker budgets, crash-safe v2 checkpoints), and serves
+// the resulting artifacts from an indexed, queryable on-disk store.
+//
+// Usage:
+//
+//	rhserved -store /var/lib/rhserved
+//	rhserved -addr 127.0.0.1:8077 -store ./store -max-active 2 -worker-budget 4
+//
+// API (see the README's "Campaign server" section for curl examples):
+//
+//	POST /v1/campaigns              submit a spec (same JSON as rhfleet -spec)
+//	GET  /v1/campaigns              list campaigns
+//	GET  /v1/campaigns/{id}         one campaign's status
+//	GET  /v1/campaigns/{id}/events  progress stream (SSE) until terminal
+//	GET  /v1/artifacts?...          query the artifact index
+//	GET  /v1/artifacts/{id}         raw artifact bytes (byte-identical to rhchar)
+//	GET  /v1/artifacts/{id}/rows    filtered, key-sorted artifact rows
+//	GET  /healthz                   liveness
+//
+// Durability: artifacts land via atomic rename, the index is an
+// fsynced CRC-trailed append-only log, and every campaign checkpoints
+// in the v2 format — so rhserved can be SIGKILLed at any instant and
+// the next start reloads the index, re-enqueues interrupted campaigns
+// and resumes them from their checkpoints, converging to the same
+// artifact bytes. The store directory is guarded by an advisory flock:
+// one daemon per store, dropped automatically by the kernel on death.
+//
+// Shutdown: the first SIGINT/SIGTERM drains — no new campaigns are
+// accepted, dispatch stops, in-flight jobs finish and checkpoint, the
+// HTTP listener closes, and rhserved exits 0 (interrupted campaigns
+// resume on the next start). A second signal, or the drain deadline,
+// aborts hard with exit 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rowhammer/internal/durable"
+	"rowhammer/internal/server"
+	"rowhammer/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8077", "HTTP listen address")
+		storeDir = flag.String("store", "", "artifact store directory (required; created if missing)")
+		maxAct   = flag.Int("max-active", 2, "campaigns running concurrently; the rest queue FIFO")
+		budget   = flag.Int("worker-budget", 0, "worker-pool cap per campaign (0 = no cap)")
+		drainTO  = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs after the first SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "rhserved: -store is required")
+		os.Exit(2)
+	}
+
+	st, report, err := store.Open(*storeDir)
+	if err != nil {
+		if errors.Is(err, durable.ErrLocked) {
+			fatal(fmt.Errorf("store %s is served by another rhserved: %w", *storeDir, err))
+		}
+		fatal(err)
+	}
+	defer st.Close()
+	logf("store %s: %d artifact(s) loaded", *storeDir, report.Loaded)
+	if report.DroppedLines > 0 || len(report.DroppedPayloads) > 0 {
+		logf("store %s: dropped %d corrupt index line(s) and %d corrupt payload(s) %v",
+			*storeDir, report.DroppedLines, len(report.DroppedPayloads), report.DroppedPayloads)
+	}
+
+	mgr, err := server.NewManager(st, server.ManagerConfig{
+		MaxActive:    *maxAct,
+		WorkerBudget: *budget,
+		Log:          logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The smoke test (and humans with -addr :0) read the bound address
+	// off this line.
+	logf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: server.New(mgr, st).Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		mgr.Close()
+		fatal(err)
+	case s := <-sigCh:
+		logf("%v: draining — no new campaigns, in-flight jobs get %v (signal again to abort)", s, *drainTO)
+	}
+
+	// Graceful drain, racing a second signal and the deadline.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	go func() {
+		select {
+		case s := <-sigCh:
+			logf("%v: aborting", s)
+			cancel()
+		case <-drainCtx.Done():
+		}
+	}()
+	drainErr := mgr.Drain(drainCtx)
+	httpSrv.Shutdown(drainCtx)
+	if drainErr != nil {
+		logf("drain incomplete (%v); aborting in-flight jobs — their checkpoints are resumable", drainErr)
+		mgr.Close()
+		st.Close()
+		os.Exit(1)
+	}
+	st.Close()
+	logf("drained cleanly; interrupted campaigns resume on next start")
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rhserved: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rhserved: %v\n", err)
+	os.Exit(1)
+}

@@ -165,10 +165,17 @@ func CampaignHeartbeat(ctx context.Context) { campaign.Heartbeat(ctx) }
 // lowers it to the engine spec, folding the measurement identity
 // (scale + geometry) into the checkpoint fingerprint: those knobs
 // change measured values without changing the job set, so a
-// checkpoint taken at one scale must not resume into another.
-func lowerSpec(spec CampaignSpec) (campaign.Spec, Scale, Geometry) {
+// checkpoint taken at one scale must not resume into another. A
+// malformed temperature grid (zero or negative step) is rejected here
+// with a typed *TempStepError before it can reach a sweep loop.
+func lowerSpec(spec CampaignSpec) (campaign.Spec, Scale, Geometry, error) {
 	scale, geom := spec.Scale, spec.Geometry
-	FillMeasureDefaults(&scale, &geom, nil, nil)
+	if err := FillMeasureDefaults(&scale, &geom, nil, nil); err != nil {
+		return campaign.Spec{}, scale, geom, err
+	}
+	if err := ValidateTempGrid(spec.Temps); err != nil {
+		return campaign.Spec{}, scale, geom, err
+	}
 	cs := campaign.Spec{
 		Kind:             spec.Kind,
 		Mfrs:             spec.Mfrs,
@@ -189,13 +196,16 @@ func lowerSpec(spec CampaignSpec) (campaign.Spec, Scale, Geometry) {
 	if n, err := cs.Normalize(); err == nil {
 		cs = n
 	}
-	return cs, scale, geom
+	return cs, scale, geom, nil
 }
 
 // CreateCampaignCheckpoint creates (or truncates) a v2 checkpoint file
 // for the campaign; pass the writer as CampaignOptions.Records.
 func CreateCampaignCheckpoint(path string, spec CampaignSpec) (*CampaignCheckpointWriter, error) {
-	cs, _, _ := lowerSpec(spec)
+	cs, _, _, err := lowerSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 	return campaign.CreateCheckpoint(path, cs)
 }
 
@@ -204,7 +214,10 @@ func CreateCampaignCheckpoint(path string, spec CampaignSpec) (*CampaignCheckpoi
 // otherwise); a file torn mid-record by a crash is newline-isolated so
 // the fragment cannot corrupt the first new record.
 func AppendCampaignCheckpoint(path string, spec CampaignSpec) (*CampaignCheckpointWriter, error) {
-	cs, _, _ := lowerSpec(spec)
+	cs, _, _, err := lowerSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 	return campaign.AppendCheckpoint(path, cs)
 }
 
@@ -217,7 +230,10 @@ func AppendCampaignCheckpoint(path string, spec CampaignSpec) (*CampaignCheckpoi
 func LoadCampaignCheckpointReport(path string, spec *CampaignSpec) (*CampaignResumeReport, error) {
 	var opts campaign.ResumeOptions
 	if spec != nil {
-		cs, _, _ := lowerSpec(*spec)
+		cs, _, _, err := lowerSpec(*spec)
+		if err != nil {
+			return nil, err
+		}
 		opts.ExpectSpec = &cs
 	}
 	return campaign.LoadCheckpointReport(path, opts)
@@ -232,7 +248,10 @@ func CompactCampaignCheckpoint(path string, spec *CampaignSpec) (*CampaignResume
 	if spec == nil {
 		return campaign.CompactCheckpointFile(path, nil)
 	}
-	cs, _, _ := lowerSpec(*spec)
+	cs, _, _, err := lowerSpec(*spec)
+	if err != nil {
+		return nil, err
+	}
 	return campaign.CompactCheckpointFile(path, &cs)
 }
 
@@ -256,7 +275,10 @@ func WriteCampaignRecord(w io.Writer, rec CampaignRecord) error {
 // cancellation it returns the partial result together with ctx's
 // error; the checkpoint can be resumed via CampaignOptions.Resume.
 func RunCampaign(ctx context.Context, spec CampaignSpec, opts CampaignOptions) (*CampaignResult, error) {
-	cspec, scale, geom := lowerSpec(spec)
+	cspec, scale, geom, err := lowerSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 	runner := moduleRunner(scale, geom)
 	if opts.FaultProfile != nil {
 		runner = inject.WrapRunner(runner, opts.FaultProfile)
@@ -298,11 +320,14 @@ var measureCores = map[string]func(*Tester, context.Context, MeasureScope) (Patt
 
 // CampaignEngine lowers the public spec to the engine spec and the
 // measurement runner that executes it — the seam that lets callers
-// (rhfleet) drive campaign.Run directly, side by side with
+// (rhfleet, rhserved) drive campaign.Run directly, side by side with
 // experiment-generic runners from internal/exp.
-func CampaignEngine(spec CampaignSpec) (campaign.Spec, campaign.Runner) {
-	cs, scale, geom := lowerSpec(spec)
-	return cs, moduleRunner(scale, geom)
+func CampaignEngine(spec CampaignSpec) (campaign.Spec, campaign.Runner, error) {
+	cs, scale, geom, err := lowerSpec(spec)
+	if err != nil {
+		return campaign.Spec{}, nil, err
+	}
+	return cs, moduleRunner(scale, geom), nil
 }
 
 // moduleRunner builds the campaign runner that measures one real

@@ -123,16 +123,48 @@ func (a *Artifact) Row(key string) *Row {
 	return nil
 }
 
-// RowsWithPrefix returns the rows whose key starts with prefix, in
-// artifact order.
-func (a *Artifact) RowsWithPrefix(prefix string) []Row {
+// Filter returns the rows satisfying pred, in input order. It is the
+// shared selection primitive behind RowsWithPrefix (the Render path)
+// and the store's row-query endpoint.
+func Filter(rows []Row, pred func(Row) bool) []Row {
 	var out []Row
-	for _, r := range a.Rows {
-		if strings.HasPrefix(r.Key, prefix) {
+	for _, r := range rows {
+		if pred(r) {
 			out = append(out, r)
 		}
 	}
 	return out
+}
+
+// SortRows stably sorts rows in place by less. Stability matters:
+// rows sharing a sort value keep their canonical artifact order, so
+// two queries over the same artifact always serialize identically.
+func SortRows(rows []Row, less func(a, b Row) bool) {
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+}
+
+// SortRowsByKey stably sorts rows in place by ascending key — the
+// canonical order of query results.
+func SortRowsByKey(rows []Row) {
+	SortRows(rows, func(a, b Row) bool { return a.Key < b.Key })
+}
+
+// KeyPrefix returns the predicate matching rows whose key starts with
+// prefix.
+func KeyPrefix(prefix string) func(Row) bool {
+	return func(r Row) bool { return strings.HasPrefix(r.Key, prefix) }
+}
+
+// HasLabel returns the predicate matching rows carrying the given
+// label value.
+func HasLabel(name, value string) func(Row) bool {
+	return func(r Row) bool { return r.Labels[name] == value }
+}
+
+// RowsWithPrefix returns the rows whose key starts with prefix, in
+// artifact order.
+func (a *Artifact) RowsWithPrefix(prefix string) []Row {
+	return Filter(a.Rows, KeyPrefix(prefix))
 }
 
 // SeriesPoints returns the points of the series with the given key,

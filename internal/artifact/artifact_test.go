@@ -139,3 +139,54 @@ func TestEncodeTSV(t *testing.T) {
 		t.Fatal("TSV not deterministic")
 	}
 }
+
+func TestFilterAndSortRows(t *testing.T) {
+	rows := []Row{
+		{Key: "mfr=B/r=1", Labels: map[string]string{"mfr": "B"}, Values: map[string]float64{"hc": 30}},
+		{Key: "mfr=A/r=0", Labels: map[string]string{"mfr": "A"}, Values: map[string]float64{"hc": 10}},
+		{Key: "mfr=A/r=1", Labels: map[string]string{"mfr": "A"}, Values: map[string]float64{"hc": 10}},
+		{Key: "mfr=B/r=0", Labels: map[string]string{"mfr": "B"}, Values: map[string]float64{"hc": 20}},
+	}
+	got := Filter(rows, KeyPrefix("mfr=A"))
+	if len(got) != 2 || got[0].Key != "mfr=A/r=0" || got[1].Key != "mfr=A/r=1" {
+		t.Fatalf("KeyPrefix filter = %v", got)
+	}
+	if got := Filter(rows, HasLabel("mfr", "B")); len(got) != 2 {
+		t.Fatalf("HasLabel filter = %v", got)
+	}
+	if got := Filter(rows, func(Row) bool { return false }); got != nil {
+		t.Fatalf("empty filter should be nil, got %v", got)
+	}
+
+	// Filter must not alias or reorder the input.
+	if rows[0].Key != "mfr=B/r=1" {
+		t.Fatal("Filter mutated its input")
+	}
+
+	sorted := Filter(rows, func(Row) bool { return true })
+	SortRowsByKey(sorted)
+	want := []string{"mfr=A/r=0", "mfr=A/r=1", "mfr=B/r=0", "mfr=B/r=1"}
+	for i, k := range want {
+		if sorted[i].Key != k {
+			t.Fatalf("SortRowsByKey order = %v, want %v", sorted, want)
+		}
+	}
+
+	// Stability: equal sort values keep their input order.
+	byHC := Filter(rows, func(Row) bool { return true })
+	SortRows(byHC, func(a, b Row) bool { return a.V("hc") < b.V("hc") })
+	if byHC[0].Key != "mfr=A/r=0" || byHC[1].Key != "mfr=A/r=1" {
+		t.Fatalf("SortRows not stable: %v, %v", byHC[0].Key, byHC[1].Key)
+	}
+}
+
+func TestRowsWithPrefixUsesFilter(t *testing.T) {
+	a := New("A")
+	a.AddRow("mfr=A/x").Set("v", 1)
+	a.AddRow("mfr=B/x").Set("v", 2)
+	a.AddRow("mfr=A/y").Set("v", 3)
+	got := a.RowsWithPrefix("mfr=A")
+	if len(got) != 2 || got[0].Key != "mfr=A/x" || got[1].Key != "mfr=A/y" {
+		t.Fatalf("RowsWithPrefix = %v", got)
+	}
+}

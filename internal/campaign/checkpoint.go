@@ -6,10 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
-	"strconv"
 	"sync"
 
 	"rowhammer/internal/durable"
@@ -31,8 +29,6 @@ import (
 // the two line formats can even coexist in one file, which is what a
 // v2 binary appending to a v1 checkpoint produces.
 const checkpointHeaderPrefix = "#rhckpt"
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrSpecMismatch is returned when a checkpoint's header identifies a
 // different campaign than the one resuming from it — the
@@ -66,33 +62,12 @@ func HeaderForSpec(spec Spec) CheckpointHeader {
 	}
 }
 
-// appendCRCLine appends payload, a tab, the payload's CRC32C as eight
-// hex digits, and a newline to dst.
-func appendCRCLine(dst, payload []byte) []byte {
-	dst = append(dst, payload...)
-	dst = append(dst, '\t')
-	dst = fmt.Appendf(dst, "%08x", crc32.Checksum(payload, crcTable))
-	return append(dst, '\n')
-}
+// appendCRCLine and splitCRCLine are the shared CRC-trailed line
+// codec from internal/durable; the store's index log uses the same
+// one, so there is exactly one on-disk line format to fuzz and trust.
+func appendCRCLine(dst, payload []byte) []byte { return durable.AppendCRCLine(dst, payload) }
 
-// splitCRCLine splits a "payload\tXXXXXXXX" line (newline already
-// stripped). ok reports that a well-formed trailer is present and its
-// CRC matches the payload.
-func splitCRCLine(line []byte) (payload []byte, ok bool) {
-	i := bytes.LastIndexByte(line, '\t')
-	if i < 0 || len(line)-i-1 != 8 {
-		return nil, false
-	}
-	want, err := strconv.ParseUint(string(line[i+1:]), 16, 32)
-	if err != nil {
-		return nil, false
-	}
-	payload = line[:i]
-	if crc32.Checksum(payload, crcTable) != uint32(want) {
-		return nil, false
-	}
-	return payload, true
-}
+func splitCRCLine(line []byte) (payload []byte, ok bool) { return durable.SplitCRCLine(line) }
 
 // parseHeaderLine decodes a CRC-verified v2 header line.
 func parseHeaderLine(line []byte) (*CheckpointHeader, bool) {

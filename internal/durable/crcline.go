@@ -1,0 +1,58 @@
+package durable
+
+import (
+	"bytes"
+	"hash/crc32"
+	"strconv"
+)
+
+// CRC-trailed line codec: "payload\tXXXXXXXX\n" with the trailer a
+// CRC32C (Castagnoli) over the payload in eight hex digits. Raw tabs
+// are illegal inside JSON, so the separator is unambiguous for JSON
+// payloads. The campaign checkpoint v2 format and the artifact
+// store's index log share this codec, so both turn silent bit-rot
+// into explicit quarantine.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32C returns the Castagnoli CRC of data — the checksum every
+// CRC-trailed line, and the store's artifact envelopes, carry.
+func CRC32C(data []byte) uint32 { return crc32.Checksum(data, crcTable) }
+
+// AppendCRCLine appends payload, a tab, the payload's CRC32C as eight
+// hex digits, and a newline to dst.
+func AppendCRCLine(dst, payload []byte) []byte {
+	dst = append(dst, payload...)
+	dst = append(dst, '\t')
+	dst = appendHex32(dst, CRC32C(payload))
+	return append(dst, '\n')
+}
+
+// appendHex32 appends v as exactly eight lower-case hex digits.
+func appendHex32(dst []byte, v uint32) []byte {
+	var buf [8]byte
+	for i := 7; i >= 0; i-- {
+		buf[i] = "0123456789abcdef"[v&0xf]
+		v >>= 4
+	}
+	return append(dst, buf[:]...)
+}
+
+// SplitCRCLine splits a "payload\tXXXXXXXX" line (newline already
+// stripped). ok reports that a well-formed trailer is present and its
+// CRC matches the payload.
+func SplitCRCLine(line []byte) (payload []byte, ok bool) {
+	i := bytes.LastIndexByte(line, '\t')
+	if i < 0 || len(line)-i-1 != 8 {
+		return nil, false
+	}
+	want, err := strconv.ParseUint(string(line[i+1:]), 16, 32)
+	if err != nil {
+		return nil, false
+	}
+	payload = line[:i]
+	if CRC32C(payload) != uint32(want) {
+		return nil, false
+	}
+	return payload, true
+}

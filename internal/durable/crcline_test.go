@@ -1,0 +1,67 @@
+package durable
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCRCLineRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"key":"mfr=A","v":1}`),
+		[]byte(""),
+		[]byte("#rhckpt{\"v\":2}"),
+		bytes.Repeat([]byte{0xff, 0x00}, 512),
+	}
+	for _, p := range payloads {
+		line := AppendCRCLine(nil, p)
+		if line[len(line)-1] != '\n' {
+			t.Fatalf("line missing newline: %q", line)
+		}
+		got, ok := SplitCRCLine(line[:len(line)-1])
+		if !ok || !bytes.Equal(got, p) {
+			t.Fatalf("round trip of %q failed: got %q ok=%v", p, got, ok)
+		}
+	}
+}
+
+func TestSplitCRCLineRejectsDamage(t *testing.T) {
+	line := AppendCRCLine(nil, []byte(`{"a":1}`))
+	line = line[:len(line)-1] // strip newline as callers do
+	cases := map[string][]byte{
+		"no trailer":      []byte(`{"a":1}`),
+		"short trailer":   append([]byte(nil), line[:len(line)-1]...),
+		"flipped payload": flipByte(line, 1),
+		"flipped crc":     flipHexDigit(line, len(line)-1),
+		"empty line":      nil,
+	}
+	for name, in := range cases {
+		if _, ok := SplitCRCLine(in); ok {
+			t.Errorf("%s: SplitCRCLine accepted %q", name, in)
+		}
+	}
+}
+
+func flipByte(line []byte, i int) []byte {
+	out := append([]byte(nil), line...)
+	out[i] ^= 0x01
+	return out
+}
+
+// flipHexDigit swaps one trailer digit for a different valid hex
+// digit, so the trailer stays well-formed but mismatched.
+func flipHexDigit(line []byte, i int) []byte {
+	out := append([]byte(nil), line...)
+	if out[i] == '0' {
+		out[i] = '1'
+	} else {
+		out[i] = '0'
+	}
+	return out
+}
+
+func TestCRC32CKnownValue(t *testing.T) {
+	// RFC 3720 test vector: CRC32C of 32 zero bytes.
+	if got := CRC32C(make([]byte, 32)); got != 0x8a9136aa {
+		t.Fatalf("CRC32C(zeros) = %08x, want 8a9136aa", got)
+	}
+}

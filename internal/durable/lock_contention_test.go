@@ -1,0 +1,150 @@
+//go:build unix
+
+package durable
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAcquireLockContention races many goroutines over one lockfile.
+// flock is per open file description, so every AcquireLock call —
+// even within one process — contends for the same exclusive lock.
+// The invariant: at most one holder at any instant, and the lock is
+// always reacquirable after a release (no lost-wakeup, no leaked fd).
+func TestAcquireLockContention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contended.lock")
+	const (
+		goroutines = 16
+		wantTotal  = 64 // acquisitions across all goroutines before stopping
+	)
+	var (
+		holders  atomic.Int32 // current holders; must never exceed 1
+		acquired atomic.Int32 // successful acquisitions so far
+		maxSeen  atomic.Int32
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for acquired.Load() < wantTotal {
+				l, err := AcquireLock(path)
+				if errors.Is(err, ErrLocked) {
+					continue // lost the race; try again
+				}
+				if err != nil {
+					t.Errorf("AcquireLock: %v", err)
+					return
+				}
+				n := holders.Add(1)
+				for {
+					m := maxSeen.Load()
+					if n <= m || maxSeen.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				acquired.Add(1)
+				holders.Add(-1)
+				if err := l.Release(); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got != 1 {
+		t.Fatalf("observed %d concurrent holders, want exactly 1", got)
+	}
+	if got := acquired.Load(); got < wantTotal {
+		t.Fatalf("only %d acquisitions completed, want >= %d", got, wantTotal)
+	}
+}
+
+// TestAcquireLockCrossProcess exercises the two-process story the
+// daemon relies on: a child process holds the store lock, the parent
+// is refused with ErrLocked, and when the child dies — killed, not a
+// clean Release — the kernel drops the flock and the parent acquires
+// immediately with no manual stale-lock cleanup.
+func TestAcquireLockCrossProcess(t *testing.T) {
+	if os.Getenv("DURABLE_LOCK_HELPER") != "" {
+		t.Skip("helper invocation")
+	}
+	path := filepath.Join(t.TempDir(), "cross.lock")
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperProcessHoldLock", "-test.v")
+	cmd.Env = append(os.Environ(), "DURABLE_LOCK_HELPER="+path)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the child to report it holds the lock.
+	held := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if sc.Text() == "LOCK-HELD" {
+				close(held)
+				return
+			}
+		}
+	}()
+	select {
+	case <-held:
+	case <-time.After(30 * time.Second):
+		t.Fatal("helper never acquired the lock")
+	}
+
+	if _, err := AcquireLock(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("parent acquire while child holds: want ErrLocked, got %v", err)
+	}
+
+	// SIGKILL the holder: no Release runs, yet the lock must free.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l, err := AcquireLock(path)
+		if err == nil {
+			l.Release()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lock never freed after holder was killed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHelperProcessHoldLock is the child side of the cross-process
+// test: acquire the lock named by the env var, announce it, and hold
+// until killed.
+func TestHelperProcessHoldLock(t *testing.T) {
+	path := os.Getenv("DURABLE_LOCK_HELPER")
+	if path == "" {
+		t.Skip("not a helper invocation")
+	}
+	l, err := AcquireLock(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	os.Stdout.WriteString("LOCK-HELD\n")
+	time.Sleep(time.Minute) // parent kills us long before this
+}

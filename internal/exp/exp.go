@@ -41,9 +41,11 @@ type Config struct {
 }
 
 // normalize fills config defaults via the shared helper all
-// measurement layers use.
+// measurement layers use. The temps knob — the only one
+// FillMeasureDefaults can reject — is not part of Config, so the
+// error is statically nil here.
 func (c Config) normalize() Config {
-	rh.FillMeasureDefaults(&c.Scale, &c.Geometry, &c.Seed, nil)
+	_ = rh.FillMeasureDefaults(&c.Scale, &c.Geometry, &c.Seed, nil)
 	if c.Ctx == nil {
 		c.Ctx = context.Background()
 	}

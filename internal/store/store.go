@@ -1,0 +1,325 @@
+// Package store is the indexed on-disk artifact store behind
+// rhserved. It persists schema-versioned experiment artifacts exactly
+// as the CLI tools emit them (byte-for-byte — the payload of an
+// ingested fig5 artifact is identical to `rhchar -exp fig5 -format
+// json` output) and keeps a queryable index over experiment ID,
+// campaign kind, manufacturer set, module seed, and temperature grid.
+//
+// On-disk layout under the store root:
+//
+//	store.lock            advisory flock held for the store's lifetime
+//	index.jsonl           one CRC-trailed JSON meta line per ingest
+//	artifacts/<id>.json   payload bytes, written atomically
+//
+// Ingest order makes crashes harmless: Put writes the payload with
+// AtomicWriteFile first, then appends the fsynced index line. A crash
+// between the two leaves an orphan payload that the next Put of the
+// same ID simply overwrites; the index never references bytes that
+// are not fully on disk. On reload, every index line must pass its
+// CRC trailer and every referenced payload must match the size and
+// CRC32C recorded in its meta line; anything else is dropped (and
+// reported) rather than served.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"rowhammer/internal/durable"
+)
+
+// ErrNotFound is returned by Get for an unknown artifact ID.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// Meta is one index entry: everything queryable about an artifact
+// without reading its payload.
+type Meta struct {
+	// ID names the artifact; Put with an existing ID replaces it.
+	ID string `json:"id"`
+	// Experiment is the registry ID (fig5, table3, ...) the artifact
+	// belongs to; empty for raw measurement-kind aggregates.
+	Experiment string `json:"experiment,omitempty"`
+	// Kind is the campaign kind that produced the artifact
+	// (exp:fig5, ber, hcfirst, ...).
+	Kind string `json:"kind,omitempty"`
+	// Schema versions the artifact layout.
+	Schema int `json:"schema,omitempty"`
+	// Mfrs is the manufacturer set measured.
+	Mfrs []string `json:"mfrs,omitempty"`
+	// Seed is the campaign-level module seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Temps is the temperature grid measured, in degrees C.
+	Temps []float64 `json:"temps,omitempty"`
+	// Bytes and CRC pin the payload: Bytes is its length, CRC its
+	// CRC32C. Both are recomputed by Put; reload rejects payloads
+	// that disagree.
+	Bytes int64  `json:"bytes"`
+	CRC   uint32 `json:"crc"`
+}
+
+// Query selects index entries. Zero fields match everything; set
+// fields must all match (AND).
+type Query struct {
+	// Experiment matches Meta.Experiment exactly.
+	Experiment string
+	// Kind matches Meta.Kind exactly.
+	Kind string
+	// Mfr matches entries whose Mfrs set contains it.
+	Mfr string
+	// Seed matches Meta.Seed exactly when non-nil.
+	Seed *uint64
+	// Temp matches entries whose Temps grid contains it when non-nil.
+	Temp *float64
+}
+
+// Matches reports whether m satisfies every set field of q.
+func (q Query) Matches(m Meta) bool {
+	if q.Experiment != "" && m.Experiment != q.Experiment {
+		return false
+	}
+	if q.Kind != "" && m.Kind != q.Kind {
+		return false
+	}
+	if q.Mfr != "" && !containsString(m.Mfrs, q.Mfr) {
+		return false
+	}
+	if q.Seed != nil && m.Seed != *q.Seed {
+		return false
+	}
+	if q.Temp != nil && !containsFloat(m.Temps, *q.Temp) {
+		return false
+	}
+	return true
+}
+
+func containsString(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func containsFloat(xs []float64, want float64) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// OpenReport describes what a reload found: how much of the index
+// survived CRC validation and what was quarantined.
+type OpenReport struct {
+	// Loaded counts live index entries after reload.
+	Loaded int
+	// ReplacedLines counts valid index lines superseded by a later
+	// line for the same ID (normal after re-ingest).
+	ReplacedLines int
+	// DroppedLines counts index lines that failed their CRC trailer
+	// or did not decode; they are ignored, not fatal.
+	DroppedLines int
+	// DroppedPayloads lists artifact IDs whose index entry was valid
+	// but whose payload file was missing, truncated, or corrupt.
+	DroppedPayloads []string
+}
+
+// Store is an open artifact store. All methods are safe for
+// concurrent use; the on-disk index is append-only and guarded by the
+// store's flock, so exactly one process serves a store root at a time.
+type Store struct {
+	dir  string
+	lock *durable.Lock
+
+	mu    sync.RWMutex
+	index *os.File // index.jsonl, opened for append
+	metas map[string]Meta
+}
+
+// Open loads (or initializes) the store rooted at dir, acquiring its
+// lockfile. A second Open of the same root fails with an error
+// wrapping durable.ErrLocked until the first store is closed.
+func Open(dir string) (*Store, *OpenReport, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "artifacts"), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := durable.AcquireLock(filepath.Join(dir, "store.lock"))
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{dir: dir, lock: lock, metas: make(map[string]Meta)}
+	report, err := s.reload()
+	if err != nil {
+		lock.Release()
+		return nil, nil, err
+	}
+	s.index, err = os.OpenFile(s.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		lock.Release()
+		return nil, nil, fmt.Errorf("store: open index: %w", err)
+	}
+	return s, report, nil
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.jsonl") }
+
+// ArtifactPath returns the on-disk payload path of id. IDs are
+// sanitized at Put time, so the join cannot escape the store root.
+func (s *Store) ArtifactPath(id string) string {
+	return filepath.Join(s.dir, "artifacts", id+".json")
+}
+
+// validID rejects IDs that would escape artifacts/ or hide files.
+func validID(id string) error {
+	if id == "" {
+		return errors.New("store: empty artifact ID")
+	}
+	if strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") || strings.HasPrefix(id, ".") {
+		return fmt.Errorf("store: invalid artifact ID %q", id)
+	}
+	return nil
+}
+
+// reload replays index.jsonl, CRC-validating every line and every
+// referenced payload. Invalid lines and payloads are dropped into the
+// report; the store serves only entries whose bytes are provably the
+// bytes that were ingested.
+func (s *Store) reload() (*OpenReport, error) {
+	report := &OpenReport{}
+	data, err := os.ReadFile(s.indexPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return report, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read index: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		payload, ok := durable.SplitCRCLine([]byte(line))
+		if !ok {
+			report.DroppedLines++
+			continue
+		}
+		var m Meta
+		if err := json.Unmarshal(payload, &m); err != nil || validID(m.ID) != nil {
+			report.DroppedLines++
+			continue
+		}
+		if _, seen := s.metas[m.ID]; seen {
+			report.ReplacedLines++
+		}
+		s.metas[m.ID] = m
+	}
+	// Validate payloads against their pinned size and CRC.
+	for id, m := range s.metas {
+		b, err := os.ReadFile(s.ArtifactPath(id))
+		if err != nil || int64(len(b)) != m.Bytes || durable.CRC32C(b) != m.CRC {
+			delete(s.metas, id)
+			report.DroppedPayloads = append(report.DroppedPayloads, id)
+		}
+	}
+	sort.Strings(report.DroppedPayloads)
+	report.Loaded = len(s.metas)
+	return report, nil
+}
+
+// Put ingests payload under meta. meta.Bytes and meta.CRC are
+// computed here; callers fill the queryable fields. The payload file
+// is published atomically before the index line is appended and
+// fsynced, so a crash at any instant leaves either no trace or a
+// fully valid entry.
+func (s *Store) Put(meta Meta, payload []byte) (Meta, error) {
+	if err := validID(meta.ID); err != nil {
+		return Meta{}, err
+	}
+	meta.Bytes = int64(len(payload))
+	meta.CRC = durable.CRC32C(payload)
+	line, err := json.Marshal(meta)
+	if err != nil {
+		return Meta{}, fmt.Errorf("store: encode meta: %w", err)
+	}
+	if err := durable.AtomicWriteFile(s.ArtifactPath(meta.ID), payload, 0o644); err != nil {
+		return Meta{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.index.Write(durable.AppendCRCLine(nil, line)); err != nil {
+		return Meta{}, fmt.Errorf("store: append index: %w", err)
+	}
+	if err := s.index.Sync(); err != nil {
+		return Meta{}, fmt.Errorf("store: sync index: %w", err)
+	}
+	s.metas[meta.ID] = meta
+	return meta, nil
+}
+
+// Get returns the meta and payload of id. The payload is re-verified
+// against the indexed CRC on every read.
+func (s *Store) Get(id string) (Meta, []byte, error) {
+	s.mu.RLock()
+	m, ok := s.metas[id]
+	s.mu.RUnlock()
+	if !ok {
+		return Meta{}, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	b, err := os.ReadFile(s.ArtifactPath(id))
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("store: %s: %w", id, err)
+	}
+	if int64(len(b)) != m.Bytes || durable.CRC32C(b) != m.CRC {
+		return Meta{}, nil, fmt.Errorf("store: %s: payload does not match indexed CRC", id)
+	}
+	return m, b, nil
+}
+
+// List returns the metas matching q, sorted by ID for deterministic
+// responses.
+func (s *Store) List(q Query) []Meta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Meta
+	for _, m := range s.metas {
+		if q.Matches(m) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live index entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.metas)
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the store lock and the index handle. The store must
+// not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.index != nil {
+		err = s.index.Close()
+		s.index = nil
+	}
+	if lerr := s.lock.Release(); err == nil {
+		err = lerr
+	}
+	s.lock = nil
+	return err
+}

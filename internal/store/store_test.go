@@ -1,0 +1,234 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"rowhammer/internal/durable"
+)
+
+func open(t *testing.T, dir string) (*Store, *OpenReport) {
+	t.Helper()
+	s, rep, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, rep
+}
+
+func seedU(v uint64) *uint64   { return &v }
+func tempF(v float64) *float64 { return &v }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, rep := open(t, t.TempDir())
+	if rep.Loaded != 0 {
+		t.Fatalf("fresh store loaded %d entries", rep.Loaded)
+	}
+	payload := []byte("{\n  \"experiment\": \"fig5\"\n}\n")
+	meta, err := s.Put(Meta{ID: "c1", Experiment: "fig5", Kind: "exp:fig5", Schema: 1,
+		Mfrs: []string{"A", "B"}, Seed: 7, Temps: []float64{50, 55}}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Bytes != int64(len(payload)) || meta.CRC != durable.CRC32C(payload) {
+		t.Fatalf("Put did not pin bytes/crc: %+v", meta)
+	}
+	got, b, err := s.Get("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, meta) {
+		t.Fatalf("meta = %+v, want %+v", got, meta)
+	}
+	if string(b) != string(payload) {
+		t.Fatalf("payload = %q, want byte-identical %q", b, payload)
+	}
+	if _, _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing ID: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestPutRejectsHostileIDs(t *testing.T) {
+	s, _ := open(t, t.TempDir())
+	for _, id := range []string{"", "../escape", "a/b", `a\b`, ".hidden"} {
+		if _, err := s.Put(Meta{ID: id}, []byte("x")); err == nil {
+			t.Errorf("Put accepted hostile ID %q", id)
+		}
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	s, _ := open(t, t.TempDir())
+	puts := []Meta{
+		{ID: "a", Experiment: "fig5", Kind: "exp:fig5", Mfrs: []string{"A", "B"}, Seed: 1, Temps: []float64{50, 55}},
+		{ID: "b", Experiment: "fig5", Kind: "exp:fig5", Mfrs: []string{"C"}, Seed: 2, Temps: []float64{70}},
+		{ID: "c", Experiment: "table3", Kind: "exp:table3", Mfrs: []string{"A"}, Seed: 1, Temps: []float64{50}},
+		{ID: "d", Kind: "ber", Mfrs: []string{"A", "B", "C", "D"}, Seed: 1, Temps: []float64{50, 70, 90}},
+	}
+	for _, m := range puts {
+		if _, err := s.Put(m, []byte("payload-"+m.ID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := func(ms []Meta) []string {
+		var out []string
+		for _, m := range ms {
+			out = append(out, m.ID)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		q    Query
+		want []string
+	}{
+		{"all", Query{}, []string{"a", "b", "c", "d"}},
+		{"by experiment", Query{Experiment: "fig5"}, []string{"a", "b"}},
+		{"by kind", Query{Kind: "ber"}, []string{"d"}},
+		{"by mfr membership", Query{Mfr: "C"}, []string{"b", "d"}},
+		{"by seed", Query{Seed: seedU(1)}, []string{"a", "c", "d"}},
+		{"by temp membership", Query{Temp: tempF(70)}, []string{"b", "d"}},
+		{"conjunction", Query{Mfr: "A", Seed: seedU(1), Temp: tempF(50)}, []string{"a", "c", "d"}},
+		{"no match", Query{Experiment: "fig5", Kind: "ber"}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ids(s.List(tc.q)); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("List(%+v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestColdRestartReload(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	want := map[string]string{}
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("c%d", i)
+		payload := fmt.Sprintf("payload %d\n", i)
+		if _, err := s.Put(Meta{ID: id, Experiment: "fig5", Seed: uint64(i)}, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = payload
+	}
+	// Re-ingest one ID with new bytes: reload must serve the latest.
+	if _, err := s.Put(Meta{ID: "c3", Experiment: "fig5", Seed: 3}, []byte("revised\n")); err != nil {
+		t.Fatal(err)
+	}
+	want["c3"] = "revised\n"
+	s.Close()
+
+	s2, rep := open(t, dir)
+	if rep.Loaded != len(want) || rep.DroppedLines != 0 || len(rep.DroppedPayloads) != 0 {
+		t.Fatalf("reload report = %+v, want %d clean entries", rep, len(want))
+	}
+	if rep.ReplacedLines != 1 {
+		t.Fatalf("ReplacedLines = %d, want 1 (the c3 re-ingest)", rep.ReplacedLines)
+	}
+	for id, payload := range want {
+		_, b, err := s2.Get(id)
+		if err != nil || string(b) != payload {
+			t.Fatalf("after reload Get(%s) = %q, %v; want %q", id, b, err, payload)
+		}
+	}
+}
+
+func TestReloadQuarantinesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	for _, id := range []string{"good", "rotted", "vanished"} {
+		if _, err := s.Put(Meta{ID: id}, []byte("bytes of "+id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Corrupt one payload, delete another, and append garbage plus a
+	// forged (CRC-valid, hostile-ID) line to the index.
+	if err := os.WriteFile(filepath.Join(dir, "artifacts", "rotted.json"), []byte("bytes of rotteX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "artifacts", "vanished.json")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "index.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("not a crc line\n"))
+	f.Write(durable.AppendCRCLine(nil, []byte(`{"id":"../evil","bytes":1,"crc":0}`)))
+	f.Write(durable.AppendCRCLine(nil, []byte(`{"id":"trunc"`))[0:9]) // torn final line
+	f.Close()
+
+	s2, rep := open(t, dir)
+	if rep.Loaded != 1 {
+		t.Fatalf("Loaded = %d, want only the clean entry; report %+v", rep.Loaded, rep)
+	}
+	if rep.DroppedLines != 3 {
+		t.Fatalf("DroppedLines = %d, want 3 (garbage, hostile ID, torn line)", rep.DroppedLines)
+	}
+	if !reflect.DeepEqual(rep.DroppedPayloads, []string{"rotted", "vanished"}) {
+		t.Fatalf("DroppedPayloads = %v", rep.DroppedPayloads)
+	}
+	if _, b, err := s2.Get("good"); err != nil || string(b) != "bytes of good" {
+		t.Fatalf("clean entry lost: %q, %v", b, err)
+	}
+	if _, _, err := s2.Get("rotted"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt payload must not be served, got %v", err)
+	}
+}
+
+func TestOpenExcludesSecondProcess(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	if _, _, err := Open(dir); !errors.Is(err, durable.ErrLocked) {
+		t.Fatalf("second Open: want ErrLocked, got %v", err)
+	}
+	s.Close()
+	s2, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestConcurrentPutsAndQueries(t *testing.T) {
+	s, _ := open(t, t.TempDir())
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := s.Put(Meta{ID: id, Seed: uint64(w)}, []byte(id)); err != nil {
+					t.Errorf("Put(%s): %v", id, err)
+					return
+				}
+				if _, _, err := s.Get(id); err != nil {
+					t.Errorf("Get(%s): %v", id, err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.List(Query{Seed: seedU(uint64(w))})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != writers*perWriter {
+		t.Fatalf("Len = %d, want %d", got, writers*perWriter)
+	}
+}

@@ -113,9 +113,11 @@ type MeasureScope struct {
 	Temps []float64
 }
 
-func (sc MeasureScope) normalize() MeasureScope {
-	FillMeasureDefaults(&sc.Scale, nil, nil, &sc.Temps)
-	return sc
+// normalize fills the scope's defaults; a caller-supplied temperature
+// grid with a non-positive step is rejected with a *TempStepError.
+func (sc MeasureScope) normalize() (MeasureScope, error) {
+	err := FillMeasureDefaults(&sc.Scale, nil, nil, &sc.Temps)
+	return sc, err
 }
 
 // Per-kind victim budgets, matching the corresponding experiment
@@ -145,7 +147,10 @@ func (t *Tester) moduleWCDP(ctx context.Context, sc MeasureScope) (PatternKind, 
 // MeasureModuleWCDP surveys every Table 1 pattern on the module and
 // reports the worst-case pattern and its gain over the weakest one.
 func (t *Tester) MeasureModuleWCDP(ctx context.Context, sc MeasureScope) (PatternKind, map[string]float64, map[string][]float64, error) {
-	sc = sc.normalize()
+	sc, err := sc.normalize()
+	if err != nil {
+		return PatCheckered, nil, nil, err
+	}
 	victims := sc.Scale.SampleRows(t.b.Geometry(), wcdpSurveyRows)
 	s, err := t.SurveyPatterns(ctx, sc.Bank, victims, sc.Scale.Hammers)
 	if err != nil {
@@ -170,7 +175,10 @@ func (t *Tester) MeasureModuleWCDP(ctx context.Context, sc MeasureScope) (Patter
 // under its worst-case pattern — the per-module core of the Fig. 11
 // row-variation analysis.
 func (t *Tester) MeasureModuleHCFirst(ctx context.Context, sc MeasureScope) (PatternKind, map[string]float64, map[string][]float64, error) {
-	sc = sc.normalize()
+	sc, err := sc.normalize()
+	if err != nil {
+		return PatCheckered, nil, nil, err
+	}
 	pat, err := t.moduleWCDP(ctx, sc)
 	if err != nil {
 		return pat, nil, nil, err
@@ -202,7 +210,10 @@ func (t *Tester) MeasureModuleHCFirst(ctx context.Context, sc MeasureScope) (Pat
 // reports per-temperature bit error rates plus the §5 temperature-
 // range statistics (no-gap / full-range fractions).
 func (t *Tester) MeasureModuleBER(ctx context.Context, sc MeasureScope) (PatternKind, map[string]float64, map[string][]float64, error) {
-	sc = sc.normalize()
+	sc, err := sc.normalize()
+	if err != nil {
+		return PatCheckered, nil, nil, err
+	}
 	pat, err := t.moduleWCDP(ctx, sc)
 	if err != nil {
 		return pat, nil, nil, err
@@ -254,7 +265,10 @@ func (t *Tester) MeasureModuleBER(ctx context.Context, sc MeasureScope) (Pattern
 // subarrays — the per-module core of the §7 spatial-variation
 // analyses (Figs. 11 and 14).
 func (t *Tester) MeasureModuleSpatial(ctx context.Context, sc MeasureScope) (PatternKind, map[string]float64, map[string][]float64, error) {
-	sc = sc.normalize()
+	sc, err := sc.normalize()
+	if err != nil {
+		return PatCheckered, nil, nil, err
+	}
 	pat, err := t.moduleWCDP(ctx, sc)
 	if err != nil {
 		return pat, nil, nil, err

@@ -1,6 +1,8 @@
 package rowhammer
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -39,7 +41,9 @@ func TestFillMeasureDefaults(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			scale, geom, seed, temps := tc.scale, tc.geom, tc.seed, tc.temps
-			FillMeasureDefaults(&scale, &geom, &seed, &temps)
+			if err := FillMeasureDefaults(&scale, &geom, &seed, &temps); err != nil {
+				t.Fatal(err)
+			}
 			if scale != tc.wantScale {
 				t.Errorf("scale = %+v, want %+v", scale, tc.wantScale)
 			}
@@ -59,9 +63,71 @@ func TestFillMeasureDefaults(t *testing.T) {
 func TestFillMeasureDefaultsNilKnobs(t *testing.T) {
 	// Nil pointers must be skipped, not dereferenced.
 	seed := uint64(0)
-	FillMeasureDefaults(nil, nil, &seed, nil)
+	if err := FillMeasureDefaults(nil, nil, &seed, nil); err != nil {
+		t.Fatal(err)
+	}
 	if seed != DefaultSeed {
 		t.Fatalf("seed = %d", seed)
+	}
+}
+
+func TestTempGridRejectsBadSteps(t *testing.T) {
+	// Regression: a zero or negative step used to either loop forever
+	// (lo < hi) or silently produce an empty sweep (lo > hi). Both now
+	// fail with the typed *TempStepError.
+	for _, tc := range []struct{ lo, hi, step float64 }{
+		{50, 90, 0},  // would loop forever
+		{50, 90, -5}, // would loop forever (t decreases away from hi)
+		{90, 50, -5}, // would silently produce an empty sweep
+		{90, 50, 5},  // inverted range: empty sweep
+	} {
+		_, err := TempGrid(tc.lo, tc.hi, tc.step)
+		var tse *TempStepError
+		if !errors.As(err, &tse) {
+			t.Fatalf("TempGrid(%g, %g, %g) = %v, want *TempStepError", tc.lo, tc.hi, tc.step, err)
+		}
+	}
+	got, err := TempGrid(50, 90, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, StudyTemps()) {
+		t.Fatalf("TempGrid(50,90,5) = %v, want StudyTemps", got)
+	}
+	if one, err := TempGrid(70, 70, 5); err != nil || !reflect.DeepEqual(one, []float64{70}) {
+		t.Fatalf("degenerate single-point grid = %v, %v", one, err)
+	}
+}
+
+func TestFillMeasureDefaultsRejectsDescendingTemps(t *testing.T) {
+	for _, temps := range [][]float64{
+		{90, 80, 70},     // descending
+		{50, 60, 60, 70}, // duplicate point (zero step)
+		{50, 70, 60},     // non-monotonic
+	} {
+		in := append([]float64(nil), temps...)
+		err := FillMeasureDefaults(nil, nil, nil, &in)
+		var tse *TempStepError
+		if !errors.As(err, &tse) {
+			t.Fatalf("FillMeasureDefaults(temps=%v) = %v, want *TempStepError", temps, err)
+		}
+	}
+}
+
+func TestCampaignRejectsDescendingTemps(t *testing.T) {
+	// The typed error must surface before any job runs — RunCampaign,
+	// the engine lowering, and the checkpoint helpers all reject it.
+	spec := CampaignSpec{Kind: CampaignBER, Mfrs: []string{"A"}, ModulesPerMfr: 1,
+		Scale: TinyScale(), Geometry: TinyGeometry(), Temps: []float64{90, 70, 50}}
+	var tse *TempStepError
+	if _, err := RunCampaign(context.Background(), spec, CampaignOptions{}); !errors.As(err, &tse) {
+		t.Fatalf("RunCampaign = %v, want *TempStepError", err)
+	}
+	if _, _, err := CampaignEngine(spec); !errors.As(err, &tse) {
+		t.Fatalf("CampaignEngine = %v, want *TempStepError", err)
+	}
+	if _, err := CreateCampaignCheckpoint("/nonexistent/nope.jsonl", spec); !errors.As(err, &tse) {
+		t.Fatalf("CreateCampaignCheckpoint = %v, want *TempStepError", err)
 	}
 }
 

@@ -8,16 +8,6 @@ import (
 	"rowhammer/internal/pool"
 )
 
-// StudyTemps returns the paper's tested temperature grid:
-// 50–90 °C in 5 °C steps.
-func StudyTemps() []float64 {
-	var out []float64
-	for t := 50.0; t <= 90.0; t += 5 {
-		out = append(out, t)
-	}
-	return out
-}
-
 // CellID identifies a DRAM cell within one bank.
 type CellID struct {
 	Row int
