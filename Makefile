@@ -1,8 +1,9 @@
 GO ?= go
 BENCHTIME ?= 20x
 BENCHOUT ?= BENCH_pr3.json
+BENCHTHRESHOLD ?= 0.10
 
-.PHONY: all build test race vet bench bench-json golden chaos chaos-exp crash fuzz serve-smoke check
+.PHONY: all build test race vet bench bench-json bench-check golden chaos chaos-exp crash fuzz serve-smoke check
 
 all: check
 
@@ -34,6 +35,19 @@ bench:
 bench-json:
 	$(GO) test -bench 'HammerThroughput|CampaignFleet' -run '^$$' -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+# Benchmark trend gate: rerun the tracked benchmarks, record them to
+# bench-current.json (untracked), and compare every metric against the
+# best value anywhere in the committed BENCH_*.json files. The check
+# is direction-aware — ns/op/B/op/allocs/op regress upward, rate units
+# (jobs/sec, activations/s) downward — and any metric more than
+# $(BENCHTHRESHOLD) (fraction) worse than the best baseline fails.
+# The committed numbers are machine-specific; after a hardware change,
+# refresh them deliberately with `make bench-json`.
+bench-check:
+	$(GO) test -bench 'HammerThroughput|CampaignFleet' -run '^$$' -benchtime $(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -o bench-current.json
+	$(GO) run ./cmd/benchjson -compare bench-current.json -threshold $(BENCHTHRESHOLD) BENCH_*.json
 
 # Golden suite: every experiment's rendered text and JSON artifact is
 # byte-locked at tiny scale. On mismatch the actual bytes land next to

@@ -1,7 +1,8 @@
 // Command benchjson converts `go test -bench` text output into a
-// stable JSON document for benchmark-regression tracking.
+// stable JSON document for benchmark-regression tracking, and checks
+// a fresh run against committed baselines.
 //
-// Usage:
+// Record mode (default):
 //
 //	go test -bench 'HammerThroughput|CampaignFleet' -run '^$' . | benchjson -o BENCH_pr3.json
 //
@@ -11,6 +12,18 @@
 // B/op, allocs/op, ...). If the output file already exists, its
 // "baselines" key is preserved so a committed pre-change baseline
 // survives regeneration.
+//
+// Compare mode (the `make bench-check` trend gate):
+//
+//	benchjson -compare bench-current.json -threshold 0.10 BENCH_*.json
+//
+// Every metric of every benchmark in the current document is compared
+// against the best value found anywhere in the baseline documents
+// (their "benchmarks" and "baselines" sections both count). The
+// comparison is direction-aware — ns/op, B/op and allocs/op regress
+// upward, rate units (jobs/sec, activations/s) regress downward — and
+// any metric more than threshold (fraction) worse than the best
+// baseline is a regression: benchjson prints it and exits 1.
 package main
 
 import (
@@ -18,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -56,35 +70,18 @@ func checkSchema(old map[string]any) error {
 	return nil
 }
 
-func main() {
-	out := flag.String("o", "", "output JSON path (default: stdout)")
-	flag.Parse()
-
-	doc := map[string]any{"schema": schemaVersion}
-	if *out != "" {
-		if prev, err := os.ReadFile(*out); err == nil {
-			var old map[string]any
-			if json.Unmarshal(prev, &old) == nil {
-				if err := checkSchema(old); err != nil {
-					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
-					os.Exit(1)
-				}
-				if base, ok := old["baselines"]; ok {
-					doc["baselines"] = base
-				}
-			}
-		}
-	}
-
+// parseBenchOutput scans `go test -bench` text, returning one entry
+// per benchmark. Non-benchmark lines are echoed to echo (the pipe
+// stays observable).
+func parseBenchOutput(r io.Reader, echo io.Writer) (map[string]entry, error) {
 	benches := map[string]entry{}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		m := benchName.FindStringSubmatch(line)
 		if m == nil {
-			// Echo non-benchmark lines so the pipe stays observable.
-			fmt.Fprintln(os.Stderr, sc.Text())
+			fmt.Fprintln(echo, sc.Text())
 			continue
 		}
 		iters, err := strconv.Atoi(m[2])
@@ -103,7 +100,204 @@ func main() {
 		}
 		benches[strings.TrimPrefix(m[1], "Benchmark")] = e
 	}
-	if err := sc.Err(); err != nil {
+	return benches, sc.Err()
+}
+
+// loadDoc reads one BENCH JSON document, returning its benchmark
+// sections. Entries that do not parse (the baselines "note" string,
+// for example) are skipped, not fatal.
+func loadDoc(path string) (benchmarks, baselines map[string]entry, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var old map[string]any
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := checkSchema(old); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var doc struct {
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+		Baselines  map[string]json.RawMessage `json:"baselines"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	parse := func(m map[string]json.RawMessage) map[string]entry {
+		out := map[string]entry{}
+		for name, rawE := range m {
+			var e entry
+			if json.Unmarshal(rawE, &e) == nil && len(e.Metrics) > 0 {
+				out[name] = e
+			}
+		}
+		return out
+	}
+	return parse(doc.Benchmarks), parse(doc.Baselines), nil
+}
+
+// lowerIsBetter classifies a metric unit's regression direction.
+// Costs (time, bytes, allocations) regress upward; rates (anything
+// per second) regress downward. Unknown units are not tracked —
+// failing CI on a unit nobody classified would make adding a new
+// custom metric a breaking change.
+func lowerIsBetter(unit string) (lower, tracked bool) {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true, true
+	}
+	if strings.HasSuffix(unit, "/s") || strings.HasSuffix(unit, "/sec") {
+		return false, true
+	}
+	return false, false
+}
+
+// best folds a set of baseline sections into the best value seen for
+// each (benchmark, metric), honoring the metric's direction.
+func best(sections []map[string]entry) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, sec := range sections {
+		for name, e := range sec {
+			for unit, v := range e.Metrics {
+				lower, tracked := lowerIsBetter(unit)
+				if !tracked {
+					continue
+				}
+				m, ok := out[name]
+				if !ok {
+					m = map[string]float64{}
+					out[name] = m
+				}
+				prev, seen := m[unit]
+				if !seen || (lower && v < prev) || (!lower && v > prev) {
+					m[unit] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// regression is one metric that moved more than the threshold in the
+// wrong direction.
+type regression struct {
+	Bench, Unit string
+	Best, Got   float64
+	// Ratio is how much worse Got is than Best, as a fraction
+	// (0.25 = 25% worse), regardless of direction.
+	Ratio float64
+}
+
+// compare checks every tracked metric of current against the best
+// baseline value. It returns the regressions beyond threshold and the
+// number of metric comparisons actually made — zero means the gate is
+// vacuous (no overlapping benchmarks) and the caller should fail.
+func compare(current map[string]entry, baseline map[string]map[string]float64, threshold float64) (regs []regression, compared int) {
+	names := make([]string, 0, len(current))
+	for n := range current {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := baseline[name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		units := make([]string, 0, len(current[name].Metrics))
+		for u := range current[name].Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			lower, tracked := lowerIsBetter(unit)
+			bestV, haveBase := base[unit]
+			if !tracked || !haveBase || bestV == 0 {
+				continue
+			}
+			got := current[name].Metrics[unit]
+			compared++
+			var ratio float64
+			if lower {
+				ratio = got/bestV - 1
+			} else {
+				ratio = 1 - got/bestV
+			}
+			if ratio > threshold {
+				regs = append(regs, regression{Bench: name, Unit: unit, Best: bestV, Got: got, Ratio: ratio})
+			}
+		}
+	}
+	return regs, compared
+}
+
+// runCompare is the -compare entry point: current against the best of
+// the baseline files. Returns the process exit code.
+func runCompare(currentPath string, baselinePaths []string, threshold float64, out io.Writer) int {
+	if len(baselinePaths) == 0 {
+		fmt.Fprintln(out, "benchjson: -compare needs baseline files as arguments (e.g. BENCH_*.json)")
+		return 1
+	}
+	current, _, err := loadDoc(currentPath)
+	if err != nil {
+		fmt.Fprintf(out, "benchjson: %v\n", err)
+		return 1
+	}
+	var sections []map[string]entry
+	for _, p := range baselinePaths {
+		benchmarks, baselines, err := loadDoc(p)
+		if err != nil {
+			fmt.Fprintf(out, "benchjson: %v\n", err)
+			return 1
+		}
+		sections = append(sections, benchmarks, baselines)
+	}
+	regs, compared := compare(current, best(sections), threshold)
+	if compared == 0 {
+		fmt.Fprintf(out, "benchjson: no overlapping benchmarks between %s and %s — the gate checked nothing\n",
+			currentPath, strings.Join(baselinePaths, ", "))
+		return 1
+	}
+	for _, r := range regs {
+		fmt.Fprintf(out, "benchjson: REGRESSION %s %s: %.6g vs best baseline %.6g (%.1f%% worse, threshold %.1f%%)\n",
+			r.Bench, r.Unit, r.Got, r.Best, r.Ratio*100, threshold*100)
+	}
+	if len(regs) > 0 {
+		return 1
+	}
+	fmt.Fprintf(out, "benchjson: %d metric(s) within %.1f%% of the best committed baseline\n", compared, threshold*100)
+	return 0
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON path (default: stdout)")
+	comparePath := flag.String("compare", "", "compare this BENCH JSON against the baseline files given as arguments; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.10, "regression threshold as a fraction (with -compare)")
+	flag.Parse()
+
+	if *comparePath != "" {
+		os.Exit(runCompare(*comparePath, flag.Args(), *threshold, os.Stderr))
+	}
+
+	doc := map[string]any{"schema": schemaVersion}
+	if *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old map[string]any
+			if json.Unmarshal(prev, &old) == nil {
+				if err := checkSchema(old); err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+					os.Exit(1)
+				}
+				if base, ok := old["baselines"]; ok {
+					doc["baselines"] = base
+				}
+			}
+		}
+	}
+
+	benches, err := parseBenchOutput(os.Stdin, os.Stderr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestCheckSchema(t *testing.T) {
 	cases := []struct {
@@ -59,5 +65,131 @@ func TestBenchNameRegexp(t *testing.T) {
 		if m[1] != c.name || m[2] != c.iters {
 			t.Errorf("line %q parsed as name=%q iters=%q, want %q/%q", c.line, m[1], m[2], c.name, c.iters)
 		}
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkCampaignFleet/workers=1-8   2   792291484 ns/op   40.39 jobs/sec
+BenchmarkHammerThroughput 300 3997829 ns/op 256166348 activations/s
+PASS
+`)
+	var echo bytes.Buffer
+	got, err := parseBenchOutput(in, &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	fleet := got["CampaignFleet/workers=1"]
+	if fleet.Iterations != 2 || fleet.Metrics["ns/op"] != 792291484 || fleet.Metrics["jobs/sec"] != 40.39 {
+		t.Fatalf("fleet entry = %+v", fleet)
+	}
+	if !strings.Contains(echo.String(), "goos: linux") || !strings.Contains(echo.String(), "PASS") {
+		t.Fatalf("non-benchmark lines not echoed: %q", echo.String())
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	cases := []struct {
+		unit           string
+		lower, tracked bool
+	}{
+		{"ns/op", true, true},
+		{"B/op", true, true},
+		{"allocs/op", true, true},
+		{"jobs/sec", false, true},
+		{"activations/s", false, true},
+		{"widgets", false, false}, // unknown unit: never gates CI
+	}
+	for _, c := range cases {
+		lower, tracked := lowerIsBetter(c.unit)
+		if lower != c.lower || tracked != c.tracked {
+			t.Errorf("lowerIsBetter(%q) = %v,%v want %v,%v", c.unit, lower, tracked, c.lower, c.tracked)
+		}
+	}
+}
+
+func TestBestFoldsDirectionAware(t *testing.T) {
+	b := best([]map[string]entry{
+		{"X": {Metrics: map[string]float64{"ns/op": 100, "jobs/sec": 40}}},
+		{"X": {Metrics: map[string]float64{"ns/op": 80, "jobs/sec": 30}}},
+	})
+	if b["X"]["ns/op"] != 80 {
+		t.Errorf("best ns/op = %v, want the min (80)", b["X"]["ns/op"])
+	}
+	if b["X"]["jobs/sec"] != 40 {
+		t.Errorf("best jobs/sec = %v, want the max (40)", b["X"]["jobs/sec"])
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	baseline := map[string]map[string]float64{
+		"X": {"ns/op": 100, "jobs/sec": 40},
+	}
+	cases := []struct {
+		name    string
+		current map[string]entry
+		wantReg int
+		wantCmp int
+	}{
+		{"within threshold", map[string]entry{
+			"X": {Metrics: map[string]float64{"ns/op": 105, "jobs/sec": 38}}}, 0, 2},
+		{"time regression", map[string]entry{
+			"X": {Metrics: map[string]float64{"ns/op": 120, "jobs/sec": 40}}}, 1, 2},
+		{"rate regression", map[string]entry{
+			"X": {Metrics: map[string]float64{"ns/op": 100, "jobs/sec": 30}}}, 1, 2},
+		{"improvement is not a regression", map[string]entry{
+			"X": {Metrics: map[string]float64{"ns/op": 50, "jobs/sec": 80}}}, 0, 2},
+		{"new benchmark has no baseline", map[string]entry{
+			"Y": {Metrics: map[string]float64{"ns/op": 1}}}, 0, 0},
+	}
+	for _, c := range cases {
+		regs, compared := compare(c.current, baseline, 0.10)
+		if len(regs) != c.wantReg || compared != c.wantCmp {
+			t.Errorf("%s: %d regression(s), %d compared; want %d, %d (regs: %+v)",
+				c.name, len(regs), compared, c.wantReg, c.wantCmp, regs)
+		}
+	}
+}
+
+// TestRunCompareEndToEnd drives the -compare path over real files:
+// a current run 25% slower than the best committed baseline must fail
+// with an output naming the benchmark, and the identical run must
+// pass. A baseline set sharing no benchmark names is a vacuous gate
+// and must also fail.
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	baseline := write("BENCH_a.json", `{
+  "schema": 1,
+  "baselines": {"note": "free-text survives", "Fleet": {"metrics": {"jobs/sec": 44, "ns/op": 200}}},
+  "benchmarks": {"Fleet": {"iterations": 20, "metrics": {"jobs/sec": 100, "ns/op": 100}}}
+}`)
+	slow := write("current-slow.json", `{"schema": 1, "benchmarks": {"Fleet": {"metrics": {"jobs/sec": 100, "ns/op": 125}}}}`)
+	same := write("current-same.json", `{"schema": 1, "benchmarks": {"Fleet": {"metrics": {"jobs/sec": 100, "ns/op": 100}}}}`)
+	other := write("current-other.json", `{"schema": 1, "benchmarks": {"Elsewhere": {"metrics": {"ns/op": 1}}}}`)
+
+	var out bytes.Buffer
+	if code := runCompare(slow, []string{baseline}, 0.10, &out); code != 1 {
+		t.Fatalf("25%% ns/op regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION Fleet ns/op") {
+		t.Fatalf("regression output does not name the benchmark/metric:\n%s", out.String())
+	}
+	out.Reset()
+	if code := runCompare(same, []string{baseline}, 0.10, &out); code != 0 {
+		t.Fatalf("identical run failed the gate:\n%s", out.String())
+	}
+	out.Reset()
+	if code := runCompare(other, []string{baseline}, 0.10, &out); code != 1 {
+		t.Fatalf("vacuous gate (no overlap) must fail:\n%s", out.String())
 	}
 }

@@ -57,6 +57,7 @@ import (
 	"rowhammer/internal/inject"
 	"rowhammer/internal/profiling"
 	"rowhammer/internal/server"
+	"rowhammer/internal/shard"
 )
 
 // stopProfiles finishes any active pprof profiles; releaseLock drops
@@ -101,6 +102,13 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-job progress on stderr")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+
+		shardDir    = flag.String("shard-dir", "", "shard directory for -shard/-coordinate/-merge-shards (checkpoints, leases, spec.json)")
+		shardArg    = flag.String("shard", "", "run one shard worker: i/N (e.g. 2/8); requires -shard-dir")
+		coordinate  = flag.Int("coordinate", 0, "coordinate an N-way sharded run: spawn N rhfleet -shard workers over -shard-dir, reassign dead shards, merge")
+		mergeShards = flag.Bool("merge-shards", false, "merge the shard checkpoints in -shard-dir into one summary/artifact, then exit")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator: kill a shard worker whose lease heartbeat is older than this")
+		maxRespawn  = flag.Int("max-respawns", 3, "coordinator: give up on a shard after this many reassignments")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of rhfleet:\n")
@@ -136,16 +144,26 @@ rhfleet processes per checkpoint.
 	if err != nil {
 		fatalUsage(err)
 	}
-	spec, err := buildSpec(*specIn, *mfrs, *modules, *expKind, *seed, *scale, *temps, *workers, *retries)
+	shardMode := *shardArg != "" || *coordinate > 0 || *mergeShards
+	if shardMode && *shardDir == "" {
+		fatalUsage(fmt.Errorf("-shard, -coordinate and -merge-shards require -shard-dir"))
+	}
+	// Shard modes default to the directory's persisted spec, so a
+	// restarted coordinator (or a hand-run worker or merge) needs no
+	// flag replay: the directory says what campaign it holds.
+	if shardMode && *specIn == "" {
+		if p := shard.SpecPath(*shardDir); fileExists(p) {
+			*specIn = p
+		}
+	}
+	ws, err := buildWireSpec(*specIn, *mfrs, *modules, *expKind, *seed, *scale, *temps,
+		*workers, *retries, *jobTO, *backoff, *breaker, *wdog)
 	if err != nil {
 		fatal(err)
 	}
-	if *specIn == "" {
-		// Hardening knobs ride on flags; -spec files carry their own.
-		spec.JobTimeout = *jobTO
-		spec.RetryBackoff = *backoff
-		spec.BreakerThreshold = *breaker
-		spec.WatchdogFactor = *wdog
+	spec, err := ws.CampaignSpec()
+	if err != nil {
+		fatal(err)
 	}
 
 	// Resolve the engine spec and runner through the shared resolution
@@ -158,6 +176,24 @@ rhfleet processes per checkpoint.
 		fatal(rerr)
 	}
 	cs, runner, expE := rsv.Spec, rsv.Runner, rsv.Exp
+
+	// Distributed modes run over -shard-dir and never touch -out.
+	switch {
+	case *shardArg != "":
+		exit(runShardWorker(shardWorkerConfig{
+			assignment: *shardArg, dir: *shardDir, rsv: rsv, profile: profile,
+			quiet: *quiet, timeout: *timeout, drainTO: *drainTO,
+		}))
+	case *coordinate > 0:
+		exit(runCoordinator(coordinatorConfig{
+			dir: *shardDir, shards: *coordinate, wire: ws, rsv: rsv,
+			faults: *faults, quiet: *quiet, timeout: *timeout, drainTO: *drainTO,
+			leaseTTL: *leaseTTL, maxRespawns: *maxRespawn,
+			format: *format, sumOut: *sumOut, artOut: *artOut,
+		}))
+	case *mergeShards:
+		exit(runMergeShards(*shardDir, rsv, *format, *sumOut, *artOut))
+	}
 
 	// Advisory exclusivity: one rhfleet per checkpoint file. The kernel
 	// drops the flock with the process, so a SIGKILLed run never leaves
@@ -239,32 +275,7 @@ rhfleet processes per checkpoint.
 	ctx, cancel := context.WithCancel(base)
 	defer cancel()
 
-	// Two-stage shutdown: the first SIGINT/SIGTERM drains (dispatch
-	// stops, in-flight jobs finish under -drain-timeout), the second —
-	// or the drain deadline — aborts hard via context cancellation.
-	drainCh := make(chan struct{})
-	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigCh)
-	go func() {
-		select {
-		case s := <-sigCh:
-			fmt.Fprintf(os.Stderr, "rhfleet: %v: draining — dispatch stopped, in-flight jobs get %v (signal again to abort now)\n", s, *drainTO)
-			close(drainCh)
-			t := time.NewTimer(*drainTO)
-			defer t.Stop()
-			select {
-			case s = <-sigCh:
-				fmt.Fprintf(os.Stderr, "rhfleet: %v: aborting\n", s)
-			case <-t.C:
-				fmt.Fprintln(os.Stderr, "rhfleet: drain deadline exceeded; aborting")
-			case <-ctx.Done():
-				return
-			}
-			cancel()
-		case <-ctx.Done():
-		}
-	}()
+	drainCh := armDrainSignals(ctx, cancel, *drainTO)
 
 	if profile != nil {
 		runner = inject.WrapRunner(runner, profile)
@@ -369,57 +380,87 @@ func publishArtifact(e exp.Experiment, res *campaign.Result, format, path string
 	return nil
 }
 
-// buildSpec assembles the campaign spec from a JSON file or flags.
-func buildSpec(specPath, mfrs string, modules int, kind string, seed uint64, scale, temps string, workers, retries int) (rh.CampaignSpec, error) {
-	var spec rh.CampaignSpec
+// armDrainSignals installs the two-stage shutdown: the first
+// SIGINT/SIGTERM closes the returned drain channel (dispatch stops,
+// in-flight jobs finish under drainTO), the second — or the drain
+// deadline — aborts hard via cancel.
+func armDrainSignals(ctx context.Context, cancel context.CancelFunc, drainTO time.Duration) <-chan struct{} {
+	drainCh := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer signal.Stop(sigCh)
+		select {
+		case s := <-sigCh:
+			fmt.Fprintf(os.Stderr, "rhfleet: %v: draining — dispatch stopped, in-flight jobs get %v (signal again to abort now)\n", s, drainTO)
+			close(drainCh)
+			t := time.NewTimer(drainTO)
+			defer t.Stop()
+			select {
+			case s = <-sigCh:
+				fmt.Fprintf(os.Stderr, "rhfleet: %v: aborting\n", s)
+			case <-t.C:
+				fmt.Fprintln(os.Stderr, "rhfleet: drain deadline exceeded; aborting")
+			case <-ctx.Done():
+				return
+			}
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return drainCh
+}
+
+// buildWireSpec assembles the campaign's wire spec from a JSON file
+// or flags. The file schema is the server's wire Spec — the same JSON
+// submits to rhserved's POST /v1/campaigns unchanged — and the wire
+// form is what a shard coordinator persists as spec.json for its
+// workers.
+func buildWireSpec(specPath, mfrs string, modules int, kind string, seed uint64, scale, temps string,
+	workers, retries int, jobTO, backoff time.Duration, breaker, wdog int) (server.Spec, error) {
+	var ws server.Spec
 	if specPath != "" {
 		b, err := os.ReadFile(specPath)
 		if err != nil {
-			return spec, err
+			return ws, err
 		}
-		// The -spec file schema is the server's wire Spec — the same
-		// JSON submits to rhserved's POST /v1/campaigns unchanged.
-		var js server.Spec
-		if err := json.Unmarshal(b, &js); err != nil {
-			return spec, fmt.Errorf("parsing %s: %w", specPath, err)
+		if err := json.Unmarshal(b, &ws); err != nil {
+			return ws, fmt.Errorf("parsing %s: %w", specPath, err)
 		}
-		return js.CampaignSpec()
+		return ws, nil
 	}
-	spec = rh.CampaignSpec{
-		Kind:          kind,
-		ModulesPerMfr: modules,
-		Seed:          seed,
-		Workers:       workers,
-		MaxRetries:    retries,
+	ws = server.Spec{
+		Kind:             kind,
+		ModulesPerMfr:    modules,
+		Seed:             seed,
+		Scale:            scale,
+		Workers:          workers,
+		MaxRetries:       retries,
+		JobTimeoutMS:     jobTO.Milliseconds(),
+		RetryBackoffMS:   backoff.Milliseconds(),
+		BreakerThreshold: breaker,
+		WatchdogFactor:   wdog,
 	}
 	for _, m := range strings.Split(mfrs, ",") {
 		if m = strings.TrimSpace(m); m != "" {
-			spec.Mfrs = append(spec.Mfrs, m)
+			ws.Mfrs = append(ws.Mfrs, m)
 		}
 	}
 	if temps != "" {
 		for _, t := range strings.Split(temps, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
 			if err != nil {
-				return spec, fmt.Errorf("bad -temps value %q: %w", t, err)
+				return ws, fmt.Errorf("bad -temps value %q: %w", t, err)
 			}
-			spec.Temps = append(spec.Temps, v)
+			ws.Temps = append(ws.Temps, v)
 		}
 	}
-	if err := applyScale(&spec, scale); err != nil {
-		return spec, err
-	}
-	return spec, nil
+	return ws, nil
 }
 
-// applyScale resolves a named measurement scale via the shared helper.
-func applyScale(spec *rh.CampaignSpec, name string) error {
-	sc, geom, ok := rh.NamedScale(name)
-	if !ok {
-		return fmt.Errorf("unknown scale %q (tiny, default, paper)", name)
-	}
-	spec.Scale, spec.Geometry = sc, geom
-	return nil
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	rh "rowhammer"
+	"rowhammer/internal/campaign"
+	"rowhammer/internal/durable"
+	"rowhammer/internal/inject"
+	"rowhammer/internal/server"
+	"rowhammer/internal/shard"
+)
+
+// The distributed modes. One campaign splits into N disjoint shards
+// (internal/shard), each an independent `rhfleet -shard i/N` process
+// with its own v2 checkpoint and flock-backed lease under -shard-dir;
+// `rhfleet -coordinate N` spawns and supervises them — reassigning a
+// dead or stalled shard's remaining jobs to a fresh worker — and
+// `rhfleet -merge-shards` folds the shard checkpoints into a summary
+// or artifact byte-identical to a single-process run.
+
+// shardWorkerConfig parameterizes one -shard i/N worker run.
+type shardWorkerConfig struct {
+	assignment string
+	dir        string
+	rsv        server.Resolved
+	profile    *inject.Profile
+	quiet      bool
+	timeout    time.Duration
+	drainTO    time.Duration
+}
+
+// runShardWorker is the -shard i/N mode: run exactly this shard's
+// slice of the grid, heartbeating the shard lease, and exit with the
+// same code conventions as a whole-campaign run.
+func runShardWorker(cfg shardWorkerConfig) int {
+	a, err := shard.ParseAssignment(cfg.assignment)
+	if err != nil {
+		fatalUsage(err)
+	}
+	base := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		base, cancel = context.WithTimeout(base, cfg.timeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	drainCh := armDrainSignals(ctx, cancel, cfg.drainTO)
+
+	runner := cfg.rsv.Runner
+	if cfg.profile != nil {
+		runner = inject.WrapRunner(runner, cfg.profile)
+		fmt.Fprintf(os.Stderr, "rhfleet: shard %s: fault injection active: %s (seed %d)\n", a, cfg.profile, cfg.profile.Seed)
+	}
+	start := time.Now()
+	rc := shard.RunConfig{
+		Dir:           cfg.dir,
+		Assignment:    a,
+		Spec:          cfg.rsv.Spec,
+		Runner:        runner,
+		Drain:         drainCh,
+		ArmCheckpoint: armFailpoint,
+		Log:           func(f string, args ...any) { fmt.Fprintf(os.Stderr, "rhfleet: "+f+"\n", args...) },
+	}
+	if !cfg.quiet {
+		rc.Progress = func(done, total int, rec rh.CampaignRecord) {
+			status := "ok"
+			if rec.Err != "" {
+				status = "FAILED: " + rec.Err
+			}
+			fmt.Fprintf(os.Stderr, "rhfleet: shard %s [%d/%d] %-24s %s (%.1fs elapsed)\n",
+				a, done, total, rec.Key, status, time.Since(start).Seconds())
+		}
+	}
+	res, err := shard.RunShard(ctx, rc)
+	if res != nil {
+		fmt.Fprintf(os.Stderr, "rhfleet: shard %s: %d run, %d resumed, %d retried, %d failed in %v\n",
+			a, res.Completed, res.Skipped, res.Retried, res.Failed, time.Since(start).Round(time.Millisecond))
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, rh.ErrCampaignDrained):
+			fmt.Fprintf(os.Stderr, "rhfleet: shard %s drained; checkpoint flushed — the coordinator (or a rerun) resumes it\n", a)
+			return 3
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "rhfleet: shard %s interrupted (%v)\n", a, err)
+			return 3
+		case res != nil && res.Quarantined > 0:
+			fmt.Fprintf(os.Stderr, "rhfleet: shard %s partial: %d jobs quarantined (modules %s)\n",
+				a, res.Quarantined, strings.Join(res.QuarantinedModules(), ", "))
+			return 4
+		default:
+			fmt.Fprintf(os.Stderr, "rhfleet: shard %s: %v\n", a, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// coordinatorConfig parameterizes a -coordinate N run.
+type coordinatorConfig struct {
+	dir         string
+	shards      int
+	wire        server.Spec
+	rsv         server.Resolved
+	faults      string
+	quiet       bool
+	timeout     time.Duration
+	drainTO     time.Duration
+	leaseTTL    time.Duration
+	maxRespawns int
+	format      string
+	sumOut      string
+	artOut      string
+}
+
+// runCoordinator is the -coordinate N mode: persist the wire spec,
+// spawn one rhfleet -shard worker per incomplete shard, supervise
+// leases, reassign dead shards, and merge.
+func runCoordinator(cfg coordinatorConfig) int {
+	if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
+		fatal(err)
+	}
+	// Persist the wire spec first: workers are spawned with
+	// `-spec <dir>/spec.json`, and any later merge or coordinator
+	// restart reads the campaign from the directory itself.
+	wb, err := json.MarshalIndent(cfg.wire, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := durable.AtomicWriteFile(shard.SpecPath(cfg.dir), append(wb, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	base := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		base, cancel = context.WithTimeout(base, cfg.timeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	drainCh := armDrainSignals(ctx, cancel, cfg.drainTO)
+
+	failShard, failOff := parseShardFailpoint()
+	spawn := func(ctx context.Context, a shard.Assignment, gen int) (shard.WorkerHandle, error) {
+		args := []string{
+			"-shard", a.String(),
+			"-shard-dir", cfg.dir,
+			"-spec", shard.SpecPath(cfg.dir),
+		}
+		if cfg.quiet {
+			args = append(args, "-quiet")
+		}
+		if cfg.faults != "" {
+			args = append(args, "-fault-profile", cfg.faults)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		cmd.Env = workerEnv(a, gen, failShard, failOff)
+		cmd.SysProcAttr = workerSysProcAttr()
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &execWorker{cmd: cmd}, nil
+	}
+
+	start := time.Now()
+	res, rep, err := shard.Coordinate(ctx, shard.Config{
+		Dir:         cfg.dir,
+		Spec:        cfg.rsv.Spec,
+		Shards:      cfg.shards,
+		Spawn:       spawn,
+		LeaseTTL:    cfg.leaseTTL,
+		MaxRespawns: cfg.maxRespawns,
+		Drain:       drainCh,
+		Log:         func(f string, args ...any) { fmt.Fprintf(os.Stderr, "rhfleet: "+f+"\n", args...) },
+	})
+	if res != nil && rep != nil {
+		fmt.Fprintf(os.Stderr, "rhfleet: coordinated %d shard(s): %d/%d job(s) recorded, %d failed in %v\n",
+			cfg.shards, rep.Records, res.Total, rep.Failed, time.Since(start).Round(time.Millisecond))
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, rh.ErrCampaignDrained):
+			fmt.Fprintf(os.Stderr, "rhfleet: drained; rerun `rhfleet -coordinate %d -shard-dir %s` to finish\n", cfg.shards, cfg.dir)
+			return 3
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "rhfleet: interrupted (%v); rerun -coordinate to resume\n", err)
+			return 3
+		default:
+			fmt.Fprintf(os.Stderr, "rhfleet: %v\n", err)
+			return 1
+		}
+	}
+	return emitMerged(cfg.rsv, res, rep, cfg.format, cfg.sumOut, cfg.artOut)
+}
+
+// runMergeShards is the -merge-shards mode: fold whatever shard
+// checkpoints exist under dir into the campaign deliverable. Partial
+// directories merge too (exit 3, coverage accounted in the summary);
+// a checkpoint from a different campaign is a named, typed refusal.
+func runMergeShards(dir string, rsv server.Resolved, format, sumOut, artOut string) int {
+	paths, err := filepath.Glob(shard.CheckpointGlob(dir))
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no shard checkpoints (%s) found", shard.CheckpointGlob(dir)))
+	}
+	res, rep, err := shard.MergeShards(rsv.Spec, paths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhfleet: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "rhfleet: merged %d shard checkpoint(s): %d record(s), %d superseded, %d failed, %d missing\n",
+		rep.Files, rep.Records, rep.Duplicates, rep.Failed, len(rep.Missing))
+	return emitMerged(rsv, res, rep, format, sumOut, artOut)
+}
+
+// emitMerged prints and publishes a merged result exactly as the
+// single-process path would: the experiment artifact (complete,
+// failure-free campaigns only) or the fleet summary, published
+// atomically when an output path is set. Exit codes match the
+// single-process conventions: 0 complete, 3 incomplete (resumable),
+// 4 quarantined coverage loss, 1 failed jobs.
+func emitMerged(rsv server.Resolved, res *campaign.Result, rep *shard.MergeReport, format, sumOut, artOut string) int {
+	if rsv.Exp != nil {
+		if !rep.Complete() || rep.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "rhfleet: experiment artifact not published: %d job(s) missing, %d failed\n",
+				len(rep.Missing), rep.Failed)
+			if !rep.Complete() {
+				return 3
+			}
+			return 1
+		}
+		if err := publishArtifact(*rsv.Exp, res, format, artOut); err != nil {
+			fatal(err)
+		}
+		return 0
+	}
+	summary, err := campaign.Aggregate(res).MarshalIndent()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(summary))
+	if sumOut != "" && rep.Complete() {
+		if err := durable.AtomicWriteFile(sumOut, append(summary, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	switch {
+	case !rep.Complete():
+		return 3
+	case quarantinedCount(res) > 0:
+		return 4
+	case rep.Failed > 0:
+		return 1
+	}
+	return 0
+}
+
+func quarantinedCount(res *campaign.Result) int {
+	n := 0
+	for _, rec := range res.Records {
+		if rec.Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// execWorker adapts an exec'd rhfleet -shard subprocess to the
+// coordinator's WorkerHandle.
+type execWorker struct{ cmd *exec.Cmd }
+
+func (w *execWorker) Wait() error { return w.cmd.Wait() }
+func (w *execWorker) Kill() {
+	if p := w.cmd.Process; p != nil {
+		p.Kill()
+	}
+}
+
+// Drain forwards the coordinator's graceful shutdown: SIGTERM
+// triggers the worker's own drain path (finish in-flight jobs, flush
+// the checkpoint, exit 3).
+func (w *execWorker) Drain() {
+	if p := w.cmd.Process; p != nil {
+		p.Signal(syscall.SIGTERM)
+	}
+}
+
+// parseShardFailpoint reads RHFLEET_SHARD_FAILPOINT="i:off" — the
+// crash-drill seam: arm RHFLEET_FAILPOINT=off on shard i's
+// generation-0 worker only, so the drill kills exactly one worker at
+// an exact checkpoint byte and the reassigned generation runs clean.
+func parseShardFailpoint() (shardIdx int, off string) {
+	v := os.Getenv("RHFLEET_SHARD_FAILPOINT")
+	i, rest, ok := strings.Cut(v, ":")
+	if !ok {
+		return -1, ""
+	}
+	idx, err := strconv.Atoi(i)
+	if err != nil || idx < 0 || rest == "" {
+		return -1, ""
+	}
+	return idx, rest
+}
+
+// workerEnv builds a shard worker's environment: the coordinator's
+// own failpoint variables are stripped (a coordinator under drill
+// must not arm every worker), then the per-shard failpoint is armed
+// on the targeted generation-0 worker.
+func workerEnv(a shard.Assignment, gen, failShard int, failOff string) []string {
+	env := make([]string, 0, len(os.Environ())+1)
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, "RHFLEET_FAILPOINT=") || strings.HasPrefix(kv, "RHFLEET_SHARD_FAILPOINT=") {
+			continue
+		}
+		env = append(env, kv)
+	}
+	if a.Index == failShard && gen == 0 && failOff != "" {
+		env = append(env, "RHFLEET_FAILPOINT="+failOff)
+	}
+	return env
+}

@@ -1,0 +1,13 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// workerSysProcAttr ties shard workers to the coordinator with
+// PDEATHSIG: if the coordinator is SIGKILLed, the kernel kills its
+// workers too, so a restarted coordinator never races orphans for the
+// shard leases.
+func workerSysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package main
+
+import "syscall"
+
+// workerSysProcAttr: PDEATHSIG is Linux-only; elsewhere a killed
+// coordinator can leave workers running, and the shard leases are
+// what keeps a successor from double-running their slices.
+func workerSysProcAttr() *syscall.SysProcAttr { return nil }

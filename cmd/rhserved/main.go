@@ -57,6 +57,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8077", "HTTP listen address")
 		storeDir = flag.String("store", "", "artifact store directory (required; created if missing)")
 		maxAct   = flag.Int("max-active", 2, "campaigns running concurrently; the rest queue FIFO")
+		maxQ     = flag.Int("max-queued", 0, "bound the FIFO submit queue; a full queue answers 429 with Retry-After (0 = unbounded)")
 		budget   = flag.Int("worker-budget", 0, "worker-pool cap per campaign (0 = no cap)")
 		drainTO  = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs after the first SIGINT/SIGTERM")
 	)
@@ -82,6 +83,7 @@ func main() {
 
 	mgr, err := server.NewManager(st, server.ManagerConfig{
 		MaxActive:    *maxAct,
+		MaxQueued:    *maxQ,
 		WorkerBudget: *budget,
 		Log:          logf,
 	})

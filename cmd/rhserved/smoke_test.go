@@ -327,3 +327,51 @@ func TestServeSmokeKillResume(t *testing.T) {
 		t.Fatalf("drain after recovery exit code = %d", code)
 	}
 }
+
+// TestServeSmokeHealthzDraining: once the first SIGTERM starts the
+// drain, /healthz must flip from 200 to 503 with "draining": true
+// while in-flight jobs finish — the readiness signal a load balancer
+// needs to stop routing submits at a daemon that is shutting down.
+func TestServeSmokeHealthzDraining(t *testing.T) {
+	dir := t.TempDir()
+	// workers=1 over a 16-job campaign keeps the daemon busy long
+	// enough that the drain window is observable.
+	d := startDaemon(t, dir, "-worker-budget", "1")
+	var health map[string]any
+	if code := getJSON(t, d.base+"/healthz", &health); code != http.StatusOK || health["ok"] != true {
+		t.Fatalf("healthz before drain: %d %+v", code, health)
+	}
+	submit(t, d, `{"kind":"hcfirst","mfrs":["A","B","C","D"],"modules_per_mfr":4,"scale":"tiny","seed":5,"workers":1}`)
+
+	// Hammer /healthz from before the signal until the listener
+	// closes, recording whether the draining 503 was ever served.
+	sawDraining := make(chan bool, 1)
+	go func() {
+		saw := false
+		for {
+			resp, err := http.Get(d.base + "/healthz")
+			if err != nil {
+				sawDraining <- saw
+				return
+			}
+			var body map[string]any
+			json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable && body["draining"] == true {
+				saw = true
+			}
+		}
+	}()
+
+	if code := d.signalAndWait(t, syscall.SIGTERM); code != 0 {
+		t.Fatalf("SIGTERM exit code = %d\nlog:\n%s", code, d.log())
+	}
+	select {
+	case saw := <-sawDraining:
+		if !saw {
+			t.Fatalf("healthz never reported draining during shutdown\nlog:\n%s", d.log())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthz poller never observed the listener closing")
+	}
+}

@@ -36,8 +36,19 @@ const checkpointHeaderPrefix = "#rhckpt"
 // (kind, module set, seed, scale) from silently polluting another.
 var ErrSpecMismatch = errors.New("campaign: checkpoint belongs to a different campaign spec")
 
+// ErrShardMismatch is returned when a checkpoint's header carries a
+// shard assignment that disagrees with the resuming process — a shard
+// worker must not adopt another shard's slice of the grid, and a
+// whole-campaign resume must not silently absorb one shard's partial
+// records as if they were the full campaign.
+var ErrShardMismatch = errors.New("campaign: checkpoint belongs to a different shard assignment")
+
 // CheckpointHeader is the self-describing first line of a v2
-// checkpoint.
+// checkpoint. Of > 0 marks a shard checkpoint: the file holds shard
+// Shard of Of's disjoint slice of the job grid, not the whole
+// campaign. Spec stays the campaign identity hash — identical across
+// all shards of one campaign — which is what lets a merge verify that
+// every shard file measured the same thing.
 type CheckpointHeader struct {
 	Version       int      `json:"v"`
 	Spec          string   `json:"spec"`
@@ -45,7 +56,13 @@ type CheckpointHeader struct {
 	Mfrs          []string `json:"mfrs"`
 	ModulesPerMfr int      `json:"modules_per_mfr"`
 	Seed          uint64   `json:"seed"`
+	Shard         int      `json:"shard,omitempty"`
+	Of            int      `json:"of,omitempty"`
 }
+
+// Sharded reports whether the header describes one shard's slice of
+// the campaign rather than the whole grid.
+func (h CheckpointHeader) Sharded() bool { return h.Of > 0 }
 
 // HeaderForSpec builds the v2 header describing spec.
 func HeaderForSpec(spec Spec) CheckpointHeader {
@@ -212,11 +229,19 @@ func (cw *CheckpointWriter) Close() error {
 // CreateCheckpoint creates (or truncates) path as a fresh v2
 // checkpoint for spec. The header is written with the first record.
 func CreateCheckpoint(path string, spec Spec) (*CheckpointWriter, error) {
+	return CreateShardCheckpoint(path, spec, 0, 0)
+}
+
+// CreateShardCheckpoint creates (or truncates) path as a fresh v2
+// checkpoint holding shard shard/of's slice of the campaign; of = 0
+// creates a whole-campaign checkpoint.
+func CreateShardCheckpoint(path string, spec Spec, shard, of int) (*CheckpointWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	cw := NewCheckpointWriter(f, spec)
+	cw.header.Shard, cw.header.Of = shard, of
 	cw.closer = f
 	return cw, nil
 }
@@ -224,11 +249,21 @@ func CreateCheckpoint(path string, spec Spec) (*CheckpointWriter, error) {
 // AppendCheckpoint opens path for appending new records of the same
 // campaign. An existing v2 header is verified against spec
 // (ErrSpecMismatch protects against resuming into the wrong
-// campaign); a file killed mid-line gets a newline first so the torn
-// tail is isolated as one quarantinable line instead of corrupting
-// the first new record; an empty or headerless (v1) file gets a v2
-// header before the first appended record.
+// campaign, ErrShardMismatch against adopting one shard's partial
+// slice as the whole campaign); a file killed mid-line gets a newline
+// first so the torn tail is isolated as one quarantinable line
+// instead of corrupting the first new record; an empty or headerless
+// (v1) file gets a v2 header before the first appended record.
 func AppendCheckpoint(path string, spec Spec) (*CheckpointWriter, error) {
+	return AppendShardCheckpoint(path, spec, 0, 0)
+}
+
+// AppendShardCheckpoint opens path for appending records of shard
+// shard/of of the campaign. The existing header — when present —
+// must carry both the campaign identity and the same shard
+// assignment: shard checkpoints from different campaigns or
+// different slices never silently interleave.
+func AppendShardCheckpoint(path string, spec Spec, shard, of int) (*CheckpointWriter, error) {
 	header, hasHeader, tornTail, err := scanCheckpointFile(path)
 	if err != nil {
 		return nil, err
@@ -239,12 +274,17 @@ func AppendCheckpoint(path string, spec Spec) (*CheckpointWriter, error) {
 			return nil, fmt.Errorf("%w: %s has spec %s (kind %s, %d mfrs × %d modules, seed %d), campaign has spec %s",
 				ErrSpecMismatch, path, header.Spec, header.Kind, len(header.Mfrs), header.ModulesPerMfr, header.Seed, want.Spec)
 		}
+		if header.Shard != shard || header.Of != of {
+			return nil, fmt.Errorf("%w: %s holds %s, this process is %s",
+				ErrShardMismatch, path, describeShard(header.Shard, header.Of), describeShard(shard, of))
+		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	cw := NewCheckpointWriter(f, spec)
+	cw.header.Shard, cw.header.Of = shard, of
 	cw.closer = f
 	cw.headerWritten = hasHeader
 	if tornTail {
@@ -254,6 +294,14 @@ func AppendCheckpoint(path string, spec Spec) (*CheckpointWriter, error) {
 		}
 	}
 	return cw, nil
+}
+
+// describeShard names a header's shard assignment for error messages.
+func describeShard(shard, of int) string {
+	if of <= 0 {
+		return "the whole campaign"
+	}
+	return fmt.Sprintf("shard %d/%d", shard, of)
 }
 
 // scanCheckpointFile reports the first valid v2 header of path (if

@@ -81,6 +81,13 @@ type Options struct {
 	// Done holds records from a previous run (see ReadCheckpoint);
 	// successful entries are adopted without re-running their jobs.
 	Done map[string]Record
+	// Only, when non-nil, restricts the run to the jobs whose keys it
+	// contains — the shard filter: a shard worker executes (and
+	// checkpoints, and counts in its totals) exactly its assigned
+	// slice of the job grid, so N disjoint shard runs cover the
+	// campaign with no overlap and their merged records equal a
+	// single-process run's.
+	Only map[string]bool
 	// Drain, when non-nil, is the graceful-shutdown signal: once it is
 	// closed (or delivers), the engine stops dispatching queued jobs
 	// but lets in-flight jobs finish and checkpoint under ctx, then
@@ -99,6 +106,9 @@ type Result struct {
 	// Records maps job key → record for every job that has a result,
 	// including records adopted from a resume checkpoint.
 	Records map[string]Record
+	// Total is the number of jobs this run was responsible for: the
+	// full grid, or the Options.Only slice of it for shard runs.
+	Total int
 	// Completed counts jobs run to success by this engine invocation,
 	// Skipped jobs adopted from the resume checkpoint, and Failed jobs
 	// that exhausted their retries (including cancellations and
@@ -142,7 +152,16 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("campaign: Options.Runner is required")
 	}
 	jobs := Expand(spec)
-	res := &Result{Spec: spec, Records: make(map[string]Record, len(jobs))}
+	if opts.Only != nil {
+		kept := make([]Job, 0, len(opts.Only))
+		for _, j := range jobs {
+			if opts.Only[j.Key()] {
+				kept = append(kept, j)
+			}
+		}
+		jobs = kept
+	}
+	res := &Result{Spec: spec, Total: len(jobs), Records: make(map[string]Record, len(jobs))}
 
 	pending := make([]Job, 0, len(jobs))
 	for _, j := range jobs {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -182,5 +183,79 @@ func TestDrainNeverFiringIsHarmless(t *testing.T) {
 	}
 	if res.Completed != 2 {
 		t.Fatalf("completed = %d, want 2", res.Completed)
+	}
+}
+
+// TestWatchdogLateReturnDoesNotCorruptCheckpoint: an abandoned
+// attempt's goroutine eventually returns — long after the watchdog
+// gave up and the bounded retry already recorded the job. The late
+// result must be swallowed, never checkpointed: the checkpoint holds
+// exactly one clean record for the job, and it is the retry's, not
+// the zombie's (latest-wins precedence is for crash/resume rework,
+// not a back door for abandoned attempts).
+func TestWatchdogLateReturnDoesNotCorruptCheckpoint(t *testing.T) {
+	spec := testSpec([]string{"A"}, 1)
+	spec.Workers = 1
+	spec.MaxRetries = 1
+	spec.JobTimeout = 10 * time.Millisecond
+	spec.WatchdogFactor = 2
+	nspec, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int32
+	release := make(chan struct{})
+	lateReturned := make(chan struct{})
+	runner := func(ctx context.Context, spec Spec, job Job) (Record, error) {
+		if calls.Add(1) == 1 {
+			// Wedged: no ctx, no heartbeat. The watchdog abandons this
+			// attempt; the goroutine lives on until the test releases it.
+			<-release
+			defer close(lateReturned)
+			return Record{Pattern: "zombie", Metrics: map[string]float64{"hc_min": 1}}, nil
+		}
+		return Record{Pattern: "retry", Metrics: map[string]float64{"hc_min": 2}}, nil
+	}
+
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cw, err := CreateCheckpoint(path, nspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), nspec, Options{Runner: runner, Records: cw})
+	if err != nil {
+		t.Fatalf("retry should have rescued the job: %v", err)
+	}
+	if res.Retried != 1 || res.Completed != 1 {
+		t.Fatalf("result = %+v, want 1 retried, 1 completed", res)
+	}
+
+	// Now let the zombie return its stale success and give any buggy
+	// write path a moment to land before sealing the checkpoint.
+	close(release)
+	<-lateReturned
+	time.Sleep(20 * time.Millisecond)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := LoadCheckpointReport(path, ResumeOptions{ExpectSpec: &nspec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DuplicateRecords != 0 || rep.CorruptRecords != 0 || rep.TornFinal {
+		t.Fatalf("checkpoint not clean: %d duplicate(s), %d corrupt, torn=%v",
+			rep.DuplicateRecords, rep.CorruptRecords, rep.TornFinal)
+	}
+	if len(rep.Records) != 1 {
+		t.Fatalf("checkpoint has %d records, want exactly 1", len(rep.Records))
+	}
+	rec, ok := rep.Records["hcfirst/A/0"]
+	if !ok {
+		t.Fatalf("job record missing; have %v", rep.Records)
+	}
+	if rec.Failed() || rec.Attempts != 2 || rec.Pattern != "retry" {
+		t.Fatalf("final record = %+v, want the retry's success (attempts=2)", rec)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"rowhammer/internal/campaign"
 	"rowhammer/internal/durable"
 	"rowhammer/internal/exp"
+	"rowhammer/internal/shard"
 	"rowhammer/internal/store"
 )
 
@@ -30,6 +31,18 @@ const (
 
 // ErrDraining is returned by Submit once graceful shutdown has begun.
 var ErrDraining = errors.New("server: draining; not accepting new campaigns")
+
+// QueueFullError is returned by Submit when the FIFO queue is at
+// ManagerConfig.MaxQueued — the backpressure signal the HTTP layer
+// turns into 429 + Retry-After.
+type QueueFullError struct {
+	// Queued is the current queue depth; Max the configured bound.
+	Queued, Max int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("server: submit queue full (%d queued, max %d); retry later", e.Queued, e.Max)
+}
 
 // Status is one campaign's externally visible state — the GET
 // /v1/campaigns/{id} body and the SSE event payload.
@@ -70,6 +83,9 @@ type ManagerConfig struct {
 	// MaxActive bounds concurrently running campaigns (<1 = 1);
 	// further submissions queue FIFO.
 	MaxActive int
+	// MaxQueued bounds the FIFO queue (0 = unbounded): when the queue
+	// is full, Submit returns *QueueFullError instead of enqueueing.
+	MaxQueued int
 	// WorkerBudget caps each campaign's worker pool (0 = no cap) so
 	// concurrent campaigns cannot oversubscribe the machine.
 	WorkerBudget int
@@ -239,6 +255,9 @@ func (m *Manager) Submit(wire Spec) (Status, bool, error) {
 	if m.draining {
 		return Status{}, false, ErrDraining
 	}
+	if m.cfg.MaxQueued > 0 && len(m.queue) >= m.cfg.MaxQueued {
+		return Status{}, false, &QueueFullError{Queued: len(m.queue), Max: m.cfg.MaxQueued}
+	}
 	// Persist the spec before acknowledging: a crash after Submit
 	// returns must be able to re-enqueue the campaign.
 	if err := os.MkdirAll(r.dir, 0o755); err != nil {
@@ -406,6 +425,9 @@ func (m *Manager) runCampaign(r *runState) {
 
 // execute is the fallible body of runCampaign.
 func (m *Manager) execute(r *runState) error {
+	if n := r.wire.Shards; n > 1 {
+		return m.executeSharded(r, n)
+	}
 	cs := r.resolved.Spec
 	ckpt := filepath.Join(r.dir, "ckpt.jsonl")
 
@@ -458,6 +480,12 @@ func (m *Manager) execute(r *runState) error {
 	if res.Failed > 0 {
 		return fmt.Errorf("campaign %s: %d of %d jobs failed", r.id, res.Failed, res.Jobs())
 	}
+	return m.finish(r, res)
+}
+
+// finish publishes a complete, failure-free result and marks the
+// campaign done.
+func (m *Manager) finish(r *runState, res *campaign.Result) error {
 	meta, err := m.ingest(r, res)
 	if err != nil {
 		return fmt.Errorf("campaign %s: publishing artifact: %w", r.id, err)
@@ -466,6 +494,96 @@ func (m *Manager) execute(r *runState) error {
 	r.update(func(s *Status) { s.State = StateDone; s.ArtifactID = meta.ID })
 	m.persistStatus(r)
 	return nil
+}
+
+// inprocWorker adapts a RunShard goroutine to the coordinator's
+// WorkerHandle: Kill cancels the worker's context, Drain stops its
+// dispatch gracefully, and Wait does not return until RunShard has
+// released the shard lease.
+type inprocWorker struct {
+	cancel    context.CancelFunc
+	drainOnce sync.Once
+	drain     chan struct{}
+	done      chan struct{}
+	err       error
+}
+
+func (w *inprocWorker) Wait() error { <-w.done; return w.err }
+func (w *inprocWorker) Kill()       { w.cancel() }
+func (w *inprocWorker) Drain()      { w.drainOnce.Do(func() { close(w.drain) }) }
+
+// executeSharded fans one campaign across n in-process shard workers
+// under the shard coordinator: each worker runs its slice of the grid
+// with its own checkpoint and lease in <campaign>/shards, the
+// campaign's worker budget is divided among the shards, and the
+// merged result ingests byte-identical to an unsharded run. The same
+// directory and file formats as `rhfleet -coordinate` means the two
+// supervision paths share one on-disk truth and one merge.
+func (m *Manager) executeSharded(r *runState, n int) error {
+	cs := r.resolved.Spec
+	dir := filepath.Join(r.dir, "shards")
+
+	// Divide the campaign's worker budget among shards; identity is
+	// unaffected (Workers is a scheduling knob).
+	shardSpec := cs
+	if per := cs.Workers / n; per > 0 {
+		shardSpec.Workers = per
+	} else {
+		shardSpec.Workers = 1
+	}
+
+	// Campaign-wide progress: shards report concurrently and respawns
+	// re-report resumed jobs, so counts are by unique job key.
+	var progMu sync.Mutex
+	seen := make(map[string]bool)
+	failed := make(map[string]bool)
+	progress := func(_, _ int, rec campaign.Record) {
+		progMu.Lock()
+		seen[rec.Key] = true
+		if rec.Failed() {
+			failed[rec.Key] = true
+		} else {
+			delete(failed, rec.Key)
+		}
+		jobsDone, jobsFailed := len(seen), len(failed)
+		progMu.Unlock()
+		r.update(func(s *Status) { s.Done, s.Failed = jobsDone, jobsFailed })
+	}
+
+	spawn := func(ctx context.Context, a shard.Assignment, gen int) (shard.WorkerHandle, error) {
+		wctx, cancel := context.WithCancel(ctx)
+		w := &inprocWorker{cancel: cancel, drain: make(chan struct{}), done: make(chan struct{})}
+		go func() {
+			defer close(w.done)
+			defer cancel()
+			_, w.err = shard.RunShard(wctx, shard.RunConfig{
+				Dir:        dir,
+				Assignment: a,
+				Spec:       shardSpec,
+				Runner:     r.resolved.Runner,
+				Drain:      w.drain,
+				Progress:   progress,
+			})
+		}()
+		return w, nil
+	}
+
+	r.update(func(s *Status) { s.State = StateRunning })
+	res, rep, err := shard.Coordinate(m.ctx, shard.Config{
+		Dir:    dir,
+		Spec:   cs,
+		Shards: n,
+		Spawn:  spawn,
+		Drain:  m.drainCh,
+		Log:    func(f string, args ...any) { m.cfg.Log("campaign "+r.id+": "+f, args...) },
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("campaign %s: %d of %d jobs failed", r.id, rep.Failed, res.Total)
+	}
+	return m.finish(r, res)
 }
 
 // ingest publishes the campaign's deliverable into the store:
@@ -516,6 +634,14 @@ func (m *Manager) persistStatus(r *runState) {
 	if err != nil {
 		m.cfg.Log("campaign %s: persisting status: %v", r.id, err)
 	}
+}
+
+// Draining reports whether graceful shutdown has begun — the health
+// endpoint's signal to tell load balancers to stop routing here.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // Drain begins graceful shutdown: no new campaigns are accepted or

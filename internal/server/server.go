@@ -68,9 +68,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, existing, err := s.mgr.Submit(spec)
+	var qerr *QueueFullError
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.As(err, &qerr):
+		// Backpressure, not rejection: the queue is full right now.
+		// Retry-After is a heuristic (campaigns vary in length), but
+		// it keeps well-behaved clients from hammering a full queue.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -236,7 +244,17 @@ func cutLabel(s string) (name, value string, ok bool) {
 	return "", "", false
 }
 
+// handleHealthz reports liveness and store size. Once the daemon
+// starts draining it answers 503 with "draining": true — readiness,
+// not liveness: the process is healthy but should receive no new
+// traffic, which is exactly what load-balancer health checks consume.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ok": false, "draining": true, "artifacts": s.st.Len(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "artifacts": s.st.Len()})
 }
 

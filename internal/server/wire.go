@@ -46,6 +46,12 @@ type Spec struct {
 	RetryBackoffMS   int64 `json:"retry_backoff_ms"`
 	BreakerThreshold int   `json:"breaker_threshold"`
 	WatchdogFactor   int   `json:"watchdog_factor"`
+	// Shards, when > 1, fans the campaign across that many
+	// internally supervised shard workers (internal/shard), each with
+	// its own checkpoint and lease. An execution knob like Workers:
+	// it is excluded from the campaign's identity, and the merged
+	// result is byte-identical to an unsharded run of the same spec.
+	Shards int `json:"shards,omitempty"`
 }
 
 // CampaignSpec lowers the wire spec to the library spec, resolving

@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"rowhammer/internal/campaign"
+	"rowhammer/internal/durable"
+)
+
+// WorkerHandle is a running shard worker as the coordinator sees it —
+// an exec'd rhfleet subprocess or an in-process goroutine; the
+// coordinator does not care which.
+type WorkerHandle interface {
+	// Wait blocks until the worker has fully stopped. For in-process
+	// workers this must not return before the shard lease is
+	// released, or the respawned successor will find the lease held.
+	// Wait returns nil only when the worker finished its shard
+	// cleanly; any other outcome (crash, drain, failed jobs) is a
+	// non-nil error, and the coordinator re-reads the checkpoint to
+	// decide what remains.
+	Wait() error
+	// Kill stops the worker immediately (SIGKILL or context cancel).
+	Kill()
+}
+
+// DrainableWorker is optionally implemented by handles that can be
+// asked to stop gracefully: finish in-flight jobs, checkpoint, exit.
+type DrainableWorker interface{ Drain() }
+
+// SpawnFunc starts a worker for one shard. gen is 0 for the first
+// spawn and increments on every reassignment of that shard — the seam
+// crash drills use to arm a failpoint on one generation only.
+type SpawnFunc func(ctx context.Context, a Assignment, gen int) (WorkerHandle, error)
+
+// Config configures a Coordinate run.
+type Config struct {
+	// Dir is the shard directory (created if absent).
+	Dir string
+	// Spec is the resolved campaign spec all shards execute.
+	Spec campaign.Spec
+	// Shards is the partition width N (>= 1).
+	Shards int
+	// Spawn starts one shard worker (required).
+	Spawn SpawnFunc
+	// LeaseTTL is how long a held lease may go without a heartbeat
+	// before the worker is declared stalled and killed. Default 15s.
+	LeaseTTL time.Duration
+	// Poll is the lease-probe interval. Default LeaseTTL/4.
+	Poll time.Duration
+	// MaxRespawns bounds reassignments per shard; exceeding it aborts
+	// the campaign rather than respawning a crash-looping worker
+	// forever. Default 3.
+	MaxRespawns int
+	// Drain, when delivered or closed, stops the run gracefully:
+	// workers are asked to drain, nothing is respawned, and Coordinate
+	// returns campaign.ErrDrained if the grid is incomplete.
+	Drain <-chan struct{}
+	// Log, when non-nil, receives one-line progress messages.
+	Log func(format string, args ...any)
+}
+
+// exitEvent is one worker's termination as seen by the event loop.
+type exitEvent struct {
+	idx int
+	gen int
+	err error
+}
+
+// Coordinate supervises an N-way sharded campaign run to completion:
+// spawn a worker per incomplete shard, probe leases to catch dead and
+// stalled workers, reassign a dead shard's remaining jobs to a fresh
+// worker (bounded by MaxRespawns), and finally merge the shard
+// checkpoints into one result byte-identical to a single-process run.
+//
+// A shard counts as complete when every job it owns has a checkpoint
+// record — failed records included, matching single-process semantics
+// where a job that exhausts its retries is recorded, not respawned.
+// Completion is always judged from the checkpoints on disk, never
+// from worker exit codes, so a coordinator that is itself killed and
+// restarted picks up exactly where the directory says things stand.
+func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport, error) {
+	spec, err := cfg.Spec.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Shards < 1 {
+		return nil, nil, fmt.Errorf("shard: Config.Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Spawn == nil {
+		return nil, nil, fmt.Errorf("shard: Config.Spawn is required")
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = ttl / 4
+	}
+	maxRespawns := cfg.MaxRespawns
+	if maxRespawns <= 0 {
+		maxRespawns = 3
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	coordLock, err := durable.AcquireLock(CoordinatorLockPath(cfg.Dir))
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: another coordinator owns %s: %w", cfg.Dir, err)
+	}
+	defer coordLock.Release()
+
+	parts := Partition(cfg.Shards)
+	active := make(map[int]WorkerHandle, cfg.Shards)
+	gens := make(map[int]int, cfg.Shards)
+	done := make(map[int]bool, cfg.Shards)
+	exits := make(chan exitEvent, cfg.Shards)
+
+	spawn := func(a Assignment) error {
+		gen := gens[a.Index]
+		h, err := cfg.Spawn(ctx, a, gen)
+		if err != nil {
+			return fmt.Errorf("shard %s: spawn: %w", a, err)
+		}
+		active[a.Index] = h
+		go func(idx, gen int, h WorkerHandle) {
+			exits <- exitEvent{idx: idx, gen: gen, err: h.Wait()}
+		}(a.Index, gen, h)
+		return nil
+	}
+	killAll := func() {
+		for _, h := range active {
+			h.Kill()
+		}
+		for len(active) > 0 {
+			ev := <-exits
+			delete(active, ev.idx)
+		}
+	}
+
+	// Judge every shard from disk before spawning anything: a restarted
+	// coordinator skips shards whose checkpoints are already complete.
+	for _, a := range parts {
+		missing, haveCkpt, err := shardMissing(spec, a, CheckpointPath(cfg.Dir, a))
+		if err != nil {
+			return nil, nil, err
+		}
+		if haveCkpt && len(missing) == 0 {
+			done[a.Index] = true
+			continue
+		}
+		if haveCkpt {
+			logf("shard %s: resuming, %d job(s) remaining", a, len(missing))
+		}
+		if err := spawn(a); err != nil {
+			killAll()
+			return nil, nil, err
+		}
+	}
+
+	draining := false
+	startDrain := func() {
+		if draining {
+			return
+		}
+		draining = true
+		logf("coordinator: draining %d active shard(s)", len(active))
+		for _, h := range active {
+			if d, ok := h.(DrainableWorker); ok {
+				d.Drain()
+			} else {
+				h.Kill()
+			}
+		}
+	}
+
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for len(active) > 0 {
+		select {
+		case <-ctx.Done():
+			killAll()
+			return nil, nil, ctx.Err()
+		case <-cfg.Drain:
+			startDrain()
+		case <-ticker.C:
+			// A dead worker surfaces through its exit event; the probe
+			// exists for stragglers — alive (flock held) but silent.
+			for idx, h := range active {
+				a := parts[idx]
+				p, err := ProbeLease(LeasePath(cfg.Dir, a))
+				if err != nil {
+					continue
+				}
+				if p.Stalled(ttl) {
+					logf("shard %s: stalled (no heartbeat for %s, pid %d); killing",
+						a, p.Age.Round(time.Second), p.Info.PID)
+					h.Kill()
+				}
+			}
+		case ev := <-exits:
+			delete(active, ev.idx)
+			a := parts[ev.idx]
+			missing, haveCkpt, merr := shardMissing(spec, a, CheckpointPath(cfg.Dir, a))
+			if merr != nil {
+				killAll()
+				return nil, nil, merr
+			}
+			if haveCkpt && len(missing) == 0 {
+				done[ev.idx] = true
+				if ev.err != nil {
+					// Every job has a record despite the non-clean exit:
+					// the worker died after its last record landed, or
+					// some jobs are recorded as failed.
+					logf("shard %s: complete (worker exited: %v)", a, ev.err)
+				} else {
+					logf("shard %s: complete", a)
+				}
+				continue
+			}
+			if draining {
+				logf("shard %s: drained with %d job(s) remaining", a, len(missing))
+				continue
+			}
+			gens[ev.idx]++
+			if gens[ev.idx] > maxRespawns {
+				killAll()
+				return nil, nil, fmt.Errorf(
+					"shard %s: gave up after %d reassignment(s); %d job(s) still missing (last worker: %v)",
+					a, maxRespawns, len(missing), ev.err)
+			}
+			logf("shard %s: worker gen %d died with %d job(s) remaining (%v); reassigning to gen %d",
+				a, ev.gen, len(missing), ev.err, gens[ev.idx])
+			if err := spawn(a); err != nil {
+				killAll()
+				return nil, nil, err
+			}
+		}
+	}
+
+	res, rep, err := MergeShards(spec, CheckpointPaths(cfg.Dir, cfg.Shards))
+	if err != nil {
+		return nil, nil, err
+	}
+	if !rep.Complete() {
+		if draining {
+			return res, rep, campaign.ErrDrained
+		}
+		return res, rep, fmt.Errorf("shard: merge incomplete: %d job(s) missing", len(rep.Missing))
+	}
+	return res, rep, nil
+}
+
+// shardMissing reports the shard's jobs that have no checkpoint
+// record at all (failed records count as done — they are results),
+// plus whether the checkpoint file exists yet.
+func shardMissing(spec campaign.Spec, a Assignment, ckptPath string) (missing []string, haveCkpt bool, err error) {
+	recs := map[string]campaign.Record{}
+	if _, statErr := os.Stat(ckptPath); statErr == nil {
+		haveCkpt = true
+		rep, lerr := campaign.LoadCheckpointReport(ckptPath, campaign.ResumeOptions{ExpectSpec: &spec})
+		if lerr != nil {
+			return nil, true, fmt.Errorf("shard %s: %s: %w", a, ckptPath, lerr)
+		}
+		if h := rep.Header; h != nil && (h.Shard != a.Index || h.Of != a.Of) {
+			return nil, true, fmt.Errorf("%w: %s holds shard %d/%d, expected %s",
+				campaign.ErrShardMismatch, ckptPath, h.Shard, h.Of, a)
+		}
+		recs = rep.Records
+	} else if !errors.Is(statErr, os.ErrNotExist) {
+		return nil, false, statErr
+	}
+	for _, j := range a.Jobs(spec) {
+		if _, ok := recs[j.Key()]; !ok {
+			missing = append(missing, j.Key())
+		}
+	}
+	return missing, haveCkpt, nil
+}

@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// Shard directory layout. One campaign's distributed run lives in a
+// single directory:
+//
+//	<dir>/spec.json          wire spec the workers were spawned with
+//	<dir>/coordinator.lock   one coordinator per directory (flock)
+//	<dir>/shard-0003.ckpt    shard 3's v2 checkpoint (shard-stamped header)
+//	<dir>/shard-0003.ckpt.lease  shard 3's lease (flock + heartbeat)
+//
+// Checkpoint names are zero-padded so shell globs and directory
+// listings sort in shard order.
+
+// CheckpointPath returns the shard's checkpoint path under dir.
+func CheckpointPath(dir string, a Assignment) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt", a.Index))
+}
+
+// LeasePath returns the shard's lease path under dir.
+func LeasePath(dir string, a Assignment) string {
+	return CheckpointPath(dir, a) + ".lease"
+}
+
+// SpecPath returns the persisted wire-spec path under dir.
+func SpecPath(dir string) string { return filepath.Join(dir, "spec.json") }
+
+// CoordinatorLockPath returns the coordinator's lockfile path.
+func CoordinatorLockPath(dir string) string { return filepath.Join(dir, "coordinator.lock") }
+
+// CheckpointGlob matches every shard checkpoint under dir.
+func CheckpointGlob(dir string) string { return filepath.Join(dir, "shard-*.ckpt") }
+
+// CheckpointPaths lists the checkpoint paths of an n-way split.
+func CheckpointPaths(dir string, n int) []string {
+	out := make([]string, n)
+	for i, a := range Partition(n) {
+		out[i] = CheckpointPath(dir, a)
+	}
+	return out
+}

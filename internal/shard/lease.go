@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"rowhammer/internal/durable"
+)
+
+// leaseVersion stamps heartbeat lines so a future layout change is
+// detectable instead of silently misread.
+const leaseVersion = 1
+
+// LeaseInfo is the heartbeat payload a shard worker keeps in its
+// lease file: identity (which shard of which campaign), the holder's
+// PID for diagnostics and stall-kills, and progress counters. The
+// line is CRC-trailed (durable.AppendCRCLine), so a probe reads
+// either a verified snapshot or knows it caught a torn rewrite — and
+// liveness never depends on the payload at all: that is the flock's
+// job.
+type LeaseInfo struct {
+	Version int    `json:"v"`
+	Shard   int    `json:"shard"`
+	Of      int    `json:"of"`
+	Spec    string `json:"spec"` // campaign identity hash
+	PID     int    `json:"pid"`
+	Seq     uint64 `json:"seq"`  // heartbeat counter, strictly increasing
+	Done    int    `json:"done"` // jobs finished (failed included)
+	Total   int    `json:"total"`
+}
+
+// Lease is a held shard lease: an exclusive flock on the lease file
+// plus the heartbeat line inside it. The kernel drops the flock the
+// instant the holder dies, so SIGKILL leaves nothing stale; Beat is
+// what a live holder does to prove it is not merely alive but making
+// progress.
+type Lease struct {
+	mu   sync.Mutex
+	lock *durable.Lock
+	info LeaseInfo
+}
+
+// AcquireLease takes the shard lease at path, failing with an error
+// wrapping durable.ErrLocked when a live process already holds it,
+// and writes the first heartbeat. Total may be 0 until the holder
+// knows its job count.
+func AcquireLease(path string, info LeaseInfo) (*Lease, error) {
+	lock, err := durable.AcquireLock(path)
+	if err != nil {
+		return nil, err
+	}
+	info.Version = leaseVersion
+	info.PID = os.Getpid()
+	info.Seq = 0
+	l := &Lease{lock: lock, info: info}
+	if err := l.write(); err != nil {
+		lock.Release()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Info returns the last written heartbeat.
+func (l *Lease) Info() LeaseInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.info
+}
+
+// Path returns the lease file path.
+func (l *Lease) Path() string { return l.lock.Path() }
+
+// Beat refreshes the heartbeat: bumps the sequence number, records
+// progress, and rewrites the line in place. The rewrite is not atomic
+// — the CRC trailer makes a torn read detectable, and liveness is
+// carried by the flock, not the bytes — so a single fsynced line is
+// all a lease ever holds.
+func (l *Lease) Beat(done, total int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.info.Seq++
+	l.info.Done, l.info.Total = done, total
+	return l.write()
+}
+
+// write rewrites the heartbeat line. Caller holds l.mu.
+func (l *Lease) write() error {
+	f := l.lock.File()
+	if f == nil {
+		return fmt.Errorf("shard: lease %s already released", l.lock.Path())
+	}
+	payload, err := json.Marshal(l.info)
+	if err != nil {
+		return err
+	}
+	line := durable.AppendCRCLine(nil, payload)
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("shard: lease %s: %w", l.lock.Path(), err)
+	}
+	if _, err := f.WriteAt(line, 0); err != nil {
+		return fmt.Errorf("shard: lease %s: %w", l.lock.Path(), err)
+	}
+	return f.Sync()
+}
+
+// Release drops the flock and removes the lease file. Safe on nil.
+func (l *Lease) Release() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lock.Release()
+}
+
+// Probe is a coordinator's view of one shard lease.
+type Probe struct {
+	// Held reports a live holder (the flock is taken). False means
+	// dead or never started — either way, nobody owns the shard.
+	Held bool
+	// Info is the last verified heartbeat; valid only when InfoOK.
+	// A dead shard's final heartbeat survives in the file (Release
+	// removes it on clean exit, SIGKILL does not), so a coordinator
+	// can still see how far the corpse got.
+	Info   LeaseInfo
+	InfoOK bool
+	// Age is the time since the heartbeat file was last written —
+	// the stall clock. Meaningful only when the file exists.
+	Age time.Duration
+}
+
+// Stalled reports a holder that is alive but has not heartbeat
+// within ttl — the straggler signal: the process holds its flock
+// (not dead) yet stopped proving progress.
+func (p Probe) Stalled(ttl time.Duration) bool {
+	return p.Held && ttl > 0 && p.Age > ttl
+}
+
+// ProbeLease inspects the lease at path without disturbing a live
+// holder: flock state via durable.ProbeLock, last verified heartbeat
+// via the CRC trailer, staleness via the file's mtime. A missing
+// file probes as unheld with no info.
+func ProbeLease(path string) (Probe, error) {
+	var p Probe
+	held, err := durable.ProbeLock(path)
+	if err != nil {
+		return p, err
+	}
+	p.Held = held
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return p, nil
+		}
+		return p, fmt.Errorf("shard: lease %s: %w", path, err)
+	}
+	if st, err := os.Stat(path); err == nil {
+		p.Age = time.Since(st.ModTime())
+	}
+	line := raw
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if payload, ok := durable.SplitCRCLine(line); ok {
+		var info LeaseInfo
+		if json.Unmarshal(payload, &info) == nil && info.Version == leaseVersion {
+			p.Info, p.InfoOK = info, true
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,154 @@
+package shard_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rowhammer/internal/durable"
+	"rowhammer/internal/shard"
+)
+
+func TestLeaseAcquireProbeBeatRelease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.lease")
+	l, err := shard.AcquireLease(path, shard.LeaseInfo{Shard: 1, Of: 4, Spec: "cafe", Total: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := shard.ProbeLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Held || !p.InfoOK {
+		t.Fatalf("live lease probes Held=%v InfoOK=%v", p.Held, p.InfoOK)
+	}
+	if p.Info.Shard != 1 || p.Info.Of != 4 || p.Info.Spec != "cafe" || p.Info.PID != os.Getpid() {
+		t.Fatalf("probe info = %+v", p.Info)
+	}
+
+	// A second acquire of a live lease must fail with ErrLocked.
+	if _, err := shard.AcquireLease(path, shard.LeaseInfo{Shard: 1, Of: 4}); !errors.Is(err, durable.ErrLocked) {
+		t.Fatalf("double acquire: want ErrLocked, got %v", err)
+	}
+
+	if err := l.Beat(7, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Beat(9, 10); err != nil {
+		t.Fatal(err)
+	}
+	p, err = shard.ProbeLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.InfoOK || p.Info.Done != 9 || p.Info.Seq != 2 {
+		t.Fatalf("after 2 beats: %+v", p.Info)
+	}
+
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	p, err = shard.ProbeLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Held || p.InfoOK {
+		t.Fatalf("released lease probes Held=%v InfoOK=%v", p.Held, p.InfoOK)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("clean release should remove the lease file")
+	}
+}
+
+func TestLeaseProbeMissing(t *testing.T) {
+	p, err := shard.ProbeLease(filepath.Join(t.TempDir(), "nope.lease"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Held || p.InfoOK {
+		t.Fatalf("missing lease probes %+v", p)
+	}
+}
+
+func TestLeaseStalled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.lease")
+	l, err := shard.AcquireLease(path, shard.LeaseInfo{Shard: 0, Of: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+
+	p, err := shard.ProbeLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stalled(time.Hour) {
+		t.Fatal("fresh lease reported stalled")
+	}
+	// Age the heartbeat file without beating.
+	old := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	p, err = shard.ProbeLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stalled(time.Second) {
+		t.Fatalf("aged live lease should stall (age %s)", p.Age)
+	}
+	// A beat rewrites the file and clears the stall.
+	if err := l.Beat(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	p, err = shard.ProbeLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stalled(time.Second) {
+		t.Fatal("beat did not clear the stall clock")
+	}
+	// Stalled is only meaningful for a live holder: a dead shard is
+	// dead, not stalled.
+	l.Release()
+	if err := writeFile(path, []byte("leftover")); err != nil {
+		t.Fatal(err)
+	}
+	os.Chtimes(path, old, old)
+	p, _ = shard.ProbeLease(path)
+	if p.Stalled(time.Second) {
+		t.Fatal("unheld lease reported stalled")
+	}
+}
+
+// TestLeaseTornRewrite: a probe that catches a torn heartbeat line
+// must report InfoOK=false, never garbage.
+func TestLeaseTornRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.lease")
+	l, err := shard.AcquireLease(path, shard.LeaseInfo{Shard: 2, Of: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn state mid-rewrite: truncate half the line.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := shard.ProbeLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Held {
+		t.Fatal("flock should still be held")
+	}
+	if p.InfoOK {
+		t.Fatal("torn heartbeat line must not verify")
+	}
+}

@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"rowhammer/internal/campaign"
+)
+
+// IdentityError reports a shard checkpoint that does not belong to
+// the campaign being merged: wrong identity hash, a non-shard header,
+// or an assignment that disagrees with the file set. Merging such a
+// file would silently blend two different campaigns' measurements, so
+// the merge names the offending file and refuses.
+type IdentityError struct {
+	// Path is the offending shard checkpoint file.
+	Path string
+	// Want is the campaign identity hash the merge expects.
+	Want string
+	// Got is the identity hash (or "" when the header is absent)
+	// found in the file.
+	Got string
+	// Detail says what exactly disagreed.
+	Detail string
+}
+
+func (e *IdentityError) Error() string {
+	return fmt.Sprintf("shard: %s: %s (want campaign %s, got %q)", e.Path, e.Detail, e.Want, e.Got)
+}
+
+// MergeReport is the accounting of a MergeShards call.
+type MergeReport struct {
+	// Files is the number of shard checkpoints read.
+	Files int
+	// Records is the number of records adopted into the merged result.
+	Records int
+	// Duplicates counts records superseded during the merge — within
+	// one file (crash/resume rework) or across files (a reassigned
+	// shard re-running jobs its predecessor already finished).
+	Duplicates int
+	// Failed counts adopted records whose final state is a failure.
+	Failed int
+	// Missing lists job keys of the full grid that no shard file has a
+	// record for — empty exactly when the merged result is complete.
+	Missing []string
+}
+
+// Complete reports whether every job of the grid has a record.
+func (r *MergeReport) Complete() bool { return len(r.Missing) == 0 }
+
+// MergeShards unions the shard checkpoints at paths into one result
+// equivalent to a single-process run of spec. Every file must carry a
+// v2 shard header whose identity hash matches spec (*IdentityError
+// otherwise, naming the file). Records merge with the engine's resume
+// precedence — later wins, success is never replaced by failure — in
+// ascending shard order, so the merge is deterministic regardless of
+// the order paths are given in. Aggregating the returned result
+// yields bytes identical to the single-process summary once the grid
+// is fully covered (report.Complete()).
+func MergeShards(spec campaign.Spec, paths []string) (*campaign.Result, *MergeReport, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	want := spec.IdentityHash()
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+
+	res := &campaign.Result{Spec: spec, Records: make(map[string]campaign.Record)}
+	rep := &MergeReport{}
+	for _, path := range sorted {
+		if fi, err := os.Stat(path); err != nil {
+			return nil, nil, fmt.Errorf("shard: merge: %w", err)
+		} else if fi.Size() == 0 {
+			// A worker killed before its first header byte landed.
+			// Nothing to adopt and nothing to verify; resume will
+			// stamp the header next time.
+			rep.Files++
+			continue
+		}
+		fr, err := campaign.LoadCheckpointReport(path, campaign.ResumeOptions{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: merge %s: %w", path, err)
+		}
+		switch {
+		case fr.Header == nil:
+			return nil, nil, &IdentityError{Path: path, Want: want,
+				Detail: "no v2 header; cannot verify which campaign this shard belongs to"}
+		case fr.Header.Spec != want:
+			return nil, nil, &IdentityError{Path: path, Want: want, Got: fr.Header.Spec,
+				Detail: "checkpoint belongs to a different campaign"}
+		case !fr.Header.Sharded():
+			return nil, nil, &IdentityError{Path: path, Want: want, Got: fr.Header.Spec,
+				Detail: "checkpoint is a whole-campaign file, not a shard"}
+		}
+		rep.Files++
+		rep.Duplicates += fr.DuplicateRecords
+		for key, rec := range fr.Records {
+			if prev, ok := res.Records[key]; ok {
+				// Disjoint partitions make cross-file collisions rare
+				// (only a mis-assembled directory produces them), but
+				// the precedence rule still applies: keep a success.
+				rep.Duplicates++
+				if !prev.Failed() && rec.Failed() {
+					continue
+				}
+			}
+			res.Records[key] = rec
+		}
+	}
+	for _, rec := range res.Records {
+		if rec.Failed() {
+			rep.Failed++
+		}
+	}
+	rep.Records = len(res.Records)
+	for _, j := range campaign.Expand(spec) {
+		if _, ok := res.Records[j.Key()]; !ok {
+			rep.Missing = append(rep.Missing, j.Key())
+		}
+	}
+	res.Total = len(campaign.Expand(spec))
+	return res, rep, nil
+}

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rowhammer/internal/campaign"
+)
+
+// RunConfig configures one shard worker run.
+type RunConfig struct {
+	// Dir is the shard directory (layout helpers name the files).
+	Dir string
+	// Assignment is the shard's slice of the grid.
+	Assignment Assignment
+	// Spec is the resolved engine spec — identical across all shards
+	// of the campaign; the assignment, not the spec, is what differs.
+	Spec campaign.Spec
+	// Runner executes jobs (required).
+	Runner campaign.Runner
+	// Drain, when delivered or closed, stops dispatch gracefully —
+	// in-flight jobs finish and checkpoint, RunShard returns
+	// campaign.ErrDrained.
+	Drain <-chan struct{}
+	// Progress, when non-nil, receives per-job completion callbacks
+	// with shard-local totals.
+	Progress func(done, total int, rec campaign.Record)
+	// BeatEvery is the idle heartbeat interval (default 1s); every
+	// finished job also beats, so the lease's Done counter tracks the
+	// checkpoint. It should be well under the coordinator's LeaseTTL.
+	BeatEvery time.Duration
+	// ArmCheckpoint, when non-nil, is handed the checkpoint writer
+	// before any byte is written — the crash-injection seam.
+	ArmCheckpoint func(*campaign.CheckpointWriter)
+	// Log, when non-nil, receives one-line progress messages.
+	Log func(format string, args ...any)
+}
+
+// RunShard executes one shard of a campaign: acquire the shard lease
+// (refusing to run if a live process already owns the slice), resume
+// from the shard checkpoint, run exactly the assigned jobs through
+// the engine, and heartbeat the lease throughout. On return the lease
+// is released; on SIGKILL the kernel releases it. The checkpoint
+// survives either way, which is what makes the shard's remaining jobs
+// computable by whoever takes over.
+func RunShard(ctx context.Context, cfg RunConfig) (*campaign.Result, error) {
+	if err := cfg.Assignment.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("shard: RunConfig.Runner is required")
+	}
+	spec, err := cfg.Spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	a := cfg.Assignment
+	only := a.Filter(spec)
+	ckptPath := CheckpointPath(cfg.Dir, a)
+
+	lease, err := AcquireLease(LeasePath(cfg.Dir, a), LeaseInfo{
+		Shard: a.Index, Of: a.Of, Spec: spec.IdentityHash(), Total: len(only),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", a, err)
+	}
+	defer lease.Release()
+
+	rep, err := campaign.LoadCheckpointReport(ckptPath, campaign.ResumeOptions{ExpectSpec: &spec})
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: resume %s: %w", a, ckptPath, err)
+	}
+	if h := rep.Header; h != nil && (h.Shard != a.Index || h.Of != a.Of) {
+		return nil, fmt.Errorf("%w: %s holds shard %d/%d, this worker is shard %s",
+			campaign.ErrShardMismatch, ckptPath, h.Shard, h.Of, a)
+	}
+	if len(rep.Records) > 0 {
+		logf("shard %s: resuming with %d checkpointed record(s)", a, len(rep.Records))
+	}
+	cw, err := campaign.AppendShardCheckpoint(ckptPath, spec, a.Index, a.Of)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: %w", a, err)
+	}
+	defer cw.Close()
+	if cfg.ArmCheckpoint != nil {
+		cfg.ArmCheckpoint(cw)
+	}
+	// Write the header eagerly: even a shard that dies before its
+	// first record — or owns zero jobs — leaves a self-describing
+	// checkpoint behind for the merge's identity check.
+	if err := cw.WriteHeader(); err != nil {
+		return nil, fmt.Errorf("shard %s: %w", a, err)
+	}
+
+	// Heartbeats: every finished job, plus an idle ticker so a shard
+	// deep inside one long job still proves progress to the lease.
+	beatEvery := cfg.BeatEvery
+	if beatEvery <= 0 {
+		beatEvery = time.Second
+	}
+	var beatMu sync.Mutex
+	lastDone := 0
+	beat := func(done int) {
+		beatMu.Lock()
+		if done >= 0 {
+			lastDone = done
+		}
+		done = lastDone
+		beatMu.Unlock()
+		lease.Beat(done, len(only))
+	}
+	tickCtx, stopTick := context.WithCancel(context.Background())
+	defer stopTick()
+	go func() {
+		t := time.NewTicker(beatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				beat(-1)
+			case <-tickCtx.Done():
+				return
+			}
+		}
+	}()
+
+	opts := campaign.Options{
+		Runner:  cfg.Runner,
+		Records: cw,
+		Done:    rep.Records,
+		Only:    only,
+		Drain:   cfg.Drain,
+		Progress: func(done, total int, rec campaign.Record) {
+			beat(done)
+			if cfg.Progress != nil {
+				cfg.Progress(done, total, rec)
+			}
+		},
+	}
+	res, err := campaign.Run(ctx, spec, opts)
+	if cerr := cw.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return res, err
+}
