@@ -1,9 +1,10 @@
 GO ?= go
 BENCHTIME ?= 20x
-BENCHOUT ?= BENCH_pr3.json
+BENCHOUT ?= BENCH_pr8.json
 BENCHTHRESHOLD ?= 0.10
+BENCHSET ?= HammerThroughput|CampaignFleet|DisturbBatch|FlipApply
 
-.PHONY: all build test race vet bench bench-json bench-check golden chaos chaos-exp crash fuzz serve-smoke check
+.PHONY: all build test race vet bench bench-json bench-check bench-smoke golden chaos chaos-exp crash fuzz serve-smoke check
 
 all: check
 
@@ -15,11 +16,12 @@ test:
 
 # Race-check the concurrent packages: the campaign engine, the
 # durability layer, the worker pool they are built on, the experiment
-# drivers that fan out per manufacturer, and the serving tier (store +
-# campaign server, including the 1k-client load test).
+# drivers that fan out per manufacturer, the serving tier (store +
+# campaign server, including the 1k-client load test), and the fault
+# model (its sharded kernel cache is shared across parallel cores).
 race:
 	$(GO) test -race ./internal/campaign/... ./internal/durable/... ./internal/pool/... ./internal/exp/... \
-		./internal/store/... ./internal/server/...
+		./internal/store/... ./internal/server/... ./internal/faultmodel/...
 
 vet:
 	$(GO) vet ./...
@@ -27,13 +29,14 @@ vet:
 bench:
 	$(GO) test -bench CampaignFleet -run '^$$' -benchtime 3x .
 
-# Benchmark-regression harness: run the two tracked end-to-end
-# benchmarks and record them as JSON. The committed $(BENCHOUT) keeps
-# the pre-change numbers under "baselines" — benchjson preserves that
-# key when regenerating. CI runs this with BENCHTIME=1x as a smoke
-# test and uploads the artifact.
+# Benchmark-regression harness: run the tracked benchmarks (the two
+# end-to-end ones plus the batched disturb hot-path pair) and record
+# them as JSON. The committed $(BENCHOUT) keeps the pre-change numbers
+# under "baselines" — benchjson preserves that key when regenerating.
+# CI runs this with BENCHTIME=1x as a smoke test and uploads the
+# artifact.
 bench-json:
-	$(GO) test -bench 'HammerThroughput|CampaignFleet' -run '^$$' -benchtime $(BENCHTIME) . \
+	$(GO) test -bench '$(BENCHSET)' -run '^$$' -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
 
 # Benchmark trend gate: rerun the tracked benchmarks, record them to
@@ -45,9 +48,16 @@ bench-json:
 # The committed numbers are machine-specific; after a hardware change,
 # refresh them deliberately with `make bench-json`.
 bench-check:
-	$(GO) test -bench 'HammerThroughput|CampaignFleet' -run '^$$' -benchtime $(BENCHTIME) . \
+	$(GO) test -bench '$(BENCHSET)' -run '^$$' -benchtime $(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -o bench-current.json
 	$(GO) run ./cmd/benchjson -compare bench-current.json -threshold $(BENCHTHRESHOLD) BENCH_*.json
+
+# One-iteration pass over the disturb hot-path benchmarks under the
+# race detector: catches data races in the sharded kernel cache and
+# keeps the benchmark bodies themselves compiling and running in CI
+# without benchmark-grade runtime.
+bench-smoke:
+	$(GO) test -race -bench 'DisturbBatch|FlipApply' -run '^$$' -benchtime 1x .
 
 # Golden suite: every experiment's rendered text and JSON artifact is
 # byte-locked at tiny scale. On mismatch the actual bytes land next to

@@ -144,11 +144,19 @@ func BenchmarkHammerThroughput(b *testing.B) {
 	bench := ablationBench(b, 61)
 	t := rh.NewTester(bench)
 	const hammers = 512_000
+	cfg := rh.HammerConfig{
+		Bank: 0, VictimPhys: 100, Hammers: hammers, Pattern: rh.PatCheckered, Trial: 1,
+	}
+	// Warm up once so the timed loop measures steady-state throughput,
+	// not the one-time candidate-set builds and scratch sizing.
+	var res rh.HammerResult
+	if err := t.HammerInto(cfg, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := t.Hammer(rh.HammerConfig{
-			Bank: 0, VictimPhys: 100, Hammers: hammers, Pattern: rh.PatCheckered, Trial: 1,
-		}); err != nil {
+		if err := t.HammerInto(cfg, &res); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -213,15 +214,23 @@ func compare(current map[string]entry, baseline map[string]map[string]float64, t
 		for _, unit := range units {
 			lower, tracked := lowerIsBetter(unit)
 			bestV, haveBase := base[unit]
-			if !tracked || !haveBase || bestV == 0 {
+			// A zero rate baseline cannot be compared against; a zero
+			// cost baseline (0 allocs/op, 0 B/op) is a hard floor and
+			// stays tracked.
+			if !tracked || !haveBase || (!lower && bestV == 0) {
 				continue
 			}
 			got := current[name].Metrics[unit]
 			compared++
 			var ratio float64
-			if lower {
+			switch {
+			case lower && bestV == 0:
+				if got > 0 {
+					ratio = math.Inf(1)
+				}
+			case lower:
 				ratio = got/bestV - 1
-			} else {
+			default:
 				ratio = 1 - got/bestV
 			}
 			if ratio > threshold {

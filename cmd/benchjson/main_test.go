@@ -154,6 +154,30 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareZeroCostBaseline pins the allocs/op floor: a committed
+// 0 allocs/op baseline is a hard gate (any nonzero current value
+// regresses), while a zero rate baseline stays uncomparable.
+func TestCompareZeroCostBaseline(t *testing.T) {
+	baseline := map[string]map[string]float64{
+		"Hot": {"allocs/op": 0, "B/op": 0, "jobs/sec": 0},
+	}
+	regs, compared := compare(map[string]entry{
+		"Hot": {Metrics: map[string]float64{"allocs/op": 3, "B/op": 0, "jobs/sec": 10}},
+	}, baseline, 0.10)
+	if compared != 2 {
+		t.Fatalf("compared %d metrics, want 2 (allocs/op and B/op; zero jobs/sec baseline is uncomparable)", compared)
+	}
+	if len(regs) != 1 || regs[0].Unit != "allocs/op" {
+		t.Fatalf("regressions = %+v, want exactly the allocs/op floor violation", regs)
+	}
+	regs, compared = compare(map[string]entry{
+		"Hot": {Metrics: map[string]float64{"allocs/op": 0, "B/op": 0}},
+	}, baseline, 0.10)
+	if compared != 2 || len(regs) != 0 {
+		t.Fatalf("staying at zero must pass: %d compared, regs %+v", compared, regs)
+	}
+}
+
 // TestRunCompareEndToEnd drives the -compare path over real files:
 // a current run 25% slower than the best committed baseline must fail
 // with an output naming the benchmark, and the identical run must

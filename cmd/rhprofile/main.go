@@ -15,6 +15,7 @@ import (
 	"os"
 
 	rh "rowhammer"
+	"rowhammer/internal/profiling"
 )
 
 // Profile is the emitted document.
@@ -48,13 +49,22 @@ type CellProfile struct {
 
 func main() {
 	var (
-		mfr   = flag.String("mfr", "A", "manufacturer profile (A-D)")
-		seed  = flag.Uint64("seed", 1, "module seed")
-		rows  = flag.Int("rows", 48, "victim rows to profile")
-		reps  = flag.Int("reps", 3, "repetitions per measurement")
-		temps = flag.Bool("temps", false, "include the temperature sweep (slower)")
+		mfr        = flag.String("mfr", "A", "manufacturer profile (A-D)")
+		seed       = flag.Uint64("seed", 1, "module seed")
+		rows       = flag.Int("rows", 48, "victim rows to profile")
+		reps       = flag.Int("reps", 3, "repetitions per measurement")
+		temps      = flag.Bool("temps", false, "include the temperature sweep (slower)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+	stopProfiles = stop
 
 	p := rh.ProfileByName(*mfr)
 	if p == nil {
@@ -136,7 +146,12 @@ func main() {
 	}
 }
 
+// stopProfiles is invoked by fatal before os.Exit (which would skip
+// the deferred stop and truncate any in-flight CPU profile).
+var stopProfiles = func() {}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "rhprofile:", err)
 	os.Exit(1)
 }

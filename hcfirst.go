@@ -43,9 +43,10 @@ func (t *Tester) HCFirst(cfg HCFirstConfig) (HCFirstResult, error) {
 	}
 	var out HCFirstResult
 
+	var res HammerResult // reused across probes
 	probe := func(hc int64) (bool, error) {
 		out.Probes++
-		res, err := t.Hammer(HammerConfig{
+		err := t.HammerInto(HammerConfig{
 			Bank:       cfg.Bank,
 			VictimPhys: cfg.VictimPhys,
 			Hammers:    hc,
@@ -53,7 +54,7 @@ func (t *Tester) HCFirst(cfg HCFirstConfig) (HCFirstResult, error) {
 			AggOffNs:   cfg.AggOffNs,
 			Pattern:    cfg.Pattern,
 			Trial:      cfg.Trial,
-		})
+		}, &res)
 		if err != nil {
 			return false, err
 		}
@@ -108,6 +109,7 @@ func (t *Tester) HCFirstMin(cfg HCFirstConfig, repetitions int) (HCFirstResult, 
 	if repetitions < 1 {
 		repetitions = 1
 	}
+	t.declareTrialSalts(repetitions)
 	var best HCFirstResult
 	for rep := 0; rep < repetitions; rep++ {
 		c := cfg

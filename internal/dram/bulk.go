@@ -88,22 +88,30 @@ func (m *Module) HammerBulk(bank int, logicalRows []int, count int64, aggOn, agg
 	// itself, which are reset by their own activations each round and
 	// therefore never accumulate more than one round's worth (already
 	// established by phase 1).
-	aggSet := make(map[int]bool, len(logicalRows))
-	phys := make([]int, len(logicalRows))
-	for i, row := range logicalRows {
+	phys := m.hammerPhys[:0]
+	for _, row := range logicalRows {
 		if row < 0 || row >= m.geo.RowsPerBank {
 			return now, &ProtocolError{Msg: "row out of range", Cmd: Command{Op: OpAct, Bank: bank, Row: row}, At: now}
 		}
-		p := m.remap.ToPhysical(row)
-		phys[i] = p
-		aggSet[p] = true
+		phys = append(phys, m.remap.ToPhysical(row))
+	}
+	m.hammerPhys = phys
+	// Aggressor sets are tiny (typically two rows), so membership is a
+	// linear scan rather than a per-call map.
+	inAggSet := func(n int) bool {
+		for _, p := range phys {
+			if p == n {
+				return true
+			}
+		}
+		return false
 	}
 	b := m.banks[bank]
 	temp := m.tempC
 	for _, p := range phys {
 		for dist := 1; dist <= MaxDisturbDistance; dist++ {
 			for _, n := range [2]int{p - dist, p + dist} {
-				if n < 0 || n >= m.geo.RowsPerBank || !m.geo.SameSubarray(p, n) || aggSet[n] {
+				if n < 0 || n >= m.geo.RowsPerBank || !m.geo.SameSubarray(p, n) || inAggSet(n) {
 					continue
 				}
 				led := b.ledger(n)

@@ -85,8 +85,9 @@ func (l *RowLedger) Record(distance int, on, off Picos, tempC float64) {
 }
 
 // DisturbContext is handed to a Disturber when a victim row's charge is
-// sensed. Data is the row's backing words, which the Disturber mutates
-// in place to inject bit flips.
+// sensed. Data is the row's backing words; the Disturber must treat it
+// (and Up/Down) as read-only and express flips through the returned
+// mask instead.
 type DisturbContext struct {
 	Bank int
 	// Row is the physical row index of the victim.
@@ -95,23 +96,39 @@ type DisturbContext struct {
 	Data   []uint64
 	// Geometry of the module, for bit addressing.
 	Geometry Geometry
-	// NeighborData returns the backing words of the row at the given
-	// physical offset from the victim (e.g. -1, +1), or nil when the
-	// row is out of range, unallocated, or in a different subarray.
-	NeighborData func(offset int) []uint64
+	// Up and Down are the backing words of the physically adjacent
+	// rows (Row-1 and Row+1), or nil when that row is out of range,
+	// unallocated, or in a different subarray.
+	Up, Down []uint64
 }
 
 // Disturber injects RowHammer bit flips when a victim row is sensed.
 // Implementations live in internal/faultmodel; dram only defines the
 // boundary so the dependency points one way.
 type Disturber interface {
-	// Disturb applies accumulated disturbance to ctx.Data and returns
-	// the number of bits flipped.
-	Disturb(ctx DisturbContext) int
+	// Disturb evaluates accumulated disturbance against ctx and
+	// returns the number of bits to flip plus a flip mask (one bit per
+	// cell, same word layout as ctx.Data) to XOR into the stored row.
+	// The mask may alias disturber-owned scratch: it is only valid
+	// until the next Disturb call, and is nil when no bits flip.
+	Disturb(ctx DisturbContext) (int, []uint64)
 }
 
 // NopDisturber injects no faults (an ideal, RowHammer-free chip).
 type NopDisturber struct{}
 
 // Disturb implements Disturber.
-func (NopDisturber) Disturb(DisturbContext) int { return 0 }
+func (NopDisturber) Disturb(DisturbContext) (int, []uint64) { return 0, nil }
+
+// ApplyFlipMask XORs a flip mask into a row's backing words, one word
+// at a time — the bitplane application of kernel-emitted flips. A nil
+// or short mask only touches the words it covers.
+func ApplyFlipMask(data, mask []uint64) {
+	n := len(mask)
+	if len(data) < n {
+		n = len(data)
+	}
+	for i := 0; i < n; i++ {
+		data[i] ^= mask[i]
+	}
+}

@@ -69,6 +69,11 @@ type Module struct {
 	refRowCursor  int
 	rowsPerRef    int
 	beatBits      int
+
+	// hammerPhys is HammerBulk's reusable aggressor scratch (physical
+	// row indexes), kept on the module so the hot hammer loop does not
+	// allocate.
+	hammerPhys []int
 }
 
 // NewModule builds a module from cfg.
@@ -427,22 +432,31 @@ func (m *Module) senseRow(bank, phys int, now Picos) {
 		return
 	}
 	data := b.data(phys, m.geo.RowWords())
-	flips := m.disturber.Disturb(DisturbContext{
+	flips, mask := m.disturber.Disturb(DisturbContext{
 		Bank:     bank,
 		Row:      phys,
 		Ledger:   led,
 		Data:     data,
 		Geometry: m.geo,
-		NeighborData: func(offset int) []uint64 {
-			n := phys + offset
-			if n < 0 || n >= m.geo.RowsPerBank || !m.geo.SameSubarray(phys, n) {
-				return nil
-			}
-			return b.dataIfPresent(n)
-		},
+		Up:       m.neighborData(b, phys, -1),
+		Down:     m.neighborData(b, phys, +1),
 	})
+	if flips > 0 {
+		ApplyFlipMask(data, mask)
+	}
 	m.stats.FlipsInjected += int64(flips)
 	led.Reset()
+}
+
+// neighborData returns the backing words of the row at the given
+// physical offset from phys, or nil when it is out of range,
+// unallocated, or in a different subarray.
+func (m *Module) neighborData(b *bankState, phys, offset int) []uint64 {
+	n := phys + offset
+	if n < 0 || n >= m.geo.RowsPerBank || !m.geo.SameSubarray(phys, n) {
+		return nil
+	}
+	return b.dataIfPresent(n)
 }
 
 // extractBeat gathers the beat at a column address from a row's words.

@@ -471,15 +471,23 @@ func TestStatsCounting(t *testing.T) {
 type countingDisturber struct {
 	minHammers int64
 	calls      int
+	mask       []uint64
 }
 
-func (c *countingDisturber) Disturb(ctx DisturbContext) int {
+func (c *countingDisturber) Disturb(ctx DisturbContext) (int, []uint64) {
 	c.calls++
 	if ctx.Ledger.Dist[0].Count >= c.minHammers {
-		ctx.Data[0] ^= 1
-		return 1
+		if len(c.mask) < len(ctx.Data) {
+			c.mask = make([]uint64, len(ctx.Data))
+		}
+		mask := c.mask[:len(ctx.Data)]
+		for i := range mask {
+			mask[i] = 0
+		}
+		mask[0] = 1
+		return 1, mask
 	}
-	return 0
+	return 0, nil
 }
 
 func TestDisturberInvokedOnSense(t *testing.T) {

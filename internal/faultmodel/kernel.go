@@ -4,6 +4,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"sync"
 
 	"rowhammer/internal/dram"
 	"rowhammer/internal/rng"
@@ -17,11 +18,15 @@ import (
 // every bit of the row on every call. This kernel instead memoizes,
 // per (bank, row), the full candidate-cell set with all hash-derived
 // parameters precomputed, sorted ascending by rel — the cell threshold
-// relative to the row HCfirst. A Disturb call then binary-searches the
+// relative to the row HCfirst. A disturb call then binary-searches the
 // cutoff reachable at the ledger's effective hammer count and walks
 // only the candidates below it, evaluating the remaining per-call
-// predicates (stored data orientation, gating temperature, trial
-// noise, aggressor coupling) lazily per candidate.
+// predicates lazily per candidate. The walk is trial-batched: the
+// cutoff search and the trial-independent predicates (stored data
+// orientation, gating temperature, aggressor coupling) run once per
+// candidate, and only the per-trial noise comparison runs per salt,
+// each salt accumulating its own flip bitplane (see disturbBatch and
+// the replay cache in replay.go).
 //
 // Equivalence with the reference path is load-bearing: the builder
 // replays the exact hash draws and float expressions of
@@ -51,21 +56,16 @@ type candidate struct {
 const candidateBytes = 48
 
 // candCacheBudgetBytes bounds the total candidate-cache memory per
-// model. 64 MiB holds hundreds of rows at bench geometries and ~20
-// rows at the paper-scale 64 Ki-bit geometry.
+// cache (shared across every model attached to it). 64 MiB holds
+// hundreds of rows at bench geometries and ~20 rows at the paper-scale
+// 64 Ki-bit geometry.
 const candCacheBudgetBytes = 64 << 20
 
-// candCacheRows converts the memory budget into an LRU row capacity.
-func candCacheRows(rowBits int) int {
-	rows := candCacheBudgetBytes / (rowBits * candidateBytes)
-	if rows < 16 {
-		rows = 16
-	}
-	if rows > 4096 {
-		rows = 4096
-	}
-	return rows
-}
+// candShardCount is the power-of-two number of candLRU shards. Each
+// shard has its own lock and an equal slice of the byte budget, so
+// parallel measurement cores touching different rows lock different
+// shards instead of serializing on one cache.
+const candShardCount = 8
 
 // buildCandidates generates the sorted candidate set of one row. The
 // per-cell draws mirror disturbReference exactly, using the
@@ -146,7 +146,8 @@ func (m *Model) buildCandidates(bank, row int) []candidate {
 }
 
 // candidates returns the row's candidate set, building and caching it
-// on first use.
+// on first use. The returned slice is read-only: it may be shared
+// with other models attached to the same cache on other goroutines.
 func (m *Model) candidates(bank, row int) []candidate {
 	key := uint64(bank)<<32 | uint64(uint32(row))
 	if cs, ok := m.candCache.get(key); ok {
@@ -157,22 +158,33 @@ func (m *Model) candidates(bank, row int) []candidate {
 	return cs
 }
 
-// disturbCandidates is the kernel walk. A cell can flip only when
-// heff·coupling ≥ rowHC·rel·noise with coupling ≤ 1 and noise ≥
+// disturbBatch is the trial-batched kernel walk. A cell can flip only
+// when heff·coupling ≥ rowHC·rel·noise with coupling ≤ 1 and noise ≥
 // exp(−σ·zmax), so candidates with rel above the inflated cutoff are
-// unreachable and the sorted order lets a binary search skip them all.
-func (m *Model) disturbCandidates(ctx dram.DisturbContext, rp rowParams, heff, tempC float64) int {
+// unreachable under every salt and the sorted order lets a binary
+// search skip them all at once. masks[i] (len == len(ctx.Data), zeroed
+// here) and flips[i] receive salt i's flip bitplane and count.
+func (m *Model) disturbBatch(ctx dram.DisturbContext, rp rowParams, heff, tempC float64, salts []uint64, masks [][]uint64, flips []int) {
+	for i := range masks {
+		clearWords(masks[i])
+		flips[i] = 0
+	}
 	cells := m.candidates(ctx.Bank, ctx.Row)
 
 	cut := heff / (rp.hc * minCoupling)
-	if m.salt != 0 {
+	salted := false
+	for _, s := range salts {
+		if s != 0 {
+			salted = true
+			break
+		}
+	}
+	if salted {
 		cut *= math.Exp(trialNoiseSigma * trialNoiseZMax)
 	}
 	n := sort.Search(len(cells), func(i int) bool { return cells[i].rel > cut })
 
-	up := ctx.NeighborData(1)
-	down := ctx.NeighborData(-1)
-	flips := 0
+	up, down := ctx.Up, ctx.Down
 	for i := 0; i < n; i++ {
 		c := &cells[i]
 
@@ -196,101 +208,180 @@ func (m *Model) disturbCandidates(ctx dram.DisturbContext, rp rowParams, heff, t
 
 		base := rp.hc * c.rel
 		eff := heff * coupling
-		if m.salt == 0 {
-			if eff < base {
+		for si, salt := range salts {
+			if salt == 0 {
+				if eff < base {
+					continue
+				}
+			} else if eff < base*trialNoiseFloor {
+				// Below even the most favorable truncated noise draw.
+				continue
+			} else if eff < base*trialNoiseCeil && eff < base*m.trialNoiseFactorFor(c.h, salt) {
+				// Marginal band: only here does the outcome depend on
+				// the cell's actual noise draw, so only here do we pay
+				// for it — once per (cell, salt) that lands in the band.
 				continue
 			}
-		} else if eff < base*trialNoiseFloor {
-			// Below even the most favorable truncated noise draw.
-			continue
-		} else if eff < base*trialNoiseCeil && eff < base*m.trialNoiseFactor(c.h) {
-			// Marginal band: only here does the outcome depend on the
-			// cell's actual noise draw, so only here do we pay for it.
-			continue
+			masks[si][word] |= 1 << off
+			flips[si]++
 		}
-
-		ctx.Data[word] ^= 1 << off
-		flips++
 	}
-	return flips
 }
 
-// candLRU is a bounded least-recently-used cache of candidate sets,
-// keyed like rowCache by bank<<32|row.
+// clearWords zeroes a word slice (compiles to a memclr).
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// candLRU is a sharded, byte-budgeted, least-recently-used cache of
+// candidate sets, keyed like rowCache by bank<<32|row. The key hashes
+// onto one of candShardCount shards, each with its own lock and an
+// equal slice of the global byte budget (the per-shard budgets sum to
+// candCacheBudgetBytes), so parallel measurement cores sharing one
+// cache do not serialize on a single mutex.
 type candLRU struct {
-	limit   int
-	entries map[uint64]*candEntry
-	head    *candEntry // most recently used
-	tail    *candEntry
+	shards [candShardCount]candShard
+}
+
+type candShard struct {
+	mu          sync.Mutex
+	budgetBytes int
+	bytes       int
+	entries     map[uint64]*candEntry
+	head        *candEntry // most recently used
+	tail        *candEntry
 }
 
 type candEntry struct {
 	key        uint64
 	cells      []candidate
+	bytes      int
 	prev, next *candEntry
 }
 
-func newCandLRU(limit int) *candLRU {
-	if limit < 1 {
-		limit = 1
+// newCandLRU builds a sharded LRU holding at most budgetBytes of
+// candidate data in total, split evenly across the shards.
+func newCandLRU(budgetBytes int) *candLRU {
+	per := budgetBytes / candShardCount
+	if per < 1 {
+		per = 1
 	}
-	return &candLRU{limit: limit, entries: make(map[uint64]*candEntry, limit)}
+	l := &candLRU{}
+	for i := range l.shards {
+		l.shards[i].budgetBytes = per
+		l.shards[i].entries = make(map[uint64]*candEntry)
+	}
+	return l
+}
+
+// shardFor selects the shard for a key via a splitmix64 finalizer, so
+// the adjacent rows a hammer program touches spread across shards.
+func (l *candLRU) shardFor(key uint64) *candShard {
+	h := key
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return &l.shards[h&(candShardCount-1)]
 }
 
 func (l *candLRU) get(key uint64) ([]candidate, bool) {
-	e, ok := l.entries[key]
+	s := l.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
 	if !ok {
+		s.mu.Unlock()
 		return nil, false
 	}
-	l.moveToFront(e)
-	return e.cells, true
+	s.moveToFront(e)
+	cells := e.cells
+	s.mu.Unlock()
+	return cells, true
 }
 
 func (l *candLRU) put(key uint64, cells []candidate) {
-	if e, ok := l.entries[key]; ok {
-		e.cells = cells
-		l.moveToFront(e)
-		return
+	cost := len(cells) * candidateBytes
+	s := l.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes += cost - e.bytes
+		e.cells, e.bytes = cells, cost
+		s.moveToFront(e)
+	} else {
+		e := &candEntry{key: key, cells: cells, bytes: cost}
+		s.entries[key] = e
+		s.pushFront(e)
+		s.bytes += cost
 	}
-	e := &candEntry{key: key, cells: cells}
-	l.entries[key] = e
-	l.pushFront(e)
-	if len(l.entries) > l.limit {
-		evict := l.tail
-		l.unlink(evict)
-		delete(l.entries, evict.key)
+	// Evict least-recently-used entries beyond the shard budget. The
+	// newest entry always survives, so a row larger than the whole
+	// budget is still cached (and evicted by the next insert).
+	for s.bytes > s.budgetBytes && len(s.entries) > 1 {
+		evict := s.tail
+		s.unlink(evict)
+		delete(s.entries, evict.key)
+		s.bytes -= evict.bytes
 	}
 }
 
-func (l *candLRU) pushFront(e *candEntry) {
-	e.prev, e.next = nil, l.head
-	if l.head != nil {
-		l.head.prev = e
+// totalBytes sums the cached candidate bytes across shards (test and
+// diagnostic use).
+func (l *candLRU) totalBytes() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
 	}
-	l.head = e
-	if l.tail == nil {
-		l.tail = e
+	return n
+}
+
+// lenEntries counts cached rows across shards (test use).
+func (l *candLRU) lenEntries() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (s *candShard) pushFront(e *candEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
 	}
 }
 
-func (l *candLRU) unlink(e *candEntry) {
+func (s *candShard) unlink(e *candEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
-		l.head = e.next
+		s.head = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
 	} else {
-		l.tail = e.prev
+		s.tail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }
 
-func (l *candLRU) moveToFront(e *candEntry) {
-	if l.head == e {
+func (s *candShard) moveToFront(e *candEntry) {
+	if s.head == e {
 		return
 	}
-	l.unlink(e)
-	l.pushFront(e)
+	s.unlink(e)
+	s.pushFront(e)
 }

@@ -34,20 +34,23 @@ func diffDisturb(t *testing.T, kern, ref *Model, bank, row int, led *dram.RowLed
 	geo := kern.geo
 	dataK := make([]uint64, geo.RowWords())
 	dataR := make([]uint64, geo.RowWords())
-	aggData := make([]uint64, geo.RowWords())
+	neighbors := make([]uint64, geo.RowWords())
 	fillPattern(dataK, victim, patSeed)
 	fillPattern(dataR, victim, patSeed)
-	fillPattern(aggData, agg, patSeed+1)
-	neighbors := func(int) []uint64 { return aggData }
+	fillPattern(neighbors, agg, patSeed+1)
 
 	ledCopy := *led
-	nK := kern.Disturb(dram.DisturbContext{
+	// The kernel path emits a flip bitplane which is XORed in
+	// afterwards (as the module does); the reference path flips dataR
+	// in place, bit by bit. Comparing the resulting words proves the
+	// mask application is bit-identical to per-bit updates.
+	nK := disturbApply(kern, dram.DisturbContext{
 		Bank: bank, Row: row, Ledger: led, Data: dataK, Geometry: geo,
-		NeighborData: neighbors,
+		Up: neighbors, Down: neighbors,
 	})
 	nR := ref.ReferenceDisturb(dram.DisturbContext{
 		Bank: bank, Row: row, Ledger: &ledCopy, Data: dataR, Geometry: geo,
-		NeighborData: neighbors,
+		Up: neighbors, Down: neighbors,
 	})
 	if nK != nR {
 		t.Fatalf("flip count diverged: kernel %d, reference %d (row %d, victim %s, agg %s)", nK, nR, row, victim, agg)
@@ -127,11 +130,15 @@ func TestKernelMatchesReferenceOffNominalTimings(t *testing.T) {
 
 // TestKernelLRUEvictionRecomputesIdentically shrinks the candidate
 // cache far below the working set and proves that rows rebuilt after
-// eviction produce the same flip sets as a cold model.
+// eviction produce the same flip sets as a cold model. It drives the
+// walk through DisturbBatch, which bypasses the replay cache, so a
+// revisit really does hit the candidate LRU.
 func TestKernelLRUEvictionRecomputesIdentically(t *testing.T) {
 	p := MfrA()
 	small := newTestModel(t, p, 23)
-	small.candCache = newCandLRU(2) // working set below will be 8 rows
+	// A 1-byte budget keeps exactly one (oversized) entry per shard:
+	// maximal thrash, every collision evicts.
+	small.candCache = newCandLRU(1)
 	cold := newTestModel(t, p, 23)
 
 	run := func(m *Model, row int) []uint64 {
@@ -140,23 +147,29 @@ func TestKernelLRUEvictionRecomputesIdentically(t *testing.T) {
 		agg := make([]uint64, geo.RowWords())
 		fillPattern(agg, "ones", 0)
 		led := mkLedger(400_000, 34.5, 16.5, 50)
-		m.Disturb(dram.DisturbContext{
+		masks := [][]uint64{make([]uint64, geo.RowWords())}
+		flips := []int{0}
+		m.DisturbBatch(dram.DisturbContext{
 			Bank: 0, Row: row, Ledger: led, Data: data, Geometry: geo,
-			NeighborData: func(int) []uint64 { return agg },
-		})
+			Up: agg, Down: agg,
+		}, []uint64{0}, masks, flips)
+		dram.ApplyFlipMask(data, masks[0])
 		return data
 	}
 
-	rows := []int{8, 9, 10, 11, 12, 13, 14, 15}
+	var rows []int
+	for r := 8; r < 40; r++ {
+		rows = append(rows, r)
+	}
 	first := map[int][]uint64{}
 	for _, r := range rows {
 		first[r] = run(small, r)
 	}
-	if got := len(small.candCache.entries); got != 2 {
-		t.Fatalf("LRU held %d rows, want capacity 2", got)
+	if got := small.candCache.lenEntries(); got > candShardCount {
+		t.Fatalf("thrashed LRU held %d rows, want at most one per shard (%d)", got, candShardCount)
 	}
-	// Every early row has been evicted by now; revisiting must rebuild
-	// and reproduce both the first pass and a never-evicted cold model.
+	// Most rows have been evicted by now; revisiting must rebuild and
+	// reproduce both the first pass and a never-evicted cold model.
 	for _, r := range rows {
 		again := run(small, r)
 		want := run(cold, r)
@@ -169,17 +182,34 @@ func TestKernelLRUEvictionRecomputesIdentically(t *testing.T) {
 	}
 }
 
-// TestKernelLRUBoundsMemory checks the cache never exceeds its
-// capacity no matter how many rows are touched.
+// TestKernelLRUBoundsMemory checks that the per-shard budgets sum to
+// the global byte budget and that a thrashing workload never exceeds
+// it (each entry fits its shard budget here, so the min-one-entry
+// retention rule cannot push a shard over).
 func TestKernelLRUBoundsMemory(t *testing.T) {
 	m := newTestModel(t, MfrC(), 29)
-	capRows := m.candCache.limit
-	for row := 8; row < 8+2*capRows; row++ {
+	sum := 0
+	for i := range m.candCache.shards {
+		sum += m.candCache.shards[i].budgetBytes
+	}
+	if sum > candCacheBudgetBytes || sum < candCacheBudgetBytes-candShardCount {
+		t.Fatalf("per-shard budgets sum to %d, want %d (± rounding)", sum, candCacheBudgetBytes)
+	}
+
+	// Shrink to ~4 average rows per shard and touch far more rows.
+	perRow := len(m.candidates(0, 8)) * candidateBytes
+	budget := 32 * perRow
+	small := newCandLRU(budget)
+	m.candCache = small
+	for row := 8; row < 8+256; row++ {
 		led := mkLedger(150_000, 34.5, 16.5, 50)
 		disturbRow(m, 0, row, led, 0, ^uint64(0))
 	}
-	if got := len(m.candCache.entries); got > capRows {
-		t.Fatalf("cache grew to %d rows, limit %d", got, capRows)
+	if got := small.totalBytes(); got > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", got, budget)
+	}
+	if got := small.lenEntries(); got >= 256 {
+		t.Fatalf("no eviction happened across %d rows (%d entries)", 256, got)
 	}
 }
 
@@ -234,7 +264,10 @@ func TestLedgerTempCZeroCelsius(t *testing.T) {
 }
 
 func BenchmarkDisturbKernel(b *testing.B) {
-	benchDisturb(b, func(m *Model, ctx dram.DisturbContext) int { return m.Disturb(ctx) })
+	benchDisturb(b, func(m *Model, ctx dram.DisturbContext) int {
+		n, _ := m.Disturb(ctx)
+		return n
+	})
 }
 
 func BenchmarkDisturbReference(b *testing.B) {
@@ -260,7 +293,7 @@ func benchDisturb(b *testing.B, disturb func(*Model, dram.DisturbContext) int) {
 		}
 		sink += disturb(m, dram.DisturbContext{
 			Bank: 0, Row: 100, Ledger: led, Data: data, Geometry: geo,
-			NeighborData: func(int) []uint64 { return agg },
+			Up: agg, Down: agg,
 		})
 	}
 	if sink == 0 {

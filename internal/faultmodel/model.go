@@ -101,9 +101,26 @@ type Model struct {
 	rowCache map[uint64]rowParams
 	// candCache memoizes per-(bank,row) candidate-cell sets, the
 	// threshold-sorted working set of the disturb kernel (kernel.go).
+	// Sharded and lock-protected; may be shared between the models of
+	// cloned benches (ShareKernelCache).
 	candCache *candLRU
+	// replay memoizes whole disturb evaluations by exact input
+	// (replay.go); per-model, unlocked.
+	replay *replayCache
 
 	salt uint64
+	// batchSalts is the declared trial batch (SetTrialSalts): every
+	// salt the enclosing repetition loop will run, so one walk can
+	// evaluate them all.
+	batchSalts []uint64
+	soloSalt   [1]uint64
+
+	// Walk scratch, reused across Disturb calls (zero-alloc steady
+	// state): maskArena backs walkMasks, one row-sized bitplane per
+	// salt of the current batch.
+	maskArena []uint64
+	walkMasks [][]uint64
+	walkFlips []int
 }
 
 type rowParams struct {
@@ -127,7 +144,8 @@ func NewModel(cfg Config) (*Model, error) {
 		seed:      cfg.ModuleSeed,
 		geo:       cfg.Geometry,
 		rowCache:  make(map[uint64]rowParams),
-		candCache: newCandLRU(candCacheRows(cfg.Geometry.RowBits())),
+		candCache: newCandLRU(candCacheBudgetBytes),
+		replay:    newReplayCache(),
 	}
 
 	// Module-level base HCfirst: lognormal module-to-module variation.
@@ -192,6 +210,32 @@ func (m *Model) ModuleBaseHC() float64 { return m.baseHC }
 // other value yields an independent, deterministic noise realization
 // (one per test repetition).
 func (m *Model) SetSalt(salt uint64) { m.salt = salt }
+
+// SetTrialSalts declares the full set of salts an enclosing repetition
+// loop will run (e.g. 1..R for a min-of-R policy). When the current
+// salt is a member, each kernel walk evaluates every declared salt at
+// once and caches the per-salt flip bitplanes, so later trials over
+// the same hammer program replay instead of re-walking. Nil or empty
+// reverts to single-salt walks. Purely an evaluation-order hint:
+// results are bit-identical either way.
+func (m *Model) SetTrialSalts(salts []uint64) {
+	m.batchSalts = append(m.batchSalts[:0], salts...)
+}
+
+// ShareKernelCache attaches this model to src's candidate-set cache.
+// Candidate sets are pure functions of (profile, module seed,
+// geometry), so sharing is only valid between models with identical
+// identity — cloned measurement cores of one bench — and lets
+// parallel cores stop rebuilding each other's rows. The sharded cache
+// is safe for concurrent use; each model itself remains
+// single-goroutine.
+func (m *Model) ShareKernelCache(src *Model) error {
+	if m.seed != src.seed || m.p.Name != src.p.Name || m.geo != src.geo {
+		return fmt.Errorf("faultmodel: cannot share kernel cache across different module identities")
+	}
+	m.candCache = src.candCache
+	return nil
+}
 
 // rowParamsFor returns (caching) the per-row parameters.
 func (m *Model) rowParamsFor(bank, row int) rowParams {
@@ -334,22 +378,84 @@ func (m *Model) disturbSetup(ctx dram.DisturbContext) (rp rowParams, heff, tempC
 }
 
 // Disturb implements dram.Disturber via the memoized candidate-cell
-// kernel (kernel.go): the row's threshold-sorted candidate set is
-// built once, and each call walks only the cells reachable at the
-// ledger's effective hammer count.
-func (m *Model) Disturb(ctx dram.DisturbContext) int {
+// kernel (kernel.go): it returns the flip count and a bitplane mask
+// for the module to XOR into the stored row. Repeated inputs replay a
+// cached bitplane (replay.go); fresh inputs run one trial-batched walk
+// over every salt declared via SetTrialSalts. The returned mask
+// aliases model-owned scratch and is valid until the next call.
+func (m *Model) Disturb(ctx dram.DisturbContext) (int, []uint64) {
 	rp, heff, tempC, ok := m.disturbSetup(ctx)
 	if !ok {
-		return 0
+		return 0, nil
 	}
-	return m.disturbCandidates(ctx, rp, heff, tempC)
+	key := replayKey{bank: ctx.Bank, row: ctx.Row, led: *ctx.Ledger}
+	if e := m.replay.get(key, ctx); e != nil {
+		if si := saltIndex(e.salts, m.salt); si >= 0 {
+			return e.flips[si], e.masks[si]
+		}
+	}
+	salts := m.walkSalts()
+	m.ensureWalkScratch(len(salts), len(ctx.Data))
+	m.disturbBatch(ctx, rp, heff, tempC, salts, m.walkMasks, m.walkFlips)
+	m.replay.put(key, ctx, salts, m.walkMasks, m.walkFlips)
+	si := saltIndex(salts, m.salt)
+	return m.walkFlips[si], m.walkMasks[si]
+}
+
+// DisturbBatch evaluates one trial-batched candidate walk directly,
+// bypassing the replay cache: masks[i] (each len(ctx.Data), zeroed
+// here) and flips[i] receive salt i's flip bitplane and count.
+// len(masks) and len(flips) must equal len(salts). Exposed for the
+// batch differential tests and benchmarks; production traffic goes
+// through Disturb.
+func (m *Model) DisturbBatch(ctx dram.DisturbContext, salts []uint64, masks [][]uint64, flips []int) {
+	rp, heff, tempC, ok := m.disturbSetup(ctx)
+	if !ok {
+		for i := range masks {
+			clearWords(masks[i])
+			flips[i] = 0
+		}
+		return
+	}
+	m.disturbBatch(ctx, rp, heff, tempC, salts, masks, flips)
+}
+
+// walkSalts selects the salt set for one walk: the declared trial
+// batch when the current salt belongs to it, else just the current
+// salt.
+func (m *Model) walkSalts() []uint64 {
+	if saltIndex(m.batchSalts, m.salt) >= 0 {
+		return m.batchSalts
+	}
+	m.soloSalt[0] = m.salt
+	return m.soloSalt[:]
+}
+
+// ensureWalkScratch sizes the per-model walk scratch: nSalts bitplanes
+// of words each, carved from one flat arena, reused call to call.
+func (m *Model) ensureWalkScratch(nSalts, words int) {
+	need := nSalts * words
+	if cap(m.maskArena) < need {
+		m.maskArena = make([]uint64, need)
+	}
+	m.maskArena = m.maskArena[:need]
+	m.walkMasks = m.walkMasks[:0]
+	for i := 0; i < nSalts; i++ {
+		m.walkMasks = append(m.walkMasks, m.maskArena[i*words:(i+1)*words:(i+1)*words])
+	}
+	if cap(m.walkFlips) < nSalts {
+		m.walkFlips = make([]int, nSalts)
+	}
+	m.walkFlips = m.walkFlips[:nSalts]
 }
 
 // ReferenceDisturb is the naive per-bit disturb path: it re-derives
-// every cell parameter from the hash stream on every call. It is the
-// equivalence anchor for the candidate kernel — Disturb must produce
-// a bit-identical flip set (see the differential tests) — and is kept
-// only for that purpose; all production callers go through Disturb.
+// every cell parameter from the hash stream on every call and flips
+// ctx.Data in place, bit by bit. It is the equivalence anchor for the
+// candidate kernel and the bitplane mask application — Disturb's mask,
+// XORed into a copy of the row, must produce bit-identical stored
+// data (see the differential tests) — and is kept only for that
+// purpose; all production callers go through Disturb.
 func (m *Model) ReferenceDisturb(ctx dram.DisturbContext) int {
 	rp, heff, tempC, ok := m.disturbSetup(ctx)
 	if !ok {
@@ -362,8 +468,8 @@ func (m *Model) ReferenceDisturb(ctx dram.DisturbContext) int {
 // parameters inline with the variadic hash (the readable, obviously-
 // correct form of the model).
 func (m *Model) disturbReference(ctx dram.DisturbContext, rp rowParams, heff, tempC float64) int {
-	up := ctx.NeighborData(1)
-	down := ctx.NeighborData(-1)
+	up := ctx.Down
+	down := ctx.Up
 	geo := ctx.Geometry
 	cw := geo.ChipWidth
 	chips := geo.Chips
@@ -442,9 +548,15 @@ func (m *Model) disturbReference(ctx dram.DisturbContext, rp rowParams, heff, te
 // trialNoiseSigma, deviate truncated to ±trialNoiseZMax. Both disturb
 // paths share it so the truncation semantics cannot drift apart.
 func (m *Model) trialNoiseFactor(h uint64) float64 {
+	return m.trialNoiseFactorFor(h, m.salt)
+}
+
+// trialNoiseFactorFor is trialNoiseFactor under an explicit salt; the
+// trial-batched walk evaluates every declared salt in one pass.
+func (m *Model) trialNoiseFactorFor(h, salt uint64) float64 {
 	z := rng.NormalFromHash(
-		rng.Hash64x3(h, keyNoise1, m.salt),
-		rng.Hash64x3(h, keyNoise2, m.salt))
+		rng.Hash64x3(h, keyNoise1, salt),
+		rng.Hash64x3(h, keyNoise2, salt))
 	if z > trialNoiseZMax {
 		z = trialNoiseZMax
 	} else if z < -trialNoiseZMax {

@@ -33,6 +33,15 @@ func mkLedger(hammers int64, onNs, offNs, tempC float64) *dram.RowLedger {
 	return led
 }
 
+// disturbApply runs the kernel Disturb path and XORs the returned flip
+// mask into ctx.Data, reproducing the stored-data effect the module
+// applies after every sense.
+func disturbApply(m *Model, ctx dram.DisturbContext) int {
+	n, mask := m.Disturb(ctx)
+	dram.ApplyFlipMask(ctx.Data, mask)
+	return n
+}
+
 // disturbRow runs Disturb over a fresh victim row holding pattern and
 // returns the flip count. Aggressor rows hold aggPattern.
 func disturbRow(m *Model, bank, row int, led *dram.RowLedger, pattern, aggPattern uint64) int {
@@ -43,9 +52,9 @@ func disturbRow(m *Model, bank, row int, led *dram.RowLedger, pattern, aggPatter
 		data[i] = pattern
 		agg[i] = aggPattern
 	}
-	return m.Disturb(dram.DisturbContext{
+	return disturbApply(m, dram.DisturbContext{
 		Bank: bank, Row: row, Ledger: led, Data: data, Geometry: geo,
-		NeighborData: func(int) []uint64 { return agg },
+		Up: agg, Down: agg,
 	})
 }
 
@@ -179,10 +188,10 @@ func TestOrientationGate(t *testing.T) {
 		for i := range ones {
 			ones[i] = 0x5555555555555555 // differs from both 0 and ^0 at every position
 		}
-		m.Disturb(dram.DisturbContext{
+		disturbApply(m, dram.DisturbContext{
 			Bank: 0, Row: 10, Ledger: mkLedger(300_000, 34.5, 16.5, 50),
 			Data: data, Geometry: geo,
-			NeighborData: func(int) []uint64 { return ones },
+			Up: ones, Down: ones,
 		})
 		return data
 	}
@@ -211,10 +220,10 @@ func TestTempRangeGatePerCell(t *testing.T) {
 		for i := range agg {
 			agg[i] = ^uint64(0)
 		}
-		m.Disturb(dram.DisturbContext{
+		disturbApply(m, dram.DisturbContext{
 			Bank: 0, Row: row, Ledger: mkLedger(400_000, 34.5, 16.5, tempC),
 			Data: data, Geometry: geo,
-			NeighborData: func(int) []uint64 { return agg },
+			Up: agg, Down: agg,
 		})
 		out := map[int]bool{}
 		for bit := 0; bit < geo.RowBits(); bit++ {

@@ -121,10 +121,10 @@ func TestPropertyDisturbNeverFlipsTwice(t *testing.T) {
 	for i := range agg {
 		agg[i] = 0xaaaaaaaaaaaaaaaa
 	}
-	flips := m.Disturb(dram.DisturbContext{
+	flips := disturbApply(m, dram.DisturbContext{
 		Bank: 0, Row: 20, Ledger: mkLedger(400_000, 34.5, 16.5, 50),
 		Data: data, Geometry: geo,
-		NeighborData: func(int) []uint64 { return agg },
+		Up: agg, Down: agg,
 	})
 	hamming := 0
 	for i := range data {

@@ -77,6 +77,7 @@ type Program struct {
 type Builder struct {
 	tck    dram.Picos
 	instrs []Instr
+	view   Program
 }
 
 // NewBuilder returns a Builder for a controller with the given clock
@@ -86,6 +87,15 @@ func NewBuilder(tck dram.Picos) *Builder {
 		panic("softmc: non-positive tCK")
 	}
 	return &Builder{tck: tck}
+}
+
+// Reset truncates the builder's program while keeping the instruction
+// buffer's capacity, so hot loops can assemble fresh programs without
+// reallocating. Any Program previously returned by View is
+// invalidated.
+func (b *Builder) Reset() *Builder {
+	b.instrs = b.instrs[:0]
+	return b
 }
 
 // roundUp rounds d up to the clock grid.
@@ -153,6 +163,18 @@ func (b *Builder) Hammer(bank int, rows []int, count int64, aggOn, aggOff dram.P
 	return b
 }
 
+// HammerShared is Hammer without the defensive row-list copy: the
+// instruction aliases rows, which the caller must keep unchanged until
+// the program has run. Arena-reusing measurement loops use it to stay
+// allocation-free.
+func (b *Builder) HammerShared(bank int, rows []int, count int64, aggOn, aggOff dram.Picos) *Builder {
+	b.instrs = append(b.instrs, Instr{
+		Kind: KHammerLoop, Bank: bank, Rows: rows, Count: count,
+		AggOn: b.roundUp(aggOn), AggOff: b.roundUp(aggOff),
+	})
+	return b
+}
+
 // WrRow appends a bulk column-write burst to the open row of a bank:
 // beat data[col] goes to column col, commands spaced ccd apart
 // (rounded up to tCK). It is exactly equivalent to
@@ -165,6 +187,14 @@ func (b *Builder) WrRow(bank int, data []uint64, ccd dram.Picos) *Builder {
 	dcopy := make([]uint64, len(data))
 	copy(dcopy, data)
 	b.instrs = append(b.instrs, Instr{Kind: KWrRow, Bank: bank, Data: dcopy, Delay: b.roundUp(ccd)})
+	return b
+}
+
+// WrRowShared is WrRow without the defensive copy (the aliasing
+// contract of HammerShared): data must stay unchanged until the
+// program has run.
+func (b *Builder) WrRowShared(bank int, data []uint64, ccd dram.Picos) *Builder {
+	b.instrs = append(b.instrs, Instr{Kind: KWrRow, Bank: bank, Data: data, Delay: b.roundUp(ccd)})
 	return b
 }
 
@@ -189,11 +219,20 @@ func (b *Builder) Loop(count int64, fill func(*Builder)) *Builder {
 	return b
 }
 
-// Program finalizes the builder.
+// Program finalizes the builder into a detached copy.
 func (b *Builder) Program() *Program {
 	p := &Program{Instrs: make([]Instr, len(b.instrs))}
 	copy(p.Instrs, b.instrs)
 	return p
+}
+
+// View returns the current program without copying: it aliases the
+// builder's instruction buffer and is valid only until the next
+// builder mutation (append or Reset). Use Program for a detached
+// copy; View is for run-immediately hot loops.
+func (b *Builder) View() *Program {
+	b.view.Instrs = b.instrs
+	return &b.view
 }
 
 // Device is the hardware surface the executor drives: one module's
@@ -263,10 +302,22 @@ func (e *Executor) AdvanceTo(t dram.Picos) {
 // instruction; the partial result is returned with the error.
 func (e *Executor) Run(p *Program) (*Result, error) {
 	res := &Result{}
+	err := e.RunInto(p, res)
+	return res, err
+}
+
+// RunInto executes a program into a caller-owned result, truncating
+// and refilling its Reads/Trace buffers in place — the
+// allocation-free variant of Run for hot measurement loops. On error,
+// execution stops at the offending instruction; the partial result
+// remains in res.
+func (e *Executor) RunInto(p *Program, res *Result) error {
+	res.Reads = res.Reads[:0]
+	res.Trace = res.Trace[:0]
 	justIssued := false
 	err := e.runInstrs(p.Instrs, res, &justIssued, 0)
 	res.End = e.now
-	return res, err
+	return err
 }
 
 // loopDepthLimit bounds KLoop nesting.

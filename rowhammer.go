@@ -116,7 +116,19 @@ func NewBench(cfg BenchConfig) (*Bench, error) {
 // fresh module, fault model, executor, and thermal chamber replaying
 // the same deterministic construction. The parallel measurement cores
 // use clones as hermetic per-shard devices under test.
-func (b *Bench) Clone() (*Bench, error) { return NewBench(b.cfg) }
+func (b *Bench) Clone() (*Bench, error) {
+	nb, err := NewBench(b.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Clones rebuild the same deterministic candidate sets, so sharing
+	// the parent's sharded kernel cache only deduplicates work; the
+	// shards' locks keep concurrent cores from serializing on it.
+	if err := nb.Model.ShareKernelCache(b.Model); err != nil {
+		return nil, err
+	}
+	return nb, nil
+}
 
 // SetTemperature drives the thermal chamber to tempC, waits for the
 // closed loop to settle, and exposes the resulting die temperature to

@@ -61,6 +61,7 @@ func (t *Tester) temperatureSweep(ctx context.Context, cfg TempSweepConfig) (*Te
 	if t.effectiveWorkers() > 1 && len(cfg.Temps)*len(cfg.Victims) > 1 {
 		return t.temperatureSweepParallel(ctx, cfg)
 	}
+	t.declareTrialSalts(cfg.Repetitions)
 	res := &TempSweepResult{
 		Temps: cfg.Temps,
 		Rows:  cfg.Victims,
@@ -75,23 +76,25 @@ func (t *Tester) temperatureSweep(ctx context.Context, cfg TempSweepConfig) (*Te
 		}
 		perRow := make([]HammerResult, len(cfg.Victims))
 		for ri, victim := range cfg.Victims {
-			var worst HammerResult
+			// worst/cur swap headers instead of copying, so repetitions
+			// reuse buffers; worst's buffers escape into perRow, so they
+			// are scoped per victim.
+			var worst, cur HammerResult
 			for rep := 0; rep < cfg.Repetitions; rep++ {
-				hr, err := t.Hammer(HammerConfig{
+				if err := t.HammerInto(HammerConfig{
 					Bank:       cfg.Bank,
 					VictimPhys: victim,
 					Hammers:    cfg.Hammers,
 					Pattern:    cfg.Pattern,
 					Trial:      uint64(rep) + 1,
-				})
-				if err != nil {
+				}, &cur); err != nil {
 					return nil, err
 				}
-				for _, bit := range hr.Victim.Bits {
+				for _, bit := range cur.Victim.Bits {
 					res.Cells[CellID{Row: victim, Bit: bit}] |= 1 << uint(ti)
 				}
-				if rep == 0 || hr.Victim.Count() > worst.Victim.Count() {
-					worst = hr
+				if rep == 0 || cur.Victim.Count() > worst.Victim.Count() {
+					worst, cur = cur, worst
 				}
 			}
 			perRow[ri] = worst
@@ -132,6 +135,7 @@ func (t *Tester) temperatureSweepParallel(ctx context.Context, cfg TempSweepConf
 				return sweepUnit{}, err
 			}
 		}
+		sub.declareTrialSalts(cfg.Repetitions)
 		var unit sweepUnit
 		seen := make(map[int]bool)
 		for rep := 0; rep < cfg.Repetitions; rep++ {

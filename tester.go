@@ -27,6 +27,15 @@ type Tester struct {
 	// workers bounds the pool used by the parallel measurement cores;
 	// <1 selects one worker per CPU.
 	workers int
+
+	// Reusable scratch for the hot measurement loop (lazily built by
+	// ensureScratch). A Tester is single-threaded — parallel shards run
+	// on clones — so the buffers are never contended.
+	bld      *softmc.Builder
+	res      softmc.Result
+	rowArena [][]uint64 // one pattern buffer per V±patternRadius position
+	aggRows  [2]int
+	salts    []uint64
 }
 
 // NewTester returns a Tester using the module's internal mapping as
@@ -166,27 +175,47 @@ func (t *Tester) fillRow(dst []uint64, bank, phys, dist int, pat dram.PatternKin
 	}
 }
 
+// ensureScratch lazily sizes the Tester's reusable buffers: a builder
+// whose instruction buffer persists across programs, a result whose
+// read buffer persists across runs, and one pattern buffer per
+// V±patternRadius row position (WrRowShared aliases them until the
+// program runs; the device copies words into bank storage, so reuse
+// afterwards is safe).
+func (t *Tester) ensureScratch() {
+	if t.bld != nil {
+		return
+	}
+	g := t.b.Geometry()
+	t.bld = softmc.NewBuilder(t.b.Timing().TCK)
+	n := 2*patternRadius + 1
+	backing := make([]uint64, n*g.ColumnsPerRow)
+	t.rowArena = make([][]uint64, n)
+	for i := range t.rowArena {
+		t.rowArena[i] = backing[i*g.ColumnsPerRow : (i+1)*g.ColumnsPerRow : (i+1)*g.ColumnsPerRow]
+	}
+}
+
 // writePattern initializes the victim and its ±patternRadius physical
 // neighbors with the pattern, via regular WR commands (issued as one
 // bulk burst per row — bit-identical to the per-command sequence).
 func (t *Tester) writePattern(bank, victim int, pat dram.PatternKind) error {
+	t.ensureScratch()
 	g := t.b.Geometry()
 	tm := t.b.Timing()
-	bld := softmc.NewBuilder(tm.TCK)
-	words := make([]uint64, g.ColumnsPerRow)
+	bld := t.bld.Reset()
 	for phys := victim - patternRadius; phys <= victim+patternRadius; phys++ {
 		if phys < 0 || phys >= g.RowsPerBank {
 			continue
 		}
+		words := t.rowArena[phys-victim+patternRadius]
 		logical := t.logical(phys)
 		bld.Act(bank, logical).Wait(tm.TRCD)
 		t.fillRow(words, bank, phys, phys-victim, pat)
-		bld.WrRow(bank, words, tm.TCCD)
+		bld.WrRowShared(bank, words, tm.TCCD)
 		bld.Wait(tm.TRAS). // generous: covers tWR and the tRAS remainder
 					Pre(bank).Wait(tm.TRP)
 	}
-	_, err := t.b.Exec.Run(bld.Program())
-	return err
+	return t.b.Exec.RunInto(bld.View(), &t.res)
 }
 
 // readRowFlips reads one physical row and returns the bits that differ
@@ -194,21 +223,30 @@ func (t *Tester) writePattern(bank, victim int, pat dram.PatternKind) error {
 // which senses (and materializes) any accumulated disturbance first —
 // exactly as on hardware.
 func (t *Tester) readRowFlips(bank, phys, victim int, pat dram.PatternKind) (FlipSet, error) {
+	var flips FlipSet
+	err := t.readRowFlipsInto(&flips, bank, phys, victim, pat)
+	return flips, err
+}
+
+// readRowFlipsInto is readRowFlips reusing the caller's flip buffer
+// (truncated, then appended to) — the allocation-free variant for hot
+// measurement loops.
+func (t *Tester) readRowFlipsInto(flips *FlipSet, bank, phys, victim int, pat dram.PatternKind) error {
+	t.ensureScratch()
 	g := t.b.Geometry()
 	tm := t.b.Timing()
-	bld := softmc.NewBuilder(tm.TCK)
+	bld := t.bld.Reset()
 	bld.Act(bank, t.logical(phys)).Wait(tm.TRCD)
 	bld.RdRow(bank, g.ColumnsPerRow, tm.TCCD)
 	bld.Wait(tm.TRAS).Pre(bank).Wait(tm.TRP)
-	res, err := t.b.Exec.Run(bld.Program())
-	if err != nil {
-		return FlipSet{}, err
+	flips.Bits = flips.Bits[:0]
+	if err := t.b.Exec.RunInto(bld.View(), &t.res); err != nil {
+		return err
 	}
 	dist := phys - victim
 	random := pat == dram.PatRandom
 	want := pat.FillWord(t.patternSeed, bank, phys, dist, 0)
-	var flips FlipSet
-	for col, got := range res.Reads {
+	for col, got := range t.res.Reads {
 		if random {
 			want = pat.FillWord(t.patternSeed, bank, phys, dist, col)
 		}
@@ -218,23 +256,37 @@ func (t *Tester) readRowFlips(bank, phys, victim int, pat dram.PatternKind) (Fli
 			diff &= diff - 1
 		}
 	}
-	return flips, nil
+	return nil
 }
 
 // Hammer runs one complete double-sided RowHammer test: initialize
 // data, hammer, read back the double-sided and single-sided victims.
 func (t *Tester) Hammer(cfg HammerConfig) (HammerResult, error) {
+	var out HammerResult
+	err := t.HammerInto(cfg, &out)
+	return out, err
+}
+
+// HammerInto is Hammer writing into a caller-owned result whose flip
+// buffers are truncated and reused — the allocation-free variant for
+// hot measurement loops. Results are bit-identical to Hammer.
+func (t *Tester) HammerInto(cfg HammerConfig, out *HammerResult) error {
+	out.Victim.Bits = out.Victim.Bits[:0]
+	out.SingleLo.Bits = out.SingleLo.Bits[:0]
+	out.SingleHi.Bits = out.SingleHi.Bits[:0]
+	out.DurationP = 0
 	if err := t.validateVictim(cfg.Bank, cfg.VictimPhys); err != nil {
-		return HammerResult{}, err
+		return err
 	}
 	if cfg.Hammers < 0 {
-		return HammerResult{}, fmt.Errorf("rowhammer: negative hammer count")
+		return fmt.Errorf("rowhammer: negative hammer count")
 	}
+	t.ensureScratch()
 	t.b.Model.SetSalt(cfg.Trial)
 	defer t.b.Model.SetSalt(0)
 
 	if err := t.writePattern(cfg.Bank, cfg.VictimPhys, cfg.Pattern); err != nil {
-		return HammerResult{}, err
+		return err
 	}
 
 	tm := t.b.Timing()
@@ -246,32 +298,31 @@ func (t *Tester) Hammer(cfg HammerConfig) (HammerResult, error) {
 	if cfg.AggOffNs > 0 {
 		aggOff = dram.PicosFromNs(cfg.AggOffNs)
 	}
-	aggressors := []int{t.logical(cfg.VictimPhys - 1), t.logical(cfg.VictimPhys + 1)}
-	bld := softmc.NewBuilder(tm.TCK)
-	bld.Hammer(cfg.Bank, aggressors, cfg.Hammers, aggOn, aggOff)
+	t.aggRows[0] = t.logical(cfg.VictimPhys - 1)
+	t.aggRows[1] = t.logical(cfg.VictimPhys + 1)
+	bld := t.bld.Reset()
+	bld.HammerShared(cfg.Bank, t.aggRows[:], cfg.Hammers, aggOn, aggOff)
 	start := t.b.Exec.Now()
-	if _, err := t.b.Exec.Run(bld.Program()); err != nil {
-		return HammerResult{}, err
+	if err := t.b.Exec.RunInto(bld.View(), &t.res); err != nil {
+		return err
 	}
 
-	var out HammerResult
 	out.DurationP = t.b.Exec.Now() - start
-	var err error
-	if out.Victim, err = t.readRowFlips(cfg.Bank, cfg.VictimPhys, cfg.VictimPhys, cfg.Pattern); err != nil {
-		return out, err
+	if err := t.readRowFlipsInto(&out.Victim, cfg.Bank, cfg.VictimPhys, cfg.VictimPhys, cfg.Pattern); err != nil {
+		return err
 	}
 	g := t.b.Geometry()
 	if cfg.VictimPhys-2 >= 0 {
-		if out.SingleLo, err = t.readRowFlips(cfg.Bank, cfg.VictimPhys-2, cfg.VictimPhys, cfg.Pattern); err != nil {
-			return out, err
+		if err := t.readRowFlipsInto(&out.SingleLo, cfg.Bank, cfg.VictimPhys-2, cfg.VictimPhys, cfg.Pattern); err != nil {
+			return err
 		}
 	}
 	if cfg.VictimPhys+2 < g.RowsPerBank {
-		if out.SingleHi, err = t.readRowFlips(cfg.Bank, cfg.VictimPhys+2, cfg.VictimPhys, cfg.Pattern); err != nil {
-			return out, err
+		if err := t.readRowFlipsInto(&out.SingleHi, cfg.Bank, cfg.VictimPhys+2, cfg.VictimPhys, cfg.Pattern); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // WorstCasePattern finds the module's worst-case data pattern (WCDP):
@@ -285,6 +336,17 @@ func (t *Tester) WorstCasePattern(bank int, victims []int, hammers int64) (dram.
 	return s.Best, nil
 }
 
+// declareTrialSalts announces the upcoming min-of-R trial batch
+// (salts 1..reps) to the fault model so one candidate walk can
+// evaluate all repetitions at once.
+func (t *Tester) declareTrialSalts(reps int) {
+	t.salts = t.salts[:0]
+	for rep := 0; rep < reps; rep++ {
+		t.salts = append(t.salts, uint64(rep)+1)
+	}
+	t.b.Model.SetTrialSalts(t.salts)
+}
+
 // BER measures the bit error rate of a victim row: the number of
 // RowHammer bit flips at the given hammer count, using the worst case
 // over the configured repetitions (the paper repeats five times).
@@ -292,16 +354,18 @@ func (t *Tester) BER(cfg HammerConfig, repetitions int) (HammerResult, error) {
 	if repetitions < 1 {
 		repetitions = 1
 	}
-	var worst HammerResult
+	t.declareTrialSalts(repetitions)
+	// worst and cur swap slice headers rather than copying, so each
+	// repetition reuses whichever buffers the previous best released.
+	var worst, cur HammerResult
 	for rep := 0; rep < repetitions; rep++ {
 		c := cfg
 		c.Trial = uint64(rep) + 1
-		res, err := t.Hammer(c)
-		if err != nil {
+		if err := t.HammerInto(c, &cur); err != nil {
 			return worst, err
 		}
-		if rep == 0 || res.Victim.Count() > worst.Victim.Count() {
-			worst = res
+		if rep == 0 || cur.Victim.Count() > worst.Victim.Count() {
+			worst, cur = cur, worst
 		}
 	}
 	return worst, nil
