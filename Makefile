@@ -4,7 +4,7 @@ BENCHOUT ?= BENCH_pr8.json
 BENCHTHRESHOLD ?= 0.10
 BENCHSET ?= HammerThroughput|CampaignFleet|DisturbBatch|FlipApply
 
-.PHONY: all build test race vet bench bench-json bench-check bench-smoke golden chaos chaos-exp crash fuzz serve-smoke check
+.PHONY: all build test race vet bench bench-json bench-check bench-smoke golden chaos chaos-exp crash chaos-net fuzz serve-smoke check
 
 all: check
 
@@ -93,6 +93,15 @@ chaos-exp:
 crash:
 	mkdir -p crash-artifacts
 	RH_CRASH_DIR=$(abspath crash-artifacts) $(GO) test -race -run Crash -v ./internal/campaign/... ./cmd/rhfleet/...
+
+# Network chaos drill: shard workers own their shards through the
+# fenced lease service over loopback HTTP (rhfleet -lease-listen),
+# with seeded partition profiles and SIGKILLs injected into real
+# binaries — the merged summary must stay byte-identical to a
+# single-process run and no superseded writer may publish a record.
+chaos-net:
+	mkdir -p crash-artifacts
+	RH_CRASH_DIR=$(abspath crash-artifacts) $(GO) test -race -run TestCrashShardNet -count=1 -v ./cmd/rhfleet/
 
 # Serve-smoke suite: drive the real rhserved binary end to end —
 # start it on a temp store, submit a fig5 campaign over HTTP, stream

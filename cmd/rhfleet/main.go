@@ -109,6 +109,9 @@ func main() {
 		mergeShards = flag.Bool("merge-shards", false, "merge the shard checkpoints in -shard-dir into one summary/artifact, then exit")
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator: kill a shard worker whose lease heartbeat is older than this")
 		maxRespawn  = flag.Int("max-respawns", 3, "coordinator: give up on a shard after this many reassignments")
+		leaseURL    = flag.String("lease-url", "", "lease service base URL (e.g. http://10.0.0.1:8077): shard ownership moves from local flock to fenced remote leases — workers may run on other hosts")
+		leaseListen = flag.String("lease-listen", "", "coordinator: self-host the lease service on this address (e.g. 127.0.0.1:0) and hand its URL to spawned workers")
+		netChaos    = flag.String("net-chaos", "", "worker: deterministic network fault injection on the lease client: none, flaky, partition=FROM:FOR, drop=R, oneway=R, err=R, latency=R:D, seed=N, maxops=N, combined with +")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of rhfleet:\n")
@@ -183,12 +186,14 @@ rhfleet processes per checkpoint.
 		exit(runShardWorker(shardWorkerConfig{
 			assignment: *shardArg, dir: *shardDir, rsv: rsv, profile: profile,
 			quiet: *quiet, timeout: *timeout, drainTO: *drainTO,
+			leaseURL: *leaseURL, leaseTTL: *leaseTTL, netChaos: *netChaos,
 		}))
 	case *coordinate > 0:
 		exit(runCoordinator(coordinatorConfig{
 			dir: *shardDir, shards: *coordinate, wire: ws, rsv: rsv,
 			faults: *faults, quiet: *quiet, timeout: *timeout, drainTO: *drainTO,
 			leaseTTL: *leaseTTL, maxRespawns: *maxRespawn,
+			leaseURL: *leaseURL, leaseListen: *leaseListen,
 			format: *format, sumOut: *sumOut, artOut: *artOut,
 		}))
 	case *mergeShards:

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -17,6 +19,7 @@ import (
 	"rowhammer/internal/campaign"
 	"rowhammer/internal/durable"
 	"rowhammer/internal/inject"
+	"rowhammer/internal/leasesvc"
 	"rowhammer/internal/server"
 	"rowhammer/internal/shard"
 )
@@ -28,6 +31,13 @@ import (
 // dead or stalled shard's remaining jobs to a fresh worker — and
 // `rhfleet -merge-shards` folds the shard checkpoints into a summary
 // or artifact byte-identical to a single-process run.
+//
+// With -lease-url (or a coordinator's -lease-listen), shard ownership
+// moves from local flocks to the fenced lease service: workers may run
+// on any host that can reach the URL and the shared -shard-dir, every
+// acquisition mints a monotonic fencing token enforced on each record
+// append, and the coordinator supervises liveness through lease
+// heartbeats instead of lease-file mtimes.
 
 // shardWorkerConfig parameterizes one -shard i/N worker run.
 type shardWorkerConfig struct {
@@ -38,6 +48,33 @@ type shardWorkerConfig struct {
 	quiet      bool
 	timeout    time.Duration
 	drainTO    time.Duration
+	leaseURL   string
+	leaseTTL   time.Duration
+	netChaos   string
+}
+
+// leaseClient builds the worker's lease client for -lease-url mode,
+// wrapping its transport with the deterministic network chaos profile
+// when one is armed (the -net-chaos flag, or RHFLEET_NETCHAOS from a
+// coordinator drill).
+func leaseClient(cfg shardWorkerConfig, a shard.Assignment) (*leasesvc.Client, error) {
+	chaos := cfg.netChaos
+	if chaos == "" {
+		chaos = os.Getenv("RHFLEET_NETCHAOS")
+	}
+	c := &leasesvc.Client{BaseURL: strings.TrimRight(cfg.leaseURL, "/"), Seed: cfg.rsv.Spec.Seed}
+	if chaos != "" && chaos != "none" {
+		p, err := inject.ParseNet(chaos)
+		if err != nil {
+			return nil, err
+		}
+		if p.Active() {
+			label := fmt.Sprintf("shard-%d", a.Index)
+			c.HTTP = &http.Client{Transport: inject.WrapTransport(nil, p, label)}
+			fmt.Fprintf(os.Stderr, "rhfleet: shard %s: network chaos active on lease client: %s\n", a, p)
+		}
+	}
+	return c, nil
 }
 
 // runShardWorker is the -shard i/N mode: run exactly this shard's
@@ -73,6 +110,15 @@ func runShardWorker(cfg shardWorkerConfig) int {
 		ArmCheckpoint: armFailpoint,
 		Log:           func(f string, args ...any) { fmt.Fprintf(os.Stderr, "rhfleet: "+f+"\n", args...) },
 	}
+	if cfg.leaseURL != "" {
+		client, cerr := leaseClient(cfg, a)
+		if cerr != nil {
+			fatalUsage(cerr)
+		}
+		rc.Lease = client
+		rc.LeaseTTL = cfg.leaseTTL
+		rc.Owner = leasesvc.DefaultOwner()
+	}
 	if !cfg.quiet {
 		rc.Progress = func(done, total int, rec rh.CampaignRecord) {
 			status := "ok"
@@ -90,6 +136,9 @@ func runShardWorker(cfg shardWorkerConfig) int {
 	}
 	if err != nil {
 		switch {
+		case errors.Is(err, shard.ErrFenced):
+			fmt.Fprintf(os.Stderr, "rhfleet: shard %s fenced: a successor holds a newer lease token — this worker's remaining appends were refused (%v)\n", a, err)
+			return 1
 		case errors.Is(err, rh.ErrCampaignDrained):
 			fmt.Fprintf(os.Stderr, "rhfleet: shard %s drained; checkpoint flushed — the coordinator (or a rerun) resumes it\n", a)
 			return 3
@@ -120,9 +169,41 @@ type coordinatorConfig struct {
 	drainTO     time.Duration
 	leaseTTL    time.Duration
 	maxRespawns int
+	leaseURL    string
+	leaseListen string
 	format      string
 	sumOut      string
 	artOut      string
+}
+
+// leaseService resolves the coordinator's lease setup: -lease-listen
+// self-hosts a leasesvc.Service over HTTP and hands workers its URL;
+// -lease-url points everyone at an external service (rhserved). The
+// returned probe supervises workers through lease heartbeats, url is
+// what spawned workers get as -lease-url, and shutdown closes the
+// self-hosted listener (no-op for external services).
+func leaseService(cfg coordinatorConfig, campaignHash string) (probe func(shard.Assignment) (shard.Probe, error), url string, shutdown func(), err error) {
+	switch {
+	case cfg.leaseListen != "":
+		ln, lerr := net.Listen("tcp", cfg.leaseListen)
+		if lerr != nil {
+			return nil, "", nil, fmt.Errorf("lease-listen: %w", lerr)
+		}
+		svc := leasesvc.NewService(cfg.leaseTTL)
+		srv := &http.Server{
+			Handler:           svc.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
+		go srv.Serve(ln)
+		url = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "rhfleet: lease service listening on %s\n", url)
+		return shard.ServiceProbe(svc, campaignHash), url, func() { srv.Close() }, nil
+	case cfg.leaseURL != "":
+		client := &leasesvc.Client{BaseURL: strings.TrimRight(cfg.leaseURL, "/"), Seed: cfg.rsv.Spec.Seed}
+		return shard.ServiceProbe(client, campaignHash), cfg.leaseURL, func() {}, nil
+	}
+	return nil, "", func() {}, nil
 }
 
 // runCoordinator is the -coordinate N mode: persist the wire spec,
@@ -157,12 +238,26 @@ func runCoordinator(cfg coordinatorConfig) int {
 	defer cancel()
 	drainCh := armDrainSignals(ctx, cancel, cfg.drainTO)
 
+	norm, err := cfg.rsv.Spec.Normalize()
+	if err != nil {
+		fatal(err)
+	}
+	probe, leaseURL, leaseShutdown, err := leaseService(cfg, norm.IdentityHash())
+	if err != nil {
+		fatal(err)
+	}
+	defer leaseShutdown()
+
 	failShard, failOff := parseShardFailpoint()
+	chaosShard, chaosProfile := parseShardNetChaos()
 	spawn := func(ctx context.Context, a shard.Assignment, gen int) (shard.WorkerHandle, error) {
 		args := []string{
 			"-shard", a.String(),
 			"-shard-dir", cfg.dir,
 			"-spec", shard.SpecPath(cfg.dir),
+		}
+		if leaseURL != "" {
+			args = append(args, "-lease-url", leaseURL, "-lease-ttl", cfg.leaseTTL.String())
 		}
 		if cfg.quiet {
 			args = append(args, "-quiet")
@@ -172,7 +267,7 @@ func runCoordinator(cfg coordinatorConfig) int {
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
-		cmd.Env = workerEnv(a, gen, failShard, failOff)
+		cmd.Env = workerEnv(a, gen, failShard, failOff, chaosShard, chaosProfile)
 		cmd.SysProcAttr = workerSysProcAttr()
 		if err := cmd.Start(); err != nil {
 			return nil, err
@@ -188,6 +283,7 @@ func runCoordinator(cfg coordinatorConfig) int {
 		Spawn:       spawn,
 		LeaseTTL:    cfg.leaseTTL,
 		MaxRespawns: cfg.maxRespawns,
+		Probe:       probe,
 		Drain:       drainCh,
 		Log:         func(f string, args ...any) { fmt.Fprintf(os.Stderr, "rhfleet: "+f+"\n", args...) },
 	})
@@ -322,20 +418,42 @@ func parseShardFailpoint() (shardIdx int, off string) {
 	return idx, rest
 }
 
+// parseShardNetChaos reads RHFLEET_SHARD_NETCHAOS="i:profile" — the
+// network chaos drill seam, shaped exactly like the failpoint seam:
+// arm RHFLEET_NETCHAOS=profile on shard i's generation-0 worker only,
+// so one worker rides out (or dies under) a deterministic partition
+// while its reassigned generation runs on a clean network.
+func parseShardNetChaos() (shardIdx int, profile string) {
+	v := os.Getenv("RHFLEET_SHARD_NETCHAOS")
+	i, rest, ok := strings.Cut(v, ":")
+	if !ok {
+		return -1, ""
+	}
+	idx, err := strconv.Atoi(i)
+	if err != nil || idx < 0 || rest == "" {
+		return -1, ""
+	}
+	return idx, rest
+}
+
 // workerEnv builds a shard worker's environment: the coordinator's
-// own failpoint variables are stripped (a coordinator under drill
-// must not arm every worker), then the per-shard failpoint is armed
-// on the targeted generation-0 worker.
-func workerEnv(a shard.Assignment, gen, failShard int, failOff string) []string {
-	env := make([]string, 0, len(os.Environ())+1)
+// own drill variables are stripped (a coordinator under drill must
+// not arm every worker), then the per-shard failpoint and network
+// chaos profile are armed on their targeted generation-0 workers.
+func workerEnv(a shard.Assignment, gen, failShard int, failOff string, chaosShard int, chaosProfile string) []string {
+	env := make([]string, 0, len(os.Environ())+2)
 	for _, kv := range os.Environ() {
-		if strings.HasPrefix(kv, "RHFLEET_FAILPOINT=") || strings.HasPrefix(kv, "RHFLEET_SHARD_FAILPOINT=") {
+		if strings.HasPrefix(kv, "RHFLEET_FAILPOINT=") || strings.HasPrefix(kv, "RHFLEET_SHARD_FAILPOINT=") ||
+			strings.HasPrefix(kv, "RHFLEET_NETCHAOS=") || strings.HasPrefix(kv, "RHFLEET_SHARD_NETCHAOS=") {
 			continue
 		}
 		env = append(env, kv)
 	}
 	if a.Index == failShard && gen == 0 && failOff != "" {
 		env = append(env, "RHFLEET_FAILPOINT="+failOff)
+	}
+	if a.Index == chaosShard && gen == 0 && chaosProfile != "" {
+		env = append(env, "RHFLEET_NETCHAOS="+chaosProfile)
 	}
 	return env
 }

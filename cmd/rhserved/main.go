@@ -18,6 +18,8 @@
 //	GET  /v1/artifacts?...          query the artifact index
 //	GET  /v1/artifacts/{id}         raw artifact bytes (byte-identical to rhchar)
 //	GET  /v1/artifacts/{id}/rows    filtered, key-sorted artifact rows
+//	POST /v1/leases/{acquire,beat,release}  fenced shard leases for rhfleet -lease-url
+//	GET  /v1/leases                 lease inventory
 //	GET  /healthz                   liveness
 //
 // Durability: artifacts land via atomic rename, the index is an
@@ -48,6 +50,7 @@ import (
 	"time"
 
 	"rowhammer/internal/durable"
+	"rowhammer/internal/leasesvc"
 	"rowhammer/internal/server"
 	"rowhammer/internal/store"
 )
@@ -60,6 +63,8 @@ func main() {
 		maxQ     = flag.Int("max-queued", 0, "bound the FIFO submit queue; a full queue answers 429 with Retry-After (0 = unbounded)")
 		budget   = flag.Int("worker-budget", 0, "worker-pool cap per campaign (0 = no cap)")
 		drainTO  = flag.Duration("drain-timeout", 60*time.Second, "grace period for in-flight jobs after the first SIGINT/SIGTERM")
+		maxSpec  = flag.Int64("max-spec-bytes", server.DefaultMaxSpecBytes, "largest accepted POST /v1/campaigns body; larger specs answer 413")
+		leaseTTL = flag.Duration("lease-ttl", leasesvc.DefaultTTL, "default TTL for shard leases served under /v1/leases (rhfleet -lease-url workers)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -99,7 +104,21 @@ func main() {
 	// off this line.
 	logf("listening on %s", ln.Addr())
 
-	httpSrv := &http.Server{Handler: server.New(mgr, st).Handler()}
+	api := server.New(mgr, st)
+	api.SetMaxSpecBytes(*maxSpec)
+	// The shard lease service rides the same mux and listener: rhfleet
+	// -lease-url workers and campaign clients share one endpoint.
+	api.Mount(leasesvc.NewService(*leaseTTL).Register)
+
+	// ReadHeaderTimeout caps how long a client may dribble its request
+	// headers (slow-loris); IdleTimeout reclaims parked keep-alive
+	// connections. No overall write timeout: /v1/campaigns/{id}/events
+	// is a legitimately long-lived SSE stream.
+	httpSrv := &http.Server{
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

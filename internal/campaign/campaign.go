@@ -274,6 +274,13 @@ type Record struct {
 	// json.RawMessage keeps the bytes verbatim through checkpoint
 	// round trips so resumed fragments merge bit-identically.
 	Artifact json.RawMessage `json:"artifact,omitempty"`
+	// Fence is the fencing token of the shard lease under which the
+	// record was appended (internal/shard remote leases). Zero for
+	// local-flock and single-process runs. The token never feeds the
+	// aggregate — it exists so a checkpoint says which lease generation
+	// published each record, and so a fenced zombie's appends are
+	// attributable when forensics ever need them.
+	Fence uint64 `json:"fence,omitempty"`
 }
 
 // Failed reports whether the record describes a failed job.

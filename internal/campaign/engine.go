@@ -464,12 +464,19 @@ func sleepBackoff(ctx context.Context, spec Spec, job Job, attempt int) bool {
 	}
 }
 
-// backoffDelay returns RetryBackoff·2^(attempt-1) capped at 32×, plus
-// a jitter in [0, RetryBackoff) derived deterministically from
-// (seed, job key, attempt) — reproducible, yet decorrelated across
-// jobs so retries never stampede the substrate in lockstep.
+// backoffDelay returns the engine's per-retry delay for one job.
 func backoffDelay(spec Spec, job Job, attempt int) time.Duration {
-	base := spec.RetryBackoff
+	return Backoff(spec.RetryBackoff, spec.Seed, job.Key(), attempt)
+}
+
+// Backoff returns base·2^(attempt-1) capped at 32×, plus a jitter in
+// [0, base) derived deterministically from (seed, key, attempt) —
+// reproducible, yet decorrelated across keys so retries never
+// stampede the substrate in lockstep. The engine uses it for job
+// retries; the lease-service client reuses it for its network
+// retries, so one backoff policy covers every retried call in the
+// system.
+func Backoff(base time.Duration, seed uint64, key string, attempt int) time.Duration {
 	if base <= 0 {
 		return 0
 	}
@@ -477,6 +484,6 @@ func backoffDelay(spec Spec, job Job, attempt int) time.Duration {
 	if shift > 5 {
 		shift = 5
 	}
-	jitter := time.Duration(rng.Hash64(spec.Seed, rng.HashString(job.Key()), uint64(attempt)) % uint64(base))
+	jitter := time.Duration(rng.Hash64(seed, rng.HashString(key), uint64(attempt)) % uint64(base))
 	return base<<shift + jitter
 }

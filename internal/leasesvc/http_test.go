@@ -1,0 +1,180 @@
+package leasesvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestPair(t *testing.T) (*Service, *Client) {
+	t.Helper()
+	svc := NewService(time.Second)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, &Client{BaseURL: srv.URL, Backoff: time.Millisecond, Retries: 2}
+}
+
+// The client over real HTTP must behave exactly like the in-process
+// service: same grants, same sentinel errors via errors.Is.
+func TestClientRoundTrip(t *testing.T) {
+	svc, c := newTestPair(t)
+	ctx := context.Background()
+	key := testKey()
+
+	g, err := c.Acquire(ctx, key, "worker:1", 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if g.Token != 1 || g.TTL != 500*time.Millisecond {
+		t.Fatalf("grant = %+v", g)
+	}
+	if _, err := c.Acquire(ctx, key, "worker:2", 0); !errors.Is(err, ErrHeld) {
+		t.Fatalf("contended acquire = %v, want ErrHeld", err)
+	}
+	if err := c.Beat(ctx, key, g.Token, Beat{Seq: 1, Done: 1, Total: 3}); err != nil {
+		t.Fatalf("beat: %v", err)
+	}
+	v, ok, err := c.View(ctx, key)
+	if err != nil || !ok {
+		t.Fatalf("view: ok=%v err=%v", ok, err)
+	}
+	if !v.Held || v.Seq != 1 || v.Done != 1 || v.Total != 3 || v.Owner != "worker:1" {
+		t.Fatalf("view = %+v", v)
+	}
+	// Supersede directly on the service; the old client token must
+	// come back fenced over the wire.
+	svc.SetNow(func() time.Time { return time.Now().Add(time.Hour) })
+	if _, err := svc.Acquire(ctx, key, "worker:2", 0); err != nil {
+		t.Fatalf("successor acquire: %v", err)
+	}
+	if err := c.Beat(ctx, key, g.Token, Beat{Seq: 2}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie beat over HTTP = %v, want ErrFenced", err)
+	}
+	if err := c.Release(ctx, key, g.Token); err != nil {
+		t.Fatalf("stale release over HTTP: %v", err)
+	}
+	other := Key{Campaign: "0000000000000000", Shard: 0, Of: 2}
+	if err := c.Beat(ctx, other, 1, Beat{}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("beat unknown over HTTP = %v, want ErrUnknown", err)
+	}
+}
+
+// 5xx responses are infrastructure failures and retry until the
+// service answers; 409 is a protocol answer and must not retry.
+func TestClientRetryPolicy(t *testing.T) {
+	svc := NewService(time.Second)
+	var calls atomic.Int64
+	var fail503 atomic.Int64
+	h := svc.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if fail503.Add(-1) >= 0 {
+			http.Error(w, "synthetic outage", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Backoff: time.Millisecond, Retries: 3}
+	ctx := context.Background()
+	key := testKey()
+
+	fail503.Store(2)
+	if _, err := c.Acquire(ctx, key, "w:1", 0); err != nil {
+		t.Fatalf("acquire through 2×503: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("acquire used %d calls, want 3 (2 failures + 1 success)", got)
+	}
+	calls.Store(0)
+	if _, err := c.Acquire(ctx, key, "w:2", 0); !errors.Is(err, ErrHeld) {
+		t.Fatalf("contended acquire = %v, want ErrHeld", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("409 used %d calls, want 1 (protocol answers never retry)", got)
+	}
+}
+
+func TestClientExhaustsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, Backoff: time.Millisecond, Retries: 2}
+	_, err := c.Acquire(context.Background(), testKey(), "w:1", 0)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempt(s)") {
+		t.Fatalf("err = %v, want retry-exhaustion naming 3 attempts", err)
+	}
+}
+
+// Oversized and malformed bodies are bounded and rejected without
+// touching lease state.
+func TestServerBodyLimits(t *testing.T) {
+	svc := NewService(time.Second)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Valid JSON right up to (and past) the byte bound, so the limit
+	// trips before a syntax error can.
+	huge := append([]byte(`{"campaign":"`), bytes.Repeat([]byte("x"), maxBodyBytes+1024)...)
+	huge = append(huge, []byte(`"}`)...)
+	resp, err := http.Post(srv.URL+"/v1/leases/acquire", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/leases/acquire", "application/json",
+		strings.NewReader(`{"campaign":"h","unknown_field":1}`))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: HTTP %d, want 400", resp.StatusCode)
+	}
+	if len(svc.List()) != 0 {
+		t.Fatalf("rejected requests leaked lease state: %v", svc.List())
+	}
+}
+
+func TestListFiltersAndSorts(t *testing.T) {
+	_, c := newTestPair(t)
+	ctx := context.Background()
+	for shard := 2; shard >= 0; shard-- {
+		key := Key{Campaign: "aaaa", Shard: shard, Of: 3}
+		if _, err := c.Acquire(ctx, key, "w", 0); err != nil {
+			t.Fatalf("acquire shard %d: %v", shard, err)
+		}
+	}
+	if _, err := c.Acquire(ctx, Key{Campaign: "bbbb", Shard: 0, Of: 1}, "w", 0); err != nil {
+		t.Fatalf("acquire other campaign: %v", err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/leases?campaign=aaaa", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	defer resp.Body.Close()
+	var views []wireView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("filtered list has %d entries, want 3", len(views))
+	}
+	for i, v := range views {
+		if v.Campaign != "aaaa" || v.Shard != i {
+			t.Fatalf("views[%d] = %+v, want campaign aaaa shard %d", i, v, i)
+		}
+	}
+}

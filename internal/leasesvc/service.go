@@ -1,0 +1,307 @@
+// Package leasesvc implements the shard lease service: the
+// cross-machine replacement for the local flock leases of
+// internal/shard. A fleet coordinator and its workers may live on
+// different hosts, where no kernel can revoke a dead worker's lock —
+// so ownership becomes a leased, fenced agreement instead:
+//
+//   - Acquire grants a shard lease keyed by (campaign identity hash,
+//     shard, of) and mints a monotonically increasing fencing token.
+//     Every successor holds a strictly larger token than every
+//     predecessor, which is what lets the checkpoint layer reject a
+//     partitioned zombie's late appends.
+//   - Beat is the holder's heartbeat. Staleness is judged by Seq
+//     monotonicity on the service's own clock: a lease expires only
+//     when its heartbeat sequence number stops advancing for TTL —
+//     never by comparing worker wall clocks, so a clock-skewed host
+//     whose Seq is advancing is alive by definition.
+//   - Release ends the lease early; a stale token's release is a
+//     harmless no-op (it must never free a successor's lease).
+//
+// The Service is pure in-memory state behind one mutex — leases are
+// an availability mechanism, not a durability one. All durability
+// lives in the per-shard v2 checkpoints plus their fence files; if
+// the service restarts, workers fail their heartbeats, self-fence,
+// and the coordinator reassigns from the checkpoints on disk exactly
+// as if the workers had died.
+package leasesvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Default lease parameters; callers usually override TTL from the
+// coordinator's -lease-ttl.
+const (
+	DefaultTTL = 15 * time.Second
+)
+
+// Sentinel errors of the lease protocol. The HTTP layer maps them to
+// status codes and back, so errors.Is works identically against an
+// in-process Service and a remote Client.
+var (
+	// ErrHeld reports a live lease: acquisition refused because the
+	// current holder's Seq advanced within TTL.
+	ErrHeld = errors.New("leasesvc: lease held")
+	// ErrFenced reports a stale fencing token: the caller has been
+	// superseded by a later acquisition and must stop writing.
+	ErrFenced = errors.New("leasesvc: fencing token superseded")
+	// ErrUnknown reports an operation on a lease that was never
+	// acquired from this service.
+	ErrUnknown = errors.New("leasesvc: unknown lease")
+)
+
+// Key identifies one shard lease: the campaign identity hash (already
+// covering kind/fleet/seed/temps/fingerprint) plus the shard's slot
+// in the partition. Two campaigns never collide, and neither do two
+// different partition widths of the same campaign.
+type Key struct {
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+	Of       int    `json:"of"`
+}
+
+// Validate rejects structurally impossible keys before they can pin
+// garbage state into the lease table.
+func (k Key) Validate() error {
+	if k.Campaign == "" {
+		return fmt.Errorf("leasesvc: key has empty campaign hash")
+	}
+	if k.Of < 1 || k.Shard < 0 || k.Shard >= k.Of {
+		return fmt.Errorf("leasesvc: key has impossible shard %d/%d", k.Shard, k.Of)
+	}
+	return nil
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s/%d-of-%d", k.Campaign, k.Shard, k.Of) }
+
+// Grant is a successful acquisition: the minted fencing token and the
+// TTL the service will actually enforce.
+type Grant struct {
+	Token uint64        `json:"token"`
+	TTL   time.Duration `json:"ttl"`
+}
+
+// Beat is one heartbeat payload. Seq must be strictly increasing per
+// grant — the service advances its staleness clock only on a Seq it
+// has not seen, so replayed or frozen heartbeats age the lease out.
+type Beat struct {
+	Seq   uint64 `json:"seq"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// View is the observable state of one lease — what a coordinator
+// probes to learn remote-shard liveness.
+type View struct {
+	Key
+	// Held reports an unexpired holder at observation time.
+	Held bool `json:"held"`
+	// Token is the high-water fencing token minted so far.
+	Token uint64 `json:"token"`
+	// Owner labels the last holder (host:pid), diagnostics only.
+	Owner string `json:"owner,omitempty"`
+	// Seq/Done/Total mirror the last heartbeat.
+	Seq   uint64 `json:"seq"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	// SinceAdvance is how long ago, on the service's clock, Seq last
+	// advanced (or the lease was acquired). The staleness clock.
+	SinceAdvance time.Duration `json:"since_advance_ms"`
+	// TTL is the expiry the service enforces for this lease.
+	TTL time.Duration `json:"ttl_ms"`
+}
+
+// API is the lease protocol as both sides of the wire implement it:
+// *Service in process, *Client over HTTP. internal/shard programs
+// against this, so tests exercise the exact worker logic with no
+// network and the binaries run it over loopback or a real fleet.
+type API interface {
+	Acquire(ctx context.Context, key Key, owner string, ttl time.Duration) (Grant, error)
+	Beat(ctx context.Context, key Key, token uint64, b Beat) error
+	Release(ctx context.Context, key Key, token uint64) error
+	View(ctx context.Context, key Key) (View, bool, error)
+}
+
+// state is one lease's record. token only ever increases — that is
+// the entire fencing guarantee.
+type state struct {
+	token       uint64
+	held        bool
+	owner       string
+	ttl         time.Duration
+	seq         uint64
+	done, total int
+	lastAdvance time.Time // service-clock time Seq last advanced
+}
+
+// Service is the in-memory lease table.
+type Service struct {
+	mu     sync.Mutex
+	leases map[Key]*state
+	ttl    time.Duration
+	now    func() time.Time
+}
+
+// NewService builds a lease service whose default TTL (used when an
+// acquirer passes 0) is defaultTTL, or DefaultTTL when <= 0.
+func NewService(defaultTTL time.Duration) *Service {
+	if defaultTTL <= 0 {
+		defaultTTL = DefaultTTL
+	}
+	return &Service{leases: map[Key]*state{}, ttl: defaultTTL, now: time.Now}
+}
+
+// SetNow replaces the service clock — the test seam for expiry
+// without real sleeping. Not for production use.
+func (s *Service) SetNow(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// expired reports whether st's heartbeat Seq has been frozen past its
+// TTL, judged entirely on the service's clock. Caller holds s.mu.
+func (s *Service) expired(st *state) bool {
+	return s.now().Sub(st.lastAdvance) > st.ttl
+}
+
+// HeldError decorates ErrHeld with the live holder, so a refused
+// acquirer can log who owns the shard.
+type HeldError struct {
+	Key   Key
+	Owner string
+	Seq   uint64
+}
+
+func (e *HeldError) Error() string {
+	return fmt.Sprintf("leasesvc: lease %s held by %s (seq %d)", e.Key, e.Owner, e.Seq)
+}
+
+func (e *HeldError) Unwrap() error { return ErrHeld }
+
+// Acquire grants the lease if it is free or its holder's heartbeat
+// has gone stale, minting the next fencing token. A refused acquire
+// returns an error wrapping ErrHeld; callers poll until the holder
+// either releases or expires.
+func (s *Service) Acquire(_ context.Context, key Key, owner string, ttl time.Duration) (Grant, error) {
+	if err := key.Validate(); err != nil {
+		return Grant{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ttl <= 0 {
+		ttl = s.ttl
+	}
+	st := s.leases[key]
+	if st == nil {
+		st = &state{}
+		s.leases[key] = st
+	}
+	if st.held && !s.expired(st) {
+		return Grant{}, &HeldError{Key: key, Owner: st.owner, Seq: st.seq}
+	}
+	st.token++
+	st.held = true
+	st.owner = owner
+	st.ttl = ttl
+	st.seq = 0
+	st.done, st.total = 0, 0
+	st.lastAdvance = s.now()
+	return Grant{Token: st.token, TTL: ttl}, nil
+}
+
+// Beat records a heartbeat under token. A token below the high-water
+// mark gets ErrFenced — the holder has been superseded and must stop.
+// The staleness clock advances only when b.Seq strictly exceeds the
+// last recorded Seq; a wedged worker replaying one Seq forever is
+// indistinguishable from silence and ages out.
+func (s *Service) Beat(_ context.Context, key Key, token uint64, b Beat) error {
+	if err := key.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.leases[key]
+	if st == nil || token > st.token {
+		return fmt.Errorf("%w: %s", ErrUnknown, key)
+	}
+	if token < st.token {
+		return fmt.Errorf("%w: lease %s token %d < %d", ErrFenced, key, token, st.token)
+	}
+	// The current token beating revives a lease the service had
+	// written off as expired — as long as no successor acquired it in
+	// between, the slow heartbeat proves the holder is still the
+	// legitimate owner.
+	st.held = true
+	if b.Seq > st.seq {
+		st.seq = b.Seq
+		st.lastAdvance = s.now()
+	}
+	st.done, st.total = b.Done, b.Total
+	return nil
+}
+
+// Release ends the lease held under token. Releasing with a stale
+// token is a no-op success: the zombie's release must never free the
+// successor's lease. Releasing a never-acquired lease is ErrUnknown.
+func (s *Service) Release(_ context.Context, key Key, token uint64) error {
+	if err := key.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.leases[key]
+	if st == nil || token > st.token {
+		return fmt.Errorf("%w: %s", ErrUnknown, key)
+	}
+	if token == st.token && st.held {
+		st.held = false
+		// Backdate the staleness clock so the next Acquire succeeds
+		// immediately instead of waiting out a TTL that no longer
+		// protects anyone.
+		st.lastAdvance = s.now().Add(-st.ttl - time.Second)
+	}
+	return nil
+}
+
+// View reports the lease's observable state; ok is false when the
+// lease was never acquired.
+func (s *Service) View(_ context.Context, key Key) (View, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.leases[key]
+	if st == nil {
+		return View{Key: key}, false, nil
+	}
+	return s.view(key, st), true, nil
+}
+
+// List snapshots every lease, for the GET /v1/leases index.
+func (s *Service) List() []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.leases))
+	for k, st := range s.leases {
+		out = append(out, s.view(k, st))
+	}
+	return out
+}
+
+// view renders one lease. Caller holds s.mu.
+func (s *Service) view(key Key, st *state) View {
+	return View{
+		Key:          key,
+		Held:         st.held && !s.expired(st),
+		Token:        st.token,
+		Owner:        st.owner,
+		Seq:          st.seq,
+		Done:         st.done,
+		Total:        st.total,
+		SinceAdvance: s.now().Sub(st.lastAdvance),
+		TTL:          st.ttl,
+	}
+}

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"rowhammer/internal/leasesvc"
 	"rowhammer/internal/shard"
 )
 
@@ -149,5 +152,66 @@ func TestHTTPHealthzDraining(t *testing.T) {
 	}
 	if health["draining"] != true || health["ok"] != false {
 		t.Fatalf("draining healthz body = %+v", health)
+	}
+}
+
+// TestHTTPSubmitBodyBound: POST /v1/campaigns refuses a body larger
+// than the configured spec bound with 413 — a slow-loris or runaway
+// client cannot make the daemon buffer an arbitrary spec — and the
+// refusal leaks no campaign state: a well-formed spec still submits.
+func TestHTTPSubmitBodyBound(t *testing.T) {
+	mgr, st := newTestManager(t, t.TempDir(), ManagerConfig{})
+	srv := New(mgr, st)
+	srv.SetMaxSpecBytes(1 << 10)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Valid JSON that exceeds the bound: the byte limit must trip
+	// before the decoder can object to anything else.
+	huge := []byte(`{"kind":"` + strings.Repeat("x", 2<<10) + `"}`)
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec = %d, want 413", resp.StatusCode)
+	}
+	if got := mgr.Statuses(); len(got) != 0 {
+		t.Fatalf("oversized spec leaked %d campaign(s)", len(got))
+	}
+	if _, code := postSpec(t, ts.URL, slowSpec(1)); code != http.StatusAccepted {
+		t.Fatalf("well-formed submit after 413 = %d, want 202", code)
+	}
+}
+
+// TestHTTPMountLeases: the shard lease service mounts onto the
+// campaign server's mux, so one rhserved listener serves campaigns,
+// artifacts and fenced shard leases.
+func TestHTTPMountLeases(t *testing.T) {
+	mgr, st := newTestManager(t, t.TempDir(), ManagerConfig{})
+	srv := New(mgr, st)
+	srv.Mount(leasesvc.NewService(0).Register)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	client := &leasesvc.Client{BaseURL: ts.URL}
+	key := leasesvc.Key{Campaign: "deadbeefdeadbeef", Shard: 0, Of: 2}
+	grant, err := client.Acquire(t.Context(), key, "test", 0)
+	if err != nil {
+		t.Fatalf("acquire through mounted mux: %v", err)
+	}
+	if grant.Token != 1 {
+		t.Fatalf("first token = %d, want 1", grant.Token)
+	}
+	if err := client.Beat(t.Context(), key, grant.Token, leasesvc.Beat{Seq: 1, Done: 0, Total: 4}); err != nil {
+		t.Fatalf("beat through mounted mux: %v", err)
+	}
+	// The campaign routes still answer beside the lease routes.
+	if code := getJSON(t, ts.URL+"/v1/campaigns", nil); code != http.StatusOK {
+		t.Fatalf("GET /v1/campaigns beside leases = %d", code)
+	}
+	if err := client.Release(t.Context(), key, grant.Token); err != nil {
+		t.Fatalf("release through mounted mux: %v", err)
 	}
 }

@@ -27,11 +27,20 @@ type Server struct {
 	mgr *Manager
 	st  *store.Store
 	mux *http.ServeMux
+
+	// maxSpecBytes bounds the POST /v1/campaigns request body; a spec
+	// is a few hundred bytes of JSON, so anything near the limit is
+	// hostile or broken. DefaultMaxSpecBytes unless SetMaxSpecBytes
+	// says otherwise.
+	maxSpecBytes int64
 }
+
+// DefaultMaxSpecBytes bounds a submitted campaign spec (1 MiB).
+const DefaultMaxSpecBytes = 1 << 20
 
 // New builds the HTTP API over mgr and its store.
 func New(mgr *Manager, st *store.Store) *Server {
-	s := &Server{mgr: mgr, st: st, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, st: st, mux: http.NewServeMux(), maxSpecBytes: DefaultMaxSpecBytes}
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaign)
@@ -47,6 +56,20 @@ func New(mgr *Manager, st *store.Store) *Server {
 // Handler returns the routed handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetMaxSpecBytes overrides the submit body bound (<= 0 restores the
+// default).
+func (s *Server) SetMaxSpecBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxSpecBytes
+	}
+	s.maxSpecBytes = n
+}
+
+// Mount registers additional routes — e.g. the shard lease service
+// (leasesvc.Service.Register) — on the server's mux, so rhserved
+// serves campaigns, artifacts and leases from one listener.
+func (s *Server) Mount(register func(mux *http.ServeMux)) { register(s.mux) }
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -61,9 +84,15 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxSpecBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("spec exceeds %d bytes", s.maxSpecBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
 		return
 	}

@@ -55,6 +55,13 @@ type Config struct {
 	// the campaign rather than respawning a crash-looping worker
 	// forever. Default 3.
 	MaxRespawns int
+	// Probe, when non-nil, replaces the local flock probe — a
+	// remote-lease coordinator supervises its workers through the
+	// lease service (ServiceProbe) instead of the filesystem. The
+	// stall judgment on top is identical either way: heartbeat Seq
+	// monotonicity on the coordinator's clock (StallTracker), with
+	// wall-clock age only as the no-heartbeat fallback.
+	Probe func(a Assignment) (Probe, error)
 	// Drain, when delivered or closed, stops the run gracefully:
 	// workers are asked to drain, nothing is respawned, and Coordinate
 	// returns campaign.ErrDrained if the grid is incomplete.
@@ -117,6 +124,14 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 		return nil, nil, fmt.Errorf("shard: another coordinator owns %s: %w", cfg.Dir, err)
 	}
 	defer coordLock.Release()
+
+	probe := cfg.Probe
+	if probe == nil {
+		probe = func(a Assignment) (Probe, error) {
+			return ProbeLease(LeasePath(cfg.Dir, a))
+		}
+	}
+	stalls := &StallTracker{}
 
 	parts := Partition(cfg.Shards)
 	active := make(map[int]WorkerHandle, cfg.Shards)
@@ -193,21 +208,25 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 			startDrain()
 		case <-ticker.C:
 			// A dead worker surfaces through its exit event; the probe
-			// exists for stragglers — alive (flock held) but silent.
+			// exists for stragglers — alive (lease held) but silent.
+			// Staleness is judged by Seq monotonicity on our own
+			// clock, so a clock-skewed host with an advancing Seq is
+			// never mistaken for a stall.
 			for idx, h := range active {
 				a := parts[idx]
-				p, err := ProbeLease(LeasePath(cfg.Dir, a))
+				p, err := probe(a)
 				if err != nil {
 					continue
 				}
-				if p.Stalled(ttl) {
-					logf("shard %s: stalled (no heartbeat for %s, pid %d); killing",
-						a, p.Age.Round(time.Second), p.Info.PID)
+				if stalls.Stalled(idx, p, ttl) {
+					logf("shard %s: stalled (heartbeat seq %d frozen for > %s, pid %d); killing",
+						a, p.Info.Seq, ttl, p.Info.PID)
 					h.Kill()
 				}
 			}
 		case ev := <-exits:
 			delete(active, ev.idx)
+			stalls.Forget(ev.idx)
 			a := parts[ev.idx]
 			missing, haveCkpt, merr := shardMissing(spec, a, CheckpointPath(cfg.Dir, a))
 			if merr != nil {

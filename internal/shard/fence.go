@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rowhammer/internal/campaign"
+	"rowhammer/internal/durable"
+	"rowhammer/internal/leasesvc"
+)
+
+// The fence file is the on-disk half of the fencing protocol. The
+// lease service mints monotonic tokens; the checkpoint directory
+// remembers the highest token that ever started writing, in
+// <ckpt>.fence — a successor raises it before its first append, and
+// every append by every writer re-reads it first. A partitioned
+// zombie that was superseded holds a token below the fence and gets
+// ErrFenced on its next append, so its stale records can never enter
+// the checkpoint no matter how long it lingers.
+//
+// The file is one CRC-trailed JSON line, rewritten atomically
+// (durable.AtomicWriteFile): torn or damaged fence files read as
+// errors, never as a silently lowered fence.
+
+// ErrFenced aliases the lease service's sentinel so callers need only
+// one errors.Is target whether the refusal came from the service (a
+// fenced heartbeat) or from the checkpoint layer (a fenced append).
+var ErrFenced = leasesvc.ErrFenced
+
+// fenceVersion stamps fence lines for forward compatibility.
+const fenceVersion = 1
+
+type fenceLine struct {
+	Version int    `json:"v"`
+	Token   uint64 `json:"fence"`
+}
+
+// FencePath returns the shard's fence-file path under dir.
+func FencePath(dir string, a Assignment) string {
+	return CheckpointPath(dir, a) + ".fence"
+}
+
+// ReadFence returns the shard's high-water fencing token; a missing
+// fence file is token 0 (nothing fenced yet). A present-but-unreadable
+// file is an error — failing open would let a zombie write.
+func ReadFence(path string) (uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("shard: fence %s: %w", path, err)
+	}
+	line := raw
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	payload, ok := durable.SplitCRCLine(line)
+	if !ok {
+		return 0, fmt.Errorf("shard: fence %s: damaged CRC line", path)
+	}
+	var fl fenceLine
+	if err := json.Unmarshal(payload, &fl); err != nil || fl.Version != fenceVersion {
+		return 0, fmt.Errorf("shard: fence %s: bad payload %q", path, payload)
+	}
+	return fl.Token, nil
+}
+
+// RaiseFence raises the shard's fence to token. Raising to or above
+// the current value is the normal path; attempting to raise to a
+// token *below* the current fence means the caller has itself been
+// superseded and gets ErrFenced — it must not write.
+func RaiseFence(path string, token uint64) error {
+	cur, err := ReadFence(path)
+	if err != nil {
+		return err
+	}
+	if token < cur {
+		return fmt.Errorf("%w: fence %s already at %d, cannot lower to %d", ErrFenced, path, cur, token)
+	}
+	if token == cur {
+		return nil
+	}
+	payload, err := json.Marshal(fenceLine{Version: fenceVersion, Token: token})
+	if err != nil {
+		return err
+	}
+	return durable.AtomicWriteFile(path, durable.AppendCRCLine(nil, payload), 0o644)
+}
+
+// FencedWriter is a campaign.RecordWriter that enforces the fence on
+// every single append: re-read the high-water token, refuse with
+// ErrFenced when this writer's token is below it, and stamp the token
+// into the record otherwise. The per-append re-read is the point —
+// the fence can rise at any moment (a successor starting on another
+// host against the same directory), and the very next append must
+// see it.
+type FencedWriter struct {
+	w         campaign.RecordWriter
+	fencePath string
+	token     uint64
+}
+
+// NewFencedWriter wraps w with fence enforcement under token.
+func NewFencedWriter(w campaign.RecordWriter, fencePath string, token uint64) *FencedWriter {
+	return &FencedWriter{w: w, fencePath: fencePath, token: token}
+}
+
+// WriteRecord implements campaign.RecordWriter.
+func (fw *FencedWriter) WriteRecord(rec campaign.Record) error {
+	hw, err := ReadFence(fw.fencePath)
+	if err != nil {
+		return err
+	}
+	if fw.token < hw {
+		return fmt.Errorf("%w: append with token %d below fence %d (%s)",
+			ErrFenced, fw.token, hw, fw.fencePath)
+	}
+	rec.Fence = fw.token
+	return fw.w.WriteRecord(rec)
+}

@@ -130,6 +130,11 @@ type Probe struct {
 	// Age is the time since the heartbeat file was last written —
 	// the stall clock. Meaningful only when the file exists.
 	Age time.Duration
+	// Token is the remote lease's fencing token (ServiceProbe); zero
+	// for flock probes. A token change means a different holder, so
+	// the stall tracker must not compare heartbeat Seqs across it —
+	// every acquisition restarts Seq at zero.
+	Token uint64
 }
 
 // Stalled reports a holder that is alive but has not heartbeat

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// StallTracker judges shard staleness by heartbeat Seq monotonicity
+// on the *observer's* clock, with wall-clock file age only as a
+// fallback. The failure it exists to prevent: a worker on a host
+// with a skewed clock writes heartbeats whose mtimes look ancient to
+// the coordinator — Probe.Age alone would declare it stalled and
+// kill a perfectly healthy worker. The tracker instead remembers,
+// per shard, the last Seq it saw and when *it* saw it change; a
+// holder is stalled only when its Seq has been frozen for longer
+// than TTL of the observer's own time. Only when a probe carries no
+// readable heartbeat at all (InfoOK false — torn line, pre-first-
+// beat) does the mtime age remain the best available signal.
+type StallTracker struct {
+	// Now is the observer clock; time.Now when nil. A test seam.
+	Now func() time.Time
+
+	mu   sync.Mutex
+	seen map[int]stallSeen
+}
+
+type stallSeen struct {
+	token uint64
+	seq   uint64
+	at    time.Time
+}
+
+func (t *StallTracker) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// Stalled reports whether shard idx's probe shows a holder that is
+// alive but frozen for longer than ttl.
+func (t *StallTracker) Stalled(idx int, p Probe, ttl time.Duration) bool {
+	if !p.Held || ttl <= 0 {
+		t.Forget(idx)
+		return false
+	}
+	if !p.InfoOK {
+		// No heartbeat to judge by — fall back to file age, exactly
+		// the pre-tracker behavior.
+		return p.Age > ttl
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seen == nil {
+		t.seen = map[int]stallSeen{}
+	}
+	now := t.now()
+	s, ok := t.seen[idx]
+	// A fencing-token change is a new holder: its Seq restarts at
+	// zero, so comparing it against the predecessor's high-water Seq
+	// would brand a freshly-acquired successor as frozen. Reset the
+	// clock instead.
+	if !ok || p.Token != s.token || p.Info.Seq > s.seq {
+		t.seen[idx] = stallSeen{token: p.Token, seq: p.Info.Seq, at: now}
+		return false
+	}
+	return now.Sub(s.at) > ttl
+}
+
+// Forget drops shard idx's history — called when its worker exits,
+// so a respawned generation starts with a fresh stall clock.
+func (t *StallTracker) Forget(idx int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.seen, idx)
+}
