@@ -4,7 +4,7 @@ BENCHOUT ?= BENCH_pr8.json
 BENCHTHRESHOLD ?= 0.10
 BENCHSET ?= HammerThroughput|CampaignFleet|DisturbBatch|FlipApply
 
-.PHONY: all build test race vet bench bench-json bench-check bench-smoke golden chaos chaos-exp crash chaos-net fuzz serve-smoke check
+.PHONY: all build test race vet bench bench-json bench-check bench-smoke golden chaos chaos-exp crash chaos-net chaos-fleet fuzz serve-smoke check
 
 all: check
 
@@ -17,11 +17,14 @@ test:
 # Race-check the concurrent packages: the campaign engine, the
 # durability layer, the worker pool they are built on, the experiment
 # drivers that fan out per manufacturer, the serving tier (store +
-# campaign server, including the 1k-client load test), and the fault
-# model (its sharded kernel cache is shared across parallel cores).
+# campaign server, including the 1k-client load test), the fault
+# model (its sharded kernel cache is shared across parallel cores),
+# and the placement layer (lease service + worker registry, shard
+# coordinator/scheduler/worker loops).
 race:
 	$(GO) test -race ./internal/campaign/... ./internal/durable/... ./internal/pool/... ./internal/exp/... \
-		./internal/store/... ./internal/server/... ./internal/faultmodel/...
+		./internal/store/... ./internal/server/... ./internal/faultmodel/... \
+		./internal/leasesvc/... ./internal/shard/...
 
 vet:
 	$(GO) vet ./...
@@ -102,6 +105,15 @@ crash:
 chaos-net:
 	mkdir -p crash-artifacts
 	RH_CRASH_DIR=$(abspath crash-artifacts) $(GO) test -race -run TestCrashShardNet -count=1 -v ./cmd/rhfleet/
+
+# Fleet placement drill: the real rhserved daemon fans a sharded
+# campaign out across three real `rhfleet -worker` processes — one
+# slowed by injected lease-client latency — then one healthy worker is
+# SIGKILLed mid-run. The scheduler must rebalance off the straggler,
+# reassign the dead worker's shards, and the published artifact must
+# stay byte-identical to a single-process rhfleet run.
+chaos-fleet:
+	$(GO) test -race -run TestFleetChaosDrill -count=1 -v ./cmd/rhserved/
 
 # Serve-smoke suite: drive the real rhserved binary end to end —
 # start it on a temp store, submit a fig5 campaign over HTTP, stream

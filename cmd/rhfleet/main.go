@@ -21,6 +21,15 @@
 //	rhfleet -spec campaign.json
 //	rhfleet -exp hcfirst -modules 8 -fault-profile chaos -retries 4 -breaker 3
 //	rhfleet -compact -out fleet.jsonl
+//	rhfleet -worker -lease-url http://10.0.0.1:8077 -worker-id w1 -slots 2
+//
+// -worker joins the placement layer's fleet: the process registers
+// with the lease service at -lease-url (a coordinator's -lease-listen
+// or an rhserved), heartbeats, and runs whatever shard placements the
+// scheduler assigns — each under the shard's fenced lease, resolving
+// its campaign from the spec.json persisted in the placement's shard
+// directory. No campaign flags apply; one worker serves any number of
+// campaigns over its lifetime.
 //
 // Checkpoints are written in the crash-safe v2 format (self-describing
 // header + CRC32C per record, fsynced per record); resume verifies the
@@ -111,6 +120,9 @@ func main() {
 		maxRespawn  = flag.Int("max-respawns", 3, "coordinator: give up on a shard after this many reassignments")
 		leaseURL    = flag.String("lease-url", "", "lease service base URL (e.g. http://10.0.0.1:8077): shard ownership moves from local flock to fenced remote leases — workers may run on other hosts")
 		leaseListen = flag.String("lease-listen", "", "coordinator: self-host the lease service on this address (e.g. 127.0.0.1:0) and hand its URL to spawned workers")
+		workerMode  = flag.Bool("worker", false, "join the fleet: register with the placement layer at -lease-url and run whatever shard placements its scheduler assigns")
+		workerID    = flag.String("worker-id", "", "worker: registration ID (default host:pid); re-using an ID supersedes the previous holder")
+		slots       = flag.Int("slots", 1, "worker: shard placements to run concurrently")
 		netChaos    = flag.String("net-chaos", "", "worker: deterministic network fault injection on the lease client: none, flaky, partition=FROM:FOR, drop=R, oneway=R, err=R, latency=R:D, seed=N, maxops=N, combined with +")
 	)
 	flag.Usage = func() {
@@ -147,10 +159,28 @@ rhfleet processes per checkpoint.
 	if err != nil {
 		fatalUsage(err)
 	}
-	shardMode := *shardArg != "" || *coordinate > 0 || *mergeShards
-	if shardMode && *shardDir == "" {
-		fatalUsage(fmt.Errorf("-shard, -coordinate and -merge-shards require -shard-dir"))
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateModeFlags(modeFlags{
+		shard: *shardArg, coordinate: *coordinate, mergeShards: *mergeShards,
+		worker: *workerMode, shardDir: *shardDir,
+		leaseURL: *leaseURL, leaseListen: *leaseListen,
+		workerIDSet: explicit["worker-id"], slotsSet: explicit["slots"],
+	}); err != nil {
+		fatalUsage(err)
 	}
+	// A fleet worker has no campaign of its own — every placement it is
+	// handed resolves its spec from the placement's shard directory —
+	// so it dispatches before any spec is built.
+	if *workerMode {
+		exit(runFleetWorker(fleetWorkerCfg{
+			id: *workerID, slots: *slots,
+			leaseURL: *leaseURL, leaseTTL: *leaseTTL, netChaos: *netChaos,
+			profile: profile, seed: *seed,
+			quiet: *quiet, timeout: *timeout, drainTO: *drainTO,
+		}))
+	}
+	shardMode := *shardArg != "" || *coordinate > 0 || *mergeShards
 	// Shard modes default to the directory's persisted spec, so a
 	// restarted coordinator (or a hand-run worker or merge) needs no
 	// flag replay: the directory says what campaign it holds.

@@ -53,25 +53,24 @@ type shardWorkerConfig struct {
 	netChaos   string
 }
 
-// leaseClient builds the worker's lease client for -lease-url mode,
-// wrapping its transport with the deterministic network chaos profile
-// when one is armed (the -net-chaos flag, or RHFLEET_NETCHAOS from a
-// coordinator drill).
-func leaseClient(cfg shardWorkerConfig, a shard.Assignment) (*leasesvc.Client, error) {
-	chaos := cfg.netChaos
-	if chaos == "" {
-		chaos = os.Getenv("RHFLEET_NETCHAOS")
+// leaseClient builds a lease/registry client for the -lease-url
+// modes, wrapping its transport with the deterministic network chaos
+// profile when one is armed (the -net-chaos flag, or RHFLEET_NETCHAOS
+// from a coordinator drill). The same client speaks both halves of
+// the placement layer: fenced shard leases and the worker registry.
+func leaseClient(baseURL, chaosSpec string, seed uint64, label string) (*leasesvc.Client, error) {
+	if chaosSpec == "" {
+		chaosSpec = os.Getenv("RHFLEET_NETCHAOS")
 	}
-	c := &leasesvc.Client{BaseURL: strings.TrimRight(cfg.leaseURL, "/"), Seed: cfg.rsv.Spec.Seed}
-	if chaos != "" && chaos != "none" {
-		p, err := inject.ParseNet(chaos)
+	c := &leasesvc.Client{BaseURL: strings.TrimRight(baseURL, "/"), Seed: seed}
+	if chaosSpec != "" && chaosSpec != "none" {
+		p, err := inject.ParseNet(chaosSpec)
 		if err != nil {
 			return nil, err
 		}
 		if p.Active() {
-			label := fmt.Sprintf("shard-%d", a.Index)
 			c.HTTP = &http.Client{Transport: inject.WrapTransport(nil, p, label)}
-			fmt.Fprintf(os.Stderr, "rhfleet: shard %s: network chaos active on lease client: %s\n", a, p)
+			fmt.Fprintf(os.Stderr, "rhfleet: %s: network chaos active on lease client: %s\n", label, p)
 		}
 	}
 	return c, nil
@@ -111,7 +110,7 @@ func runShardWorker(cfg shardWorkerConfig) int {
 		Log:           func(f string, args ...any) { fmt.Fprintf(os.Stderr, "rhfleet: "+f+"\n", args...) },
 	}
 	if cfg.leaseURL != "" {
-		client, cerr := leaseClient(cfg, a)
+		client, cerr := leaseClient(cfg.leaseURL, cfg.netChaos, cfg.rsv.Spec.Seed, fmt.Sprintf("shard-%d", a.Index))
 		if cerr != nil {
 			fatalUsage(cerr)
 		}
@@ -157,6 +156,126 @@ func runShardWorker(cfg shardWorkerConfig) int {
 	return 0
 }
 
+// fleetWorkerCfg parameterizes a -worker process: a fleet member that
+// registers with the placement layer at -lease-url and pulls shard
+// placements from the scheduler instead of being handed one on the
+// command line.
+type fleetWorkerCfg struct {
+	id       string
+	slots    int
+	leaseURL string
+	leaseTTL time.Duration
+	netChaos string
+	profile  *inject.Profile
+	seed     uint64
+	quiet    bool
+	timeout  time.Duration
+	drainTO  time.Duration
+}
+
+// runFleetWorker is the -worker mode: register with the worker
+// registry, heartbeat, and execute whatever placements the scheduler
+// assigns. Each placement resolves its own campaign from the
+// spec.json the coordinator persisted into the placement's shard
+// directory, verifies the campaign identity against the placement,
+// and runs under the shard's fenced lease — exactly what a
+// hand-started `rhfleet -shard i/N -lease-url ...` does, minus the
+// hands.
+func runFleetWorker(cfg fleetWorkerCfg) int {
+	id := cfg.id
+	if id == "" {
+		id = leasesvc.DefaultOwner()
+	}
+	client, err := leaseClient(cfg.leaseURL, cfg.netChaos, cfg.seed, "worker "+id)
+	if err != nil {
+		fatalUsage(err)
+	}
+	base := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		base, cancel = context.WithTimeout(base, cfg.timeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+	drainCh := armDrainSignals(ctx, cancel, cfg.drainTO)
+	logf := func(f string, args ...any) { fmt.Fprintf(os.Stderr, "rhfleet: "+f+"\n", args...) }
+
+	run := func(ctx context.Context, p leasesvc.Placement, drain <-chan struct{}) error {
+		specPath := shard.SpecPath(p.Dir)
+		b, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		var ws server.Spec
+		if err := json.Unmarshal(b, &ws); err != nil {
+			return fmt.Errorf("parsing %s: %w", specPath, err)
+		}
+		raw, err := ws.CampaignSpec()
+		if err != nil {
+			return err
+		}
+		rsv, err := server.Resolve(raw)
+		if err != nil {
+			return err
+		}
+		if got := rsv.Spec.IdentityHash(); got != p.Campaign {
+			return fmt.Errorf("placement names campaign %s but %s resolves to %s", p.Campaign, specPath, got)
+		}
+		runner := rsv.Runner
+		if cfg.profile != nil {
+			runner = inject.WrapRunner(runner, cfg.profile)
+		}
+		a := shard.Assignment{Index: p.Shard, Of: p.Of}
+		rc := shard.RunConfig{
+			Dir:           p.Dir,
+			Assignment:    a,
+			Spec:          rsv.Spec,
+			Runner:        runner,
+			Drain:         drain,
+			ArmCheckpoint: armFailpoint,
+			Lease:         client,
+			LeaseTTL:      cfg.leaseTTL,
+			Owner:         id,
+			Log:           logf,
+		}
+		if !cfg.quiet {
+			start := time.Now()
+			rc.Progress = func(done, total int, rec rh.CampaignRecord) {
+				status := "ok"
+				if rec.Err != "" {
+					status = "FAILED: " + rec.Err
+				}
+				fmt.Fprintf(os.Stderr, "rhfleet: shard %s [%d/%d] %-24s %s (%.1fs elapsed)\n",
+					a, done, total, rec.Key, status, time.Since(start).Seconds())
+			}
+		}
+		_, err = shard.RunShard(ctx, rc)
+		return err
+	}
+
+	err = shard.RunWorker(ctx, shard.WorkerConfig{
+		Registry: client,
+		ID:       id,
+		Slots:    cfg.slots,
+		TTL:      cfg.leaseTTL,
+		Run:      run,
+		Drain:    drainCh,
+		Log:      logf,
+	})
+	switch {
+	case errors.Is(err, campaign.ErrDrained):
+		fmt.Fprintf(os.Stderr, "rhfleet: worker %s drained; placements checkpointed — the scheduler reassigns what remains\n", id)
+		return 0
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "rhfleet: worker %s interrupted (%v)\n", id, err)
+		return 3
+	default:
+		fmt.Fprintf(os.Stderr, "rhfleet: worker %s: %v\n", id, err)
+		return 1
+	}
+}
+
 // coordinatorConfig parameterizes a -coordinate N run.
 type coordinatorConfig struct {
 	dir         string
@@ -180,16 +299,18 @@ type coordinatorConfig struct {
 // self-hosts a leasesvc.Service over HTTP and hands workers its URL;
 // -lease-url points everyone at an external service (rhserved). The
 // returned probe supervises workers through lease heartbeats, url is
-// what spawned workers get as -lease-url, and shutdown closes the
+// what spawned workers get as -lease-url, svc is the self-hosted
+// service (nil otherwise) so the coordinator can mirror its local
+// workers into the worker registry, and shutdown closes the
 // self-hosted listener (no-op for external services).
-func leaseService(cfg coordinatorConfig, campaignHash string) (probe func(shard.Assignment) (shard.Probe, error), url string, shutdown func(), err error) {
+func leaseService(cfg coordinatorConfig, campaignHash string) (probe func(shard.Assignment) (shard.Probe, error), url string, svc *leasesvc.Service, shutdown func(), err error) {
 	switch {
 	case cfg.leaseListen != "":
 		ln, lerr := net.Listen("tcp", cfg.leaseListen)
 		if lerr != nil {
-			return nil, "", nil, fmt.Errorf("lease-listen: %w", lerr)
+			return nil, "", nil, nil, fmt.Errorf("lease-listen: %w", lerr)
 		}
-		svc := leasesvc.NewService(cfg.leaseTTL)
+		svc = leasesvc.NewService(cfg.leaseTTL)
 		srv := &http.Server{
 			Handler:           svc.Handler(),
 			ReadHeaderTimeout: 5 * time.Second,
@@ -198,12 +319,12 @@ func leaseService(cfg coordinatorConfig, campaignHash string) (probe func(shard.
 		go srv.Serve(ln)
 		url = "http://" + ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "rhfleet: lease service listening on %s\n", url)
-		return shard.ServiceProbe(svc, campaignHash), url, func() { srv.Close() }, nil
+		return shard.ServiceProbe(svc, campaignHash), url, svc, func() { srv.Close() }, nil
 	case cfg.leaseURL != "":
 		client := &leasesvc.Client{BaseURL: strings.TrimRight(cfg.leaseURL, "/"), Seed: cfg.rsv.Spec.Seed}
-		return shard.ServiceProbe(client, campaignHash), cfg.leaseURL, func() {}, nil
+		return shard.ServiceProbe(client, campaignHash), cfg.leaseURL, nil, func() {}, nil
 	}
-	return nil, "", func() {}, nil
+	return nil, "", nil, func() {}, nil
 }
 
 // runCoordinator is the -coordinate N mode: persist the wire spec,
@@ -242,7 +363,7 @@ func runCoordinator(cfg coordinatorConfig) int {
 	if err != nil {
 		fatal(err)
 	}
-	probe, leaseURL, leaseShutdown, err := leaseService(cfg, norm.IdentityHash())
+	probe, leaseURL, leaseSvc, leaseShutdown, err := leaseService(cfg, norm.IdentityHash())
 	if err != nil {
 		fatal(err)
 	}
@@ -281,6 +402,7 @@ func runCoordinator(cfg coordinatorConfig) int {
 		Spec:        cfg.rsv.Spec,
 		Shards:      cfg.shards,
 		Spawn:       spawn,
+		Registry:    leaseSvc,
 		LeaseTTL:    cfg.leaseTTL,
 		MaxRespawns: cfg.maxRespawns,
 		Probe:       probe,

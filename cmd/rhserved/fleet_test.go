@@ -1,0 +1,235 @@
+//go:build unix
+
+// Fleet placement drill: builds the real rhserved and rhfleet
+// binaries, registers three `rhfleet -worker` processes with the
+// daemon's placement layer — one of them crippled by deterministic
+// network latency on its lease client — submits a sharded campaign
+// over HTTP, SIGKILLs a healthy worker mid-run, and requires the
+// scheduler to rebalance off the straggler, reassign the dead
+// worker's shards, and publish an artifact byte-identical to a
+// single-process rhfleet run. `make chaos-fleet` runs exactly this.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	fleetBuildOnce sync.Once
+	rhfleetBin     string
+	fleetBuildErr  error
+)
+
+// rhfleetBinary builds the real rhfleet once per test run — the drill
+// exercises the shipped worker, not an in-process approximation.
+func rhfleetBinary(t *testing.T) string {
+	t.Helper()
+	fleetBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rhserved-fleet-*")
+		if err != nil {
+			fleetBuildErr = err
+			return
+		}
+		rhfleetBin = filepath.Join(dir, "rhfleet")
+		if out, err := exec.Command("go", "build", "-o", rhfleetBin, "../rhfleet").CombinedOutput(); err != nil {
+			fleetBuildErr = fmt.Errorf("go build rhfleet: %v\n%s", err, out)
+		}
+	})
+	if fleetBuildErr != nil {
+		t.Fatal(fleetBuildErr)
+	}
+	return rhfleetBin
+}
+
+// lockedBuf is a goroutine-safe buffer for child-process output.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+type fleetWorker struct {
+	id   string
+	cmd  *exec.Cmd
+	logs *lockedBuf
+}
+
+// startFleetWorker launches `rhfleet -worker` against the daemon's
+// placement layer. Extra args ride along (the straggler's -net-chaos).
+func startFleetWorker(t *testing.T, base, id string, extra ...string) *fleetWorker {
+	t.Helper()
+	args := append([]string{"-worker", "-lease-url", base, "-worker-id", id, "-lease-ttl", "2s", "-quiet"}, extra...)
+	cmd := exec.Command(rhfleetBinary(t), args...)
+	logs := &lockedBuf{}
+	cmd.Stdout, cmd.Stderr = logs, logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &fleetWorker{id: id, cmd: cmd, logs: logs}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	return w
+}
+
+// waitWorkersAlive polls GET /v1/workers until n registrations are
+// alive.
+func waitWorkersAlive(t *testing.T, d *daemon, n int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var views []struct {
+			ID    string `json:"id"`
+			Alive bool   `json:"alive"`
+		}
+		getJSON(t, d.base+"/v1/workers", &views)
+		alive := 0
+		for _, v := range views {
+			if v.Alive {
+				alive++
+			}
+		}
+		if alive >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d/%d fleet workers alive; daemon log:\n%s", alive, n, d.log())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFleetChaosDrill is the end-to-end placement-layer drill. A
+// campaign submitted with "shards": 8 must complete entirely on the
+// three registered workers (the daemon spawns nothing), survive one
+// worker SIGKILLed mid-run and one straggler slowed by 400ms of
+// injected latency per lease call, and still publish the summary
+// byte-identical to a single-process rhfleet run of the same
+// campaign.
+func TestFleetChaosDrill(t *testing.T) {
+	// Reference bytes: the same campaign, one process, no daemon.
+	refDir := t.TempDir()
+	refSum := filepath.Join(refDir, "summary.json")
+	ref := exec.Command(rhfleetBinary(t),
+		"-mfrs", "A,B,C,D", "-modules", "4", "-exp", "hcfirst", "-scale", "tiny", "-seed", "7",
+		"-workers", "2", "-quiet",
+		"-out", filepath.Join(refDir, "ref.jsonl"), "-summary", refSum)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference rhfleet run: %v\n%s", err, out)
+	}
+	want, err := os.ReadFile(refSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := startDaemon(t, t.TempDir(), "-lease-ttl", "2s")
+	w1 := startFleetWorker(t, d.base, "w1")
+	startFleetWorker(t, d.base, "w2")
+	startFleetWorker(t, d.base, "w3", "-net-chaos", "latency=1:400ms")
+	waitWorkersAlive(t, d, 3)
+
+	st := submit(t, d, `{"kind":"hcfirst","mfrs":["A","B","C","D"],"modules_per_mfr":4,"scale":"tiny","seed":7,"workers":2,"shards":8}`)
+
+	// Wait for the first recorded job, then SIGKILL a healthy worker
+	// without any warning — its held leases must lapse and its shards
+	// be reassigned or re-placed.
+	killDeadline := time.Now().Add(time.Minute)
+	for {
+		var cur status
+		getJSON(t, d.base+"/v1/campaigns/"+st.ID, &cur)
+		if cur.Done >= 1 {
+			break
+		}
+		if cur.State == "done" || cur.State == "failed" || time.Now().After(killDeadline) {
+			t.Fatalf("campaign reached %q before the drill could kill a worker; daemon log:\n%s", cur.State, d.log())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	w1.cmd.Process.Kill()
+	w1.cmd.Wait()
+	t.Logf("SIGKILLed worker %s mid-campaign", w1.id)
+
+	final := pollDone(t, d, st.ID)
+	log := d.log()
+
+	// The manager fanned out to the fleet rather than running anything
+	// in process.
+	if !regexp.MustCompile(`fanning \d+ shard\(s\) out across`).MatchString(log) {
+		t.Fatalf("daemon never fanned out to the fleet; log:\n%s", log)
+	}
+	// The dead worker's shards moved: either a held lease lapsed and
+	// the shard was reassigned to a fresh generation, or a never-
+	// started placement was re-placed onto a live worker.
+	if !regexp.MustCompile(`reassigning|re-placing`).MatchString(log) {
+		t.Fatalf("no reassignment after SIGKILLing %s; log:\n%s", w1.id, log)
+	}
+	// The scheduler rebalanced queued work off the straggler.
+	if !regexp.MustCompile(`rebalance`).MatchString(log) {
+		t.Fatalf("scheduler never rebalanced off the slow worker; log:\n%s", log)
+	}
+
+	got := getBytes(t, d.base+"/v1/artifacts/"+final.ArtifactID)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet artifact differs from single-process summary (%d vs %d bytes)\ndaemon log:\n%s",
+			len(got), len(want), log)
+	}
+}
+
+// TestFleetWorkersEndpointShape pins the operator-facing JSON of
+// GET /v1/workers and GET /v1/stats against a live daemon with one
+// registered worker — the wire schema EXPERIMENTS.md documents.
+func TestFleetWorkersEndpointShape(t *testing.T) {
+	d := startDaemon(t, t.TempDir(), "-lease-ttl", "2s")
+	startFleetWorker(t, d.base, "shape-w")
+	waitWorkersAlive(t, d, 1)
+
+	resp, err := http.Get(d.base + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("got %d workers, want 1", len(views))
+	}
+	for _, key := range []string{"id", "token", "alive", "slots", "seq", "ttl_ms"} {
+		if _, ok := views[0][key]; !ok {
+			t.Fatalf("GET /v1/workers entry missing %q: %v", key, views[0])
+		}
+	}
+
+	var stats map[string]any
+	if code := getJSON(t, d.base+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d", code)
+	}
+	for _, key := range []string{"lease_acquires", "lease_beats", "fenced_rejections", "worker_beats", "workers_registered"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("GET /v1/stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["workers_registered"].(float64) < 1 {
+		t.Fatalf("workers_registered = %v, want >= 1", stats["workers_registered"])
+	}
+}

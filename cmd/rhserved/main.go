@@ -20,6 +20,9 @@
 //	GET  /v1/artifacts/{id}/rows    filtered, key-sorted artifact rows
 //	POST /v1/leases/{acquire,beat,release}  fenced shard leases for rhfleet -lease-url
 //	GET  /v1/leases                 lease inventory
+//	POST /v1/workers/{register,beat,deregister}  fleet worker registry (rhfleet -worker)
+//	GET  /v1/workers                registered-worker inventory
+//	GET  /v1/stats                  placement-layer counters
 //	GET  /healthz                   liveness
 //
 // Durability: artifacts land via atomic rename, the index is an
@@ -86,10 +89,17 @@ func main() {
 			*storeDir, report.DroppedLines, len(report.DroppedPayloads), report.DroppedPayloads)
 	}
 
+	// One lease service carries both halves of the placement layer:
+	// fenced shard leases under /v1/leases and the worker registry
+	// under /v1/workers. Sharded campaigns fan out across registered
+	// workers when any are alive, and run in-process otherwise.
+	fleet := leasesvc.NewService(*leaseTTL)
+
 	mgr, err := server.NewManager(st, server.ManagerConfig{
 		MaxActive:    *maxAct,
 		MaxQueued:    *maxQ,
 		WorkerBudget: *budget,
+		Fleet:        fleet,
 		Log:          logf,
 	})
 	if err != nil {
@@ -106,9 +116,10 @@ func main() {
 
 	api := server.New(mgr, st)
 	api.SetMaxSpecBytes(*maxSpec)
-	// The shard lease service rides the same mux and listener: rhfleet
-	// -lease-url workers and campaign clients share one endpoint.
-	api.Mount(leasesvc.NewService(*leaseTTL).Register)
+	// The placement layer rides the same mux and listener: rhfleet
+	// -lease-url and -worker processes and campaign clients share one
+	// endpoint.
+	api.Mount(fleet.Register)
 
 	// ReadHeaderTimeout caps how long a client may dribble its request
 	// headers (slow-loris); IdleTimeout reclaims parked keep-alive

@@ -119,6 +119,7 @@ func (s *Service) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/leases/beat", s.handleBeat)
 	mux.HandleFunc("POST /v1/leases/release", s.handleRelease)
 	mux.HandleFunc("GET /v1/leases", s.handleList)
+	s.registerRegistry(mux)
 }
 
 // Handler returns a standalone handler serving only the lease API —

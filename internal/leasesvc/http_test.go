@@ -178,3 +178,48 @@ func TestListFiltersAndSorts(t *testing.T) {
 		}
 	}
 }
+
+// GET /v1/leases — the wire form of the scheduler's progress signal —
+// must report monotone done/total across a fencing-token change.
+func TestListProgressMonotoneAcrossHandover(t *testing.T) {
+	svc, c := newTestPair(t)
+	ctx := context.Background()
+	key := testKey()
+
+	readDone := func() (uint64, int, int) {
+		t.Helper()
+		v, ok, err := c.View(ctx, key)
+		if err != nil || !ok {
+			t.Fatalf("view: ok=%v err=%v", ok, err)
+		}
+		return v.Token, v.Done, v.Total
+	}
+
+	g1, err := c.Acquire(ctx, key, "gen0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Beat(ctx, key, g1.Token, Beat{Seq: 4, Done: 6, Total: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, done, total := readDone(); done != 6 || total != 10 {
+		t.Fatalf("pre-handover view = %d/%d, want 6/10", done, total)
+	}
+	// Age the lease out on the service clock and hand over.
+	svc.SetNow(func() time.Time { return time.Now().Add(time.Hour) })
+	g2, err := c.Acquire(ctx, key, "gen1", 0)
+	if err != nil {
+		t.Fatalf("successor acquire: %v", err)
+	}
+	tok, done, total := readDone()
+	if tok != g2.Token || done != 6 || total != 10 {
+		t.Fatalf("post-handover view = token %d %d/%d, want token %d 6/10", tok, done, total, g2.Token)
+	}
+	// The successor resumes from the checkpoint: its first beat
+	// re-reports the resumed count, then advances.
+	c.Beat(ctx, key, g2.Token, Beat{Seq: 1, Done: 6, Total: 10})
+	c.Beat(ctx, key, g2.Token, Beat{Seq: 2, Done: 8, Total: 10})
+	if _, done, _ := readDone(); done != 8 {
+		t.Fatalf("post-resume done = %d, want 8", done)
+	}
+}

@@ -138,12 +138,56 @@ type state struct {
 	lastAdvance time.Time // service-clock time Seq last advanced
 }
 
-// Service is the in-memory lease table.
+// Service is the in-memory lease table plus the worker registry
+// (registry.go) and the operational counters both expose.
 type Service struct {
-	mu     sync.Mutex
-	leases map[Key]*state
-	ttl    time.Duration
-	now    func() time.Time
+	mu      sync.Mutex
+	leases  map[Key]*state
+	workers map[string]*workerState
+	ttl     time.Duration
+	now     func() time.Time
+	stats   Stats
+}
+
+// Stats are the service's operational counters — the handover-churn
+// dashboard drills and operators read from GET /v1/stats. Counters
+// only ever increase; WorkersRegistered is a live gauge.
+type Stats struct {
+	// LeaseAcquires counts granted lease acquisitions (every fencing
+	// token minted), refusals excluded.
+	LeaseAcquires uint64 `json:"lease_acquires"`
+	// LeaseBeats counts accepted lease heartbeats.
+	LeaseBeats uint64 `json:"lease_beats"`
+	// FencedRejections counts beats — lease or worker — refused with
+	// ErrFenced: each one is a superseded writer being told to stop.
+	FencedRejections uint64 `json:"fenced_rejections"`
+	// WorkerBeats counts accepted worker-registry heartbeats.
+	WorkerBeats uint64 `json:"worker_beats"`
+	// WorkersRegistered gauges currently live registered workers.
+	WorkersRegistered int `json:"workers_registered"`
+}
+
+// StatsSnapshot returns the current counters; the gauge is computed
+// against the service clock at call time.
+func (s *Service) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.WorkersRegistered = 0
+	for _, w := range s.workers {
+		if w.registered && !s.workerExpired(w) {
+			st.WorkersRegistered++
+		}
+	}
+	return st
+}
+
+// DefaultLeaseTTL reports the TTL used when acquirers pass 0 — the
+// value a colocated scheduler should supervise with.
+func (s *Service) DefaultLeaseTTL() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ttl
 }
 
 // NewService builds a lease service whose default TTL (used when an
@@ -152,7 +196,7 @@ func NewService(defaultTTL time.Duration) *Service {
 	if defaultTTL <= 0 {
 		defaultTTL = DefaultTTL
 	}
-	return &Service{leases: map[Key]*state{}, ttl: defaultTTL, now: time.Now}
+	return &Service{leases: map[Key]*state{}, workers: map[string]*workerState{}, ttl: defaultTTL, now: time.Now}
 }
 
 // SetNow replaces the service clock — the test seam for expiry
@@ -209,8 +253,13 @@ func (s *Service) Acquire(_ context.Context, key Key, owner string, ttl time.Dur
 	st.owner = owner
 	st.ttl = ttl
 	st.seq = 0
-	st.done, st.total = 0, 0
+	// done/total survive the handover: a successor resumes from the
+	// predecessor's checkpoint, so the shard's progress is monotone
+	// across fencing-token changes — and the placement scheduler reads
+	// it off GET /v1/leases as its throughput signal. Resetting here
+	// would make every reassignment look like lost work.
 	st.lastAdvance = s.now()
+	s.stats.LeaseAcquires++
 	return Grant{Token: st.token, TTL: ttl}, nil
 }
 
@@ -230,6 +279,7 @@ func (s *Service) Beat(_ context.Context, key Key, token uint64, b Beat) error {
 		return fmt.Errorf("%w: %s", ErrUnknown, key)
 	}
 	if token < st.token {
+		s.stats.FencedRejections++
 		return fmt.Errorf("%w: lease %s token %d < %d", ErrFenced, key, token, st.token)
 	}
 	// The current token beating revives a lease the service had
@@ -241,7 +291,18 @@ func (s *Service) Beat(_ context.Context, key Key, token uint64, b Beat) error {
 		st.seq = b.Seq
 		st.lastAdvance = s.now()
 	}
-	st.done, st.total = b.Done, b.Total
+	// Done is monotone: a successor's first beats replay the resumed
+	// checkpoint count, which can never be below what the predecessor
+	// reported for records that actually landed — but a beat raced
+	// from before a handover must not drag the published progress
+	// backwards either.
+	if b.Done > st.done {
+		st.done = b.Done
+	}
+	if b.Total > 0 {
+		st.total = b.Total
+	}
+	s.stats.LeaseBeats++
 	return nil
 }
 

@@ -208,3 +208,45 @@ func TestViewReportsProgressAndExpiry(t *testing.T) {
 		t.Fatalf("SinceAdvance = %v, want 3s", v.SinceAdvance)
 	}
 }
+
+// The scheduler's input signal must survive handovers: done/total
+// reported by a predecessor stays visible through a fencing-token
+// change, and a successor resuming from the checkpoint can only move
+// it forward. A reset here would make every reassignment look like
+// lost work and send the placement scheduler chasing phantoms.
+func TestProgressSurvivesFencingHandover(t *testing.T) {
+	clk := newFakeClock()
+	s := NewService(time.Second)
+	s.SetNow(clk.now)
+	ctx := context.Background()
+	key := testKey()
+
+	g1, _ := s.Acquire(ctx, key, "a:1", 0)
+	s.Beat(ctx, key, g1.Token, Beat{Seq: 3, Done: 5, Total: 9})
+	clk.advance(2 * time.Second) // a:1 dies silently; lease ages out
+
+	g2, err := s.Acquire(ctx, key, "b:2", 0)
+	if err != nil {
+		t.Fatalf("successor acquire: %v", err)
+	}
+	if g2.Token != g1.Token+1 {
+		t.Fatalf("successor token = %d, want %d", g2.Token, g1.Token+1)
+	}
+	// Between the handover and the successor's first beat, the view
+	// still carries the predecessor's progress under the new token.
+	v, ok, _ := s.View(ctx, key)
+	if !ok || v.Token != g2.Token || v.Done != 5 || v.Total != 9 {
+		t.Fatalf("view across handover = %+v, want done 5/9 under token %d", v, g2.Token)
+	}
+	// A stale beat (raced from before the handover, or a replayed
+	// lower count) must not drag progress backwards...
+	s.Beat(ctx, key, g2.Token, Beat{Seq: 1, Done: 3, Total: 9})
+	if v, _, _ := s.View(ctx, key); v.Done != 5 {
+		t.Fatalf("done regressed to %d after a lower beat, want 5", v.Done)
+	}
+	// ...while the successor's real progress advances it.
+	s.Beat(ctx, key, g2.Token, Beat{Seq: 2, Done: 7, Total: 9})
+	if v, _, _ := s.View(ctx, key); v.Done != 7 || v.Total != 9 {
+		t.Fatalf("view after successor progress = %+v, want 7/9", v)
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"rowhammer/internal/leasesvc"
+	"rowhammer/internal/shard"
+)
+
+// fleetWorkerRun builds the Run func a fleet worker uses — the exact
+// steps `rhfleet -worker` performs per placement: load the persisted
+// wire spec from the placement's shard directory, resolve it, check
+// the campaign identity, and run the shard under the fenced lease.
+func fleetWorkerRun(fleet *leasesvc.Service, ttl time.Duration) func(context.Context, leasesvc.Placement, <-chan struct{}) error {
+	return func(ctx context.Context, p leasesvc.Placement, drain <-chan struct{}) error {
+		b, err := os.ReadFile(shard.SpecPath(p.Dir))
+		if err != nil {
+			return err
+		}
+		var ws Spec
+		if err := json.Unmarshal(b, &ws); err != nil {
+			return err
+		}
+		raw, err := ws.CampaignSpec()
+		if err != nil {
+			return err
+		}
+		rsv, err := Resolve(raw)
+		if err != nil {
+			return err
+		}
+		if got := rsv.Spec.IdentityHash(); got != p.Campaign {
+			return fmt.Errorf("placement names campaign %s, spec resolves to %s", p.Campaign, got)
+		}
+		_, err = shard.RunShard(ctx, shard.RunConfig{
+			Dir:        p.Dir,
+			Assignment: shard.Assignment{Index: p.Shard, Of: p.Of},
+			Spec:       rsv.Spec,
+			Runner:     rsv.Runner,
+			Drain:      drain,
+			BeatEvery:  25 * time.Millisecond,
+			Lease:      fleet,
+			LeaseTTL:   ttl,
+		})
+		return err
+	}
+}
+
+func waitLiveWorkers(t *testing.T, fleet *leasesvc.Service, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		live := 0
+		for _, w := range fleet.Workers() {
+			if w.Alive {
+				live++
+			}
+		}
+		if live >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%d fleet workers never came alive", n)
+}
+
+// TestFleetSubmitByteIdenticalArtifact: a sharded campaign submitted
+// to a manager with live registered workers runs entirely on the
+// fleet — the manager spawns nothing — and publishes an artifact
+// byte-identical to the unsharded in-process run. The workers resolve
+// the persisted spec.json themselves, so this also pins the wire
+// round-trip a real rhfleet -worker performs.
+func TestFleetSubmitByteIdenticalArtifact(t *testing.T) {
+	refMgr, refStore := newTestManager(t, t.TempDir(), ManagerConfig{})
+	refSt, _, err := refMgr.Submit(tinyFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, refMgr, refSt.ID); s.State != StateDone {
+		t.Fatalf("unsharded run: %+v", s)
+	}
+	_, want, err := refStore.Get(refSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ttl := 500 * time.Millisecond
+	fleet := leasesvc.NewService(ttl)
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	for _, id := range []string{"w1", "w2"} {
+		id := id
+		go shard.RunWorker(wctx, shard.WorkerConfig{
+			Registry: fleet, ID: id, TTL: ttl,
+			Run: fleetWorkerRun(fleet, ttl),
+			Log: t.Logf,
+		})
+	}
+	waitLiveWorkers(t, fleet, 2)
+
+	mgr, st := newTestManager(t, t.TempDir(), ManagerConfig{Fleet: fleet, Log: t.Logf})
+	spec := tinyFig5()
+	spec.Shards = 3
+	sub, _, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != refSt.ID {
+		t.Fatalf("fleet fan-out changed the campaign identity: %s vs %s", sub.ID, refSt.ID)
+	}
+	final := waitTerminal(t, mgr, sub.ID)
+	if final.State != StateDone {
+		t.Fatalf("fleet run: %+v", final)
+	}
+	_, got, err := st.Get(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet artifact differs from unsharded run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestFleetFallsBackInProcessWhenEmpty: a Fleet with no live workers
+// must not strand sharded campaigns — they run in-process, the
+// degenerate case.
+func TestFleetFallsBackInProcessWhenEmpty(t *testing.T) {
+	fleet := leasesvc.NewService(500 * time.Millisecond)
+	mgr, _ := newTestManager(t, t.TempDir(), ManagerConfig{Fleet: fleet})
+	spec := tinyFig5()
+	spec.Shards = 2
+	sub, _, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, mgr, sub.ID); s.State != StateDone {
+		t.Fatalf("empty-fleet sharded run: %+v", s)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"rowhammer/internal/campaign"
 	"rowhammer/internal/durable"
 	"rowhammer/internal/exp"
+	"rowhammer/internal/leasesvc"
 	"rowhammer/internal/shard"
 	"rowhammer/internal/store"
 )
@@ -89,6 +90,13 @@ type ManagerConfig struct {
 	// WorkerBudget caps each campaign's worker pool (0 = no cap) so
 	// concurrent campaigns cannot oversubscribe the machine.
 	WorkerBudget int
+	// Fleet, when non-nil, is the daemon's lease service. Sharded
+	// campaigns are fanned out across workers registered with its
+	// worker registry (rhfleet -worker processes pulling placements)
+	// whenever at least one is alive at start; with no fleet — or an
+	// empty one — shards run in-process, the degenerate case of the
+	// same coordinator.
+	Fleet *leasesvc.Service
 	// Log, when non-nil, receives one-line progress messages.
 	Log func(format string, args ...any)
 }
@@ -520,6 +528,10 @@ func (w *inprocWorker) Drain()      { w.drainOnce.Do(func() { close(w.drain) }) 
 // directory and file formats as `rhfleet -coordinate` means the two
 // supervision paths share one on-disk truth and one merge.
 func (m *Manager) executeSharded(r *runState, n int) error {
+	if live := m.liveFleetWorkers(); live > 0 {
+		m.cfg.Log("campaign %s: fanning %d shard(s) out across %d registered fleet worker(s)", r.id, n, live)
+		return m.executeFleet(r, n)
+	}
 	cs := r.resolved.Spec
 	dir := filepath.Join(r.dir, "shards")
 
@@ -576,6 +588,75 @@ func (m *Manager) executeSharded(r *runState, n int) error {
 		Spawn:  spawn,
 		Drain:  m.drainCh,
 		Log:    func(f string, args ...any) { m.cfg.Log("campaign "+r.id+": "+f, args...) },
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("campaign %s: %d of %d jobs failed", r.id, rep.Failed, res.Total)
+	}
+	return m.finish(r, res)
+}
+
+// liveFleetWorkers counts alive registrations in the fleet registry.
+func (m *Manager) liveFleetWorkers() int {
+	if m.cfg.Fleet == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range m.cfg.Fleet.Workers() {
+		if w.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// executeFleet fans one sharded campaign out across the fleet: the
+// wire spec is persisted into the shard directory for workers to
+// resolve, and the coordinator places shards onto registered workers
+// instead of spawning anything. Supervision, stall handling,
+// reassignment bounds and the byte-identical merge are the same code
+// path executeSharded's in-process fan-out uses — that is the point.
+func (m *Manager) executeFleet(r *runState, n int) error {
+	cs := r.resolved.Spec
+	dir, err := filepath.Abs(filepath.Join(r.dir, "shards"))
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Persist the spec in the server wire schema — the same file a
+	// `rhfleet -coordinate` run writes for its workers, and the same
+	// schema POST /v1/campaigns accepts. Identity ignores Workers, so
+	// dividing the budget among shards is safe.
+	wireShard := r.wire
+	if per := wireShard.Workers / n; per >= 1 {
+		wireShard.Workers = per
+	} else {
+		wireShard.Workers = 1
+	}
+	wb, err := json.MarshalIndent(wireShard, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := durable.AtomicWriteFile(shard.SpecPath(dir), append(wb, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	r.update(func(s *Status) { s.State = StateRunning })
+	res, rep, err := shard.Coordinate(m.ctx, shard.Config{
+		Dir:      dir,
+		Spec:     cs,
+		Shards:   n,
+		Fleet:    m.cfg.Fleet,
+		LeaseTTL: m.cfg.Fleet.DefaultLeaseTTL(),
+		Drain:    m.drainCh,
+		Progress: func(done, total int) {
+			r.update(func(s *Status) { s.Done, s.Total = done, total })
+		},
+		Log: func(f string, args ...any) { m.cfg.Log("campaign "+r.id+": "+f, args...) },
 	})
 	if err != nil {
 		return err

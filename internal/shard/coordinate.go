@@ -9,6 +9,7 @@ import (
 
 	"rowhammer/internal/campaign"
 	"rowhammer/internal/durable"
+	"rowhammer/internal/leasesvc"
 )
 
 // WorkerHandle is a running shard worker as the coordinator sees it —
@@ -44,8 +45,26 @@ type Config struct {
 	Spec campaign.Spec
 	// Shards is the partition width N (>= 1).
 	Shards int
-	// Spawn starts one shard worker (required).
+	// Spawn starts one shard worker — local placement, where the
+	// coordinator owns the worker processes. Exactly one of Spawn and
+	// Fleet must be set.
 	Spawn SpawnFunc
+	// Fleet selects fleet placement: instead of spawning anything, the
+	// coordinator schedules shards onto workers registered with this
+	// lease service's worker registry (rhfleet -worker processes
+	// pulling assignments over /v1/workers/beat), watches their shard
+	// leases for liveness and throughput, and rebalances queued shards
+	// off slow workers. Supervision — stall kill, reassignment bounded
+	// by MaxRespawns, completion judged from checkpoints on disk — is
+	// the exact code path local placement uses.
+	Fleet *leasesvc.Service
+	// Registry, in local (Spawn) mode, mirrors each spawned worker
+	// into this service's worker registry, so GET /v1/workers reports
+	// local workers the same way it reports a real fleet — local
+	// coordination as the degenerate case of placement. Observational
+	// only: correctness still rests on shard leases. Ignored in fleet
+	// mode, where workers register themselves.
+	Registry *leasesvc.Service
 	// LeaseTTL is how long a held lease may go without a heartbeat
 	// before the worker is declared stalled and killed. Default 15s.
 	LeaseTTL time.Duration
@@ -60,8 +79,13 @@ type Config struct {
 	// lease service (ServiceProbe) instead of the filesystem. The
 	// stall judgment on top is identical either way: heartbeat Seq
 	// monotonicity on the coordinator's clock (StallTracker), with
-	// wall-clock age only as the no-heartbeat fallback.
+	// wall-clock age only as the no-heartbeat fallback. Fleet mode
+	// defaults this to ServiceProbe over Fleet.
 	Probe func(a Assignment) (Probe, error)
+	// Progress, when non-nil, receives campaign-wide done/total as
+	// observed through the shard leases (fleet mode only; done is
+	// monotone because lease progress survives fencing handovers).
+	Progress func(done, total int)
 	// Drain, when delivered or closed, stops the run gracefully:
 	// workers are asked to drain, nothing is respawned, and Coordinate
 	// returns campaign.ErrDrained if the grid is incomplete.
@@ -70,7 +94,9 @@ type Config struct {
 	Log func(format string, args ...any)
 }
 
-// exitEvent is one worker's termination as seen by the event loop.
+// exitEvent is one shard attempt's termination as seen by the event
+// loop — a local worker process exiting, or (fleet mode) the shard's
+// lease lapsing after having been held.
 type exitEvent struct {
 	idx int
 	gen int
@@ -78,10 +104,12 @@ type exitEvent struct {
 }
 
 // Coordinate supervises an N-way sharded campaign run to completion:
-// spawn a worker per incomplete shard, probe leases to catch dead and
-// stalled workers, reassign a dead shard's remaining jobs to a fresh
-// worker (bounded by MaxRespawns), and finally merge the shard
-// checkpoints into one result byte-identical to a single-process run.
+// start an attempt per incomplete shard (spawn a worker locally, or
+// place the shard onto a registered fleet worker), probe leases to
+// catch dead and stalled workers, reassign a dead shard's remaining
+// jobs to a fresh attempt (bounded by MaxRespawns), and finally merge
+// the shard checkpoints into one result byte-identical to a
+// single-process run.
 //
 // A shard counts as complete when every job it owns has a checkpoint
 // record — failed records included, matching single-process semantics
@@ -97,8 +125,11 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 	if cfg.Shards < 1 {
 		return nil, nil, fmt.Errorf("shard: Config.Shards must be >= 1, got %d", cfg.Shards)
 	}
-	if cfg.Spawn == nil {
+	if cfg.Spawn == nil && cfg.Fleet == nil {
 		return nil, nil, fmt.Errorf("shard: Config.Spawn is required")
+	}
+	if cfg.Spawn != nil && cfg.Fleet != nil {
+		return nil, nil, fmt.Errorf("shard: Config.Spawn and Config.Fleet are mutually exclusive")
 	}
 	logf := cfg.Log
 	if logf == nil {
@@ -127,41 +158,43 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 
 	probe := cfg.Probe
 	if probe == nil {
-		probe = func(a Assignment) (Probe, error) {
-			return ProbeLease(LeasePath(cfg.Dir, a))
+		if cfg.Fleet != nil {
+			probe = ServiceProbe(cfg.Fleet, spec.IdentityHash())
+		} else {
+			probe = func(a Assignment) (Probe, error) {
+				return ProbeLease(LeasePath(cfg.Dir, a))
+			}
 		}
 	}
 	stalls := &StallTracker{}
-
 	parts := Partition(cfg.Shards)
-	active := make(map[int]WorkerHandle, cfg.Shards)
+
+	// The executor is the only thing that differs between local and
+	// fleet placement; everything below it — the supervision loop, the
+	// stall judgment, reassignment bounds, disk-is-truth completion —
+	// is shared.
+	var exec executor
+	if cfg.Fleet != nil {
+		exec = newFleetExecutor(cfg.Fleet, cfg.Dir, spec, parts, ttl, logf, cfg.Progress)
+	} else {
+		exec = newLocalExecutor(cfg.Spawn, cfg.Registry, cfg.Dir, spec.IdentityHash(), ttl, logf, len(parts))
+	}
+	defer exec.Close()
+
+	active := make(map[int]int, cfg.Shards) // shard index → current generation
 	gens := make(map[int]int, cfg.Shards)
 	done := make(map[int]bool, cfg.Shards)
-	exits := make(chan exitEvent, cfg.Shards)
 
-	spawn := func(a Assignment) error {
+	start := func(a Assignment) error {
 		gen := gens[a.Index]
-		h, err := cfg.Spawn(ctx, a, gen)
-		if err != nil {
+		if err := exec.Start(ctx, a, gen); err != nil {
 			return fmt.Errorf("shard %s: spawn: %w", a, err)
 		}
-		active[a.Index] = h
-		go func(idx, gen int, h WorkerHandle) {
-			exits <- exitEvent{idx: idx, gen: gen, err: h.Wait()}
-		}(a.Index, gen, h)
+		active[a.Index] = gen
 		return nil
 	}
-	killAll := func() {
-		for _, h := range active {
-			h.Kill()
-		}
-		for len(active) > 0 {
-			ev := <-exits
-			delete(active, ev.idx)
-		}
-	}
 
-	// Judge every shard from disk before spawning anything: a restarted
+	// Judge every shard from disk before starting anything: a restarted
 	// coordinator skips shards whose checkpoints are already complete.
 	for _, a := range parts {
 		missing, haveCkpt, err := shardMissing(spec, a, CheckpointPath(cfg.Dir, a))
@@ -175,8 +208,7 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 		if haveCkpt {
 			logf("shard %s: resuming, %d job(s) remaining", a, len(missing))
 		}
-		if err := spawn(a); err != nil {
-			killAll()
+		if err := start(a); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -188,12 +220,8 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 		}
 		draining = true
 		logf("coordinator: draining %d active shard(s)", len(active))
-		for _, h := range active {
-			if d, ok := h.(DrainableWorker); ok {
-				d.Drain()
-			} else {
-				h.Kill()
-			}
+		for idx := range active {
+			exec.Drain(parts[idx])
 		}
 	}
 
@@ -202,17 +230,21 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 	for len(active) > 0 {
 		select {
 		case <-ctx.Done():
-			killAll()
 			return nil, nil, ctx.Err()
 		case <-cfg.Drain:
 			startDrain()
 		case <-ticker.C:
+			// Let the executor observe the world first: fleet placement
+			// watches leases and worker registrations here (and may
+			// synthesize exit events); local placement heartbeats its
+			// registry mirror.
+			exec.Tick()
 			// A dead worker surfaces through its exit event; the probe
 			// exists for stragglers — alive (lease held) but silent.
 			// Staleness is judged by Seq monotonicity on our own
 			// clock, so a clock-skewed host with an advancing Seq is
 			// never mistaken for a stall.
-			for idx, h := range active {
+			for idx := range active {
 				a := parts[idx]
 				p, err := probe(a)
 				if err != nil {
@@ -221,16 +253,15 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 				if stalls.Stalled(idx, p, ttl) {
 					logf("shard %s: stalled (heartbeat seq %d frozen for > %s, pid %d); killing",
 						a, p.Info.Seq, ttl, p.Info.PID)
-					h.Kill()
+					exec.Kill(a)
 				}
 			}
-		case ev := <-exits:
+		case ev := <-exec.Events():
 			delete(active, ev.idx)
 			stalls.Forget(ev.idx)
 			a := parts[ev.idx]
 			missing, haveCkpt, merr := shardMissing(spec, a, CheckpointPath(cfg.Dir, a))
 			if merr != nil {
-				killAll()
 				return nil, nil, merr
 			}
 			if haveCkpt && len(missing) == 0 {
@@ -251,15 +282,13 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 			}
 			gens[ev.idx]++
 			if gens[ev.idx] > maxRespawns {
-				killAll()
 				return nil, nil, fmt.Errorf(
 					"shard %s: gave up after %d reassignment(s); %d job(s) still missing (last worker: %v)",
 					a, maxRespawns, len(missing), ev.err)
 			}
 			logf("shard %s: worker gen %d died with %d job(s) remaining (%v); reassigning to gen %d",
 				a, ev.gen, len(missing), ev.err, gens[ev.idx])
-			if err := spawn(a); err != nil {
-				killAll()
+			if err := start(a); err != nil {
 				return nil, nil, err
 			}
 		}

@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rowhammer/internal/leasesvc"
+)
+
+// executor abstracts how one shard attempt runs — the single seam
+// between Coordinate's supervision loop and the three historical
+// execution paths (local subprocesses, in-process goroutines, remote
+// fleet workers). The loop calls every method from one goroutine;
+// implementations surface attempt terminations on Events, at most one
+// outstanding event per shard.
+type executor interface {
+	// Start launches generation gen of shard a. Exactly one attempt
+	// per shard is in flight at a time; the loop never Starts a shard
+	// again before consuming its previous attempt's exit event.
+	Start(ctx context.Context, a Assignment, gen int) error
+	// Kill stops shard a's attempt immediately; its termination
+	// surfaces on Events.
+	Kill(a Assignment)
+	// Drain asks shard a's attempt to stop gracefully — finish
+	// in-flight jobs, checkpoint, release — eventually surfacing on
+	// Events.
+	Drain(a Assignment)
+	// Tick lets the executor observe the world on the coordinator's
+	// poll cadence; fleet placement watches leases and registrations
+	// here and may synthesize exit events.
+	Tick()
+	// Events delivers attempt terminations.
+	Events() <-chan exitEvent
+	// Close stops every attempt; for local attempts it also waits for
+	// them to finish stopping, so checkpoints are quiescent when
+	// Coordinate returns.
+	Close()
+}
+
+// localExecutor runs attempts through a SpawnFunc — exec'd rhfleet
+// subprocesses or in-process goroutines; it does not care which. When
+// a registry mirror is configured, each spawned worker is registered
+// under a synthetic identity and heartbeaten on the coordinator's
+// tick, so /v1/workers reports a locally coordinated run exactly the
+// way it reports a fleet: local coordination is the degenerate case
+// of placement where every worker runs one shard and lives next door.
+type localExecutor struct {
+	spawn SpawnFunc
+	reg   *leasesvc.Service // optional mirror; nil outside -lease-listen runs
+	dir   string
+	hash  string
+	ttl   time.Duration
+	logf  func(format string, args ...any)
+
+	events chan exitEvent
+
+	mu      sync.Mutex
+	handles map[int]WorkerHandle
+	regTok  map[int]uint64
+	regSeq  map[int]uint64
+}
+
+func newLocalExecutor(spawn SpawnFunc, reg *leasesvc.Service, dir, hash string, ttl time.Duration, logf func(string, ...any), shards int) *localExecutor {
+	return &localExecutor{
+		spawn: spawn, reg: reg, dir: dir, hash: hash, ttl: ttl, logf: logf,
+		events:  make(chan exitEvent, shards),
+		handles: make(map[int]WorkerHandle, shards),
+		regTok:  make(map[int]uint64, shards),
+		regSeq:  make(map[int]uint64, shards),
+	}
+}
+
+func mirrorID(idx int) string { return fmt.Sprintf("local/shard-%d", idx) }
+
+func (e *localExecutor) Start(ctx context.Context, a Assignment, gen int) error {
+	h, err := e.spawn(ctx, a, gen)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.handles[a.Index] = h
+	e.mu.Unlock()
+	e.register(a, gen)
+	go func() {
+		werr := h.Wait()
+		e.mu.Lock()
+		delete(e.handles, a.Index)
+		e.mu.Unlock()
+		e.deregister(a.Index)
+		e.events <- exitEvent{idx: a.Index, gen: gen, err: werr}
+	}()
+	return nil
+}
+
+func (e *localExecutor) Kill(a Assignment) {
+	e.mu.Lock()
+	h := e.handles[a.Index]
+	e.mu.Unlock()
+	if h != nil {
+		h.Kill()
+	}
+}
+
+func (e *localExecutor) Drain(a Assignment) {
+	e.mu.Lock()
+	h := e.handles[a.Index]
+	e.mu.Unlock()
+	if h == nil {
+		return
+	}
+	if d, ok := h.(DrainableWorker); ok {
+		d.Drain()
+	} else {
+		h.Kill()
+	}
+}
+
+// Tick heartbeats the registry mirror for every live local worker, so
+// their registrations stay Alive by the same Seq-monotonicity
+// discipline a real fleet worker satisfies for itself.
+func (e *localExecutor) Tick() {
+	if e.reg == nil {
+		return
+	}
+	ctx := context.Background()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for idx := range e.handles {
+		tok, ok := e.regTok[idx]
+		if !ok {
+			continue
+		}
+		e.regSeq[idx]++
+		if _, err := e.reg.WorkerBeat(ctx, mirrorID(idx), tok, e.regSeq[idx]); err != nil {
+			delete(e.regTok, idx)
+		}
+	}
+}
+
+func (e *localExecutor) Events() <-chan exitEvent { return e.events }
+
+func (e *localExecutor) Close() {
+	e.mu.Lock()
+	n := len(e.handles)
+	for _, h := range e.handles {
+		h.Kill()
+	}
+	e.mu.Unlock()
+	for i := 0; i < n; i++ {
+		<-e.events
+	}
+}
+
+func (e *localExecutor) register(a Assignment, gen int) {
+	if e.reg == nil {
+		return
+	}
+	ctx := context.Background()
+	id := mirrorID(a.Index)
+	g, err := e.reg.RegisterWorker(ctx, id, fmt.Sprintf("gen-%d", gen), 1, e.ttl)
+	if err != nil {
+		e.logf("shard %s: registry mirror: %v", a, err)
+		return
+	}
+	e.mu.Lock()
+	e.regTok[a.Index] = g.Token
+	e.regSeq[a.Index] = 0
+	e.mu.Unlock()
+	p := leasesvc.Placement{Campaign: e.hash, Dir: e.dir, Shard: a.Index, Of: a.Of}
+	if err := e.reg.Assign(id, p); err != nil {
+		e.logf("shard %s: registry mirror: %v", a, err)
+	}
+}
+
+func (e *localExecutor) deregister(idx int) {
+	if e.reg == nil {
+		return
+	}
+	e.mu.Lock()
+	tok, ok := e.regTok[idx]
+	delete(e.regTok, idx)
+	delete(e.regSeq, idx)
+	e.mu.Unlock()
+	if ok {
+		e.reg.DeregisterWorker(context.Background(), mirrorID(idx), tok)
+	}
+}

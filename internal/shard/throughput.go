@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"sort"
+	"time"
+)
+
+// rateTracker estimates per-worker throughput from the done counters
+// the shard leases report. Every advance of a shard's done count is
+// credited to the worker the shard is placed on at observation time —
+// the scheduler needs no cooperation from workers beyond the lease
+// beats they already send. Progress is monotone across fencing
+// handovers (the service keeps done/total through reacquisition), so
+// deltas are meaningful even when a shard changes hands.
+type rateTracker struct {
+	workers  map[string]*workerRate
+	lastDone map[int]int // shard index → last observed done
+}
+
+type workerRate struct {
+	credited int       // jobs credited so far
+	first    time.Time // when credit started accruing
+	last     time.Time // most recent credit
+}
+
+func newRateTracker() *rateTracker {
+	return &rateTracker{workers: map[string]*workerRate{}, lastDone: map[int]int{}}
+}
+
+// observe records shard idx's current done count and credits any
+// advance to worker w. The first observation of a shard establishes
+// its baseline without crediting anyone — pre-existing records from a
+// resumed checkpoint are nobody's throughput.
+func (t *rateTracker) observe(w string, idx, done int, now time.Time) {
+	prev, seen := t.lastDone[idx]
+	t.lastDone[idx] = done
+	if !seen || done <= prev || w == "" {
+		return
+	}
+	r := t.workers[w]
+	if r == nil {
+		// The first credit's accrual window is unobserved — it anchors
+		// the clock but does not count.
+		t.workers[w] = &workerRate{first: now}
+		return
+	}
+	r.credited += done - prev
+	r.last = now
+}
+
+// doneOf reports the last observed done count for shard idx.
+func (t *rateTracker) doneOf(idx int) int { return t.lastDone[idx] }
+
+// rate reports worker w's estimated throughput in jobs/sec, ok=false
+// while there is not yet enough signal (fewer than two credit
+// observations spread over measurable time).
+func (t *rateTracker) rate(w string) (float64, bool) {
+	r := t.workers[w]
+	if r == nil || r.credited == 0 {
+		return 0, false
+	}
+	elapsed := r.last.Sub(r.first)
+	if elapsed <= 0 {
+		return 0, false
+	}
+	return float64(r.credited) / elapsed.Seconds(), true
+}
+
+// fallbackRate is the throughput assumed for a worker with no signal
+// yet: the median of the known rates, so cold workers are judged
+// neither generous nor harsh, or 1 job/sec when nothing is known.
+func (t *rateTracker) fallbackRate() float64 {
+	var rates []float64
+	for w := range t.workers {
+		if r, ok := t.rate(w); ok {
+			rates = append(rates, r)
+		}
+	}
+	if len(rates) == 0 {
+		return 1
+	}
+	sort.Float64s(rates)
+	return rates[len(rates)/2]
+}
+
+// rateOr reports w's measured rate or the fallback.
+func (t *rateTracker) rateOr(w string) float64 {
+	if r, ok := t.rate(w); ok {
+		return r
+	}
+	return t.fallbackRate()
+}

@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateTrackerCreditsDeltasNotBaselines(t *testing.T) {
+	rt := newRateTracker()
+	t0 := time.Unix(1000, 0)
+
+	// First observation of a resumed shard: 5 pre-existing records are
+	// nobody's throughput.
+	rt.observe("w1", 0, 5, t0)
+	if _, ok := rt.rate("w1"); ok {
+		t.Fatal("baseline observation should not credit a rate")
+	}
+	// Advances credit the placed worker: +5 over 1s, +5 over 1s more.
+	rt.observe("w1", 0, 10, t0.Add(1*time.Second))
+	rt.observe("w1", 0, 15, t0.Add(2*time.Second))
+	r, ok := rt.rate("w1")
+	if !ok || r < 4.9 || r > 5.1 {
+		t.Fatalf("rate = %v ok=%v, want ~5 jobs/s", r, ok)
+	}
+	if got := rt.doneOf(0); got != 15 {
+		t.Fatalf("doneOf = %d, want 15", got)
+	}
+	// A shard changing hands credits the new worker from its own
+	// baseline — the delta follows the placement.
+	rt.observe("w2", 0, 16, t0.Add(3*time.Second))
+	rt.observe("w2", 0, 17, t0.Add(4*time.Second))
+	if r, ok := rt.rate("w2"); !ok || r < 0.9 || r > 1.1 {
+		t.Fatalf("w2 rate = %v ok=%v, want ~1 job/s", r, ok)
+	}
+	// Fallback for a cold worker is the median of known rates.
+	if f := rt.fallbackRate(); f < 0.9 || f > 5.1 {
+		t.Fatalf("fallback = %v, want within known rates", f)
+	}
+	if r := rt.rateOr("cold"); r != rt.fallbackRate() {
+		t.Fatalf("rateOr(cold) = %v, want fallback %v", r, rt.fallbackRate())
+	}
+}
+
+func TestEtaFor(t *testing.T) {
+	if d := etaFor(0, 5); d != 0 {
+		t.Fatalf("empty backlog eta = %v", d)
+	}
+	if d := etaFor(10, 5); d != 2*time.Second {
+		t.Fatalf("eta = %v, want 2s", d)
+	}
+	if d := etaFor(3, 0); d != 3*time.Second {
+		t.Fatalf("zero-rate eta should assume 1 job/s, got %v", d)
+	}
+}
