@@ -149,24 +149,37 @@ func TestFleetChaosDrill(t *testing.T) {
 
 	st := submit(t, d, `{"kind":"hcfirst","mfrs":["A","B","C","D"],"modules_per_mfr":4,"scale":"tiny","seed":7,"workers":2,"shards":8}`)
 
-	// Wait for the first recorded job, then SIGKILL a healthy worker
-	// without any warning — its held leases must lapse and its shards
-	// be reassigned or re-placed.
+	// Wait until w1 demonstrably holds a shard lease — it is mid-shard
+	// right now — then SIGKILL it without any warning: the held lease
+	// must lapse and be reassigned, and w1's queued placements must be
+	// re-placed onto the survivors.
 	killDeadline := time.Now().Add(time.Minute)
 	for {
-		var cur status
-		getJSON(t, d.base+"/v1/campaigns/"+st.ID, &cur)
-		if cur.Done >= 1 {
+		var leases []struct {
+			Held  bool   `json:"held"`
+			Owner string `json:"owner"`
+		}
+		getJSON(t, d.base+"/v1/leases", &leases)
+		holding := false
+		for _, l := range leases {
+			if l.Held && l.Owner == w1.id {
+				holding = true
+				break
+			}
+		}
+		if holding {
 			break
 		}
+		var cur status
+		getJSON(t, d.base+"/v1/campaigns/"+st.ID, &cur)
 		if cur.State == "done" || cur.State == "failed" || time.Now().After(killDeadline) {
-			t.Fatalf("campaign reached %q before the drill could kill a worker; daemon log:\n%s", cur.State, d.log())
+			t.Fatalf("campaign reached %q before %s ever held a lease; daemon log:\n%s", cur.State, w1.id, d.log())
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	w1.cmd.Process.Kill()
 	w1.cmd.Wait()
-	t.Logf("SIGKILLed worker %s mid-campaign", w1.id)
+	t.Logf("SIGKILLed worker %s while it held a shard lease", w1.id)
 
 	final := pollDone(t, d, st.ID)
 	log := d.log()

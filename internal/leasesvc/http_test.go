@@ -205,8 +205,11 @@ func TestListProgressMonotoneAcrossHandover(t *testing.T) {
 	if _, done, total := readDone(); done != 6 || total != 10 {
 		t.Fatalf("pre-handover view = %d/%d, want 6/10", done, total)
 	}
-	// Age the lease out on the service clock and hand over.
-	svc.SetNow(func() time.Time { return time.Now().Add(time.Hour) })
+	// Age the lease out on the service clock and hand over. A handover
+	// follows within a couple of TTLs — the successor is reassigned as
+	// soon as the coordinator sees the lapse; progress unheld far
+	// longer than that is a fresh run's and resets (see service_test).
+	svc.SetNow(func() time.Time { return time.Now().Add(2 * time.Second) })
 	g2, err := c.Acquire(ctx, key, "gen1", 0)
 	if err != nil {
 		t.Fatalf("successor acquire: %v", err)

@@ -104,6 +104,28 @@ func (s *Service) workerExpired(w *workerState) bool {
 	return s.now().Sub(w.lastAdvance) > w.ttl
 }
 
+// gcWorkersLocked drops registrations that have been dead —
+// deregistered, or heartbeat-expired — for longer than
+// staleStateFactor TTLs. The default worker ID is host:pid, so every
+// worker restart mints a new entry; without a sweep a long-lived
+// service accumulates corpses without bound and GET /v1/workers lists
+// them forever. Deleting an entry restarts its token sequence, which
+// is safe here (unlike for leases): the registry is observational, so
+// the worst a revenant token collision costs is a stale assignment
+// delivered twice, and whichever worker loses the shard lease race
+// gets a refused acquire, never a duplicate record. Caller holds s.mu.
+func (s *Service) gcWorkersLocked() {
+	now := s.now()
+	for id, w := range s.workers {
+		if w.registered && !s.workerExpired(w) {
+			continue
+		}
+		if now.Sub(w.lastAdvance) > staleStateFactor*w.ttl {
+			delete(s.workers, id)
+		}
+	}
+}
+
 // RegisterWorker registers (or re-registers) worker id with slots
 // parallel capacity. Re-registration supersedes unconditionally — a
 // restarted worker must not wait out its own corpse's TTL — minting
@@ -119,6 +141,7 @@ func (s *Service) RegisterWorker(_ context.Context, id, owner string, slots int,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gcWorkersLocked()
 	if ttl <= 0 {
 		ttl = s.ttl
 	}
@@ -231,6 +254,7 @@ func (s *Service) Unassign(id string, p Placement) {
 func (s *Service) Workers() []WorkerView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.gcWorkersLocked()
 	out := make([]WorkerView, 0, len(s.workers))
 	for id, w := range s.workers {
 		v := WorkerView{

@@ -173,3 +173,46 @@ func TestStatsCountersTrackChurn(t *testing.T) {
 		t.Fatalf("workers gauge after expiry = %d, want 0", st.WorkersRegistered)
 	}
 }
+
+// TestWorkerRegistryGC: dead registrations — deregistered, or with an
+// expired heartbeat — are swept once they have been dead for
+// staleStateFactor TTLs, so a long-lived service does not accumulate
+// one corpse per worker restart (the default worker ID is host:pid).
+// Recently dead entries stay listed for diagnostics, and live workers
+// are never swept regardless of age.
+func TestWorkerRegistryGC(t *testing.T) {
+	clk := newFakeClock()
+	s := NewService(time.Second)
+	s.SetNow(clk.now)
+	ctx := context.Background()
+
+	gDereg, _ := s.RegisterWorker(ctx, "deregistered", "hostA:1", 1, 0)
+	s.DeregisterWorker(ctx, "deregistered", gDereg.Token)
+	s.RegisterWorker(ctx, "vanished", "hostB:1", 1, 0)
+
+	clk.advance(5 * time.Second)
+	if n := len(s.Workers()); n != 2 {
+		t.Fatalf("recently dead workers swept early: %d listed, want 2", n)
+	}
+
+	gLive, _ := s.RegisterWorker(ctx, "alive", "hostC:1", 1, 0)
+	for seq := uint64(1); seq <= 40; seq++ {
+		clk.advance(500 * time.Millisecond)
+		if _, err := s.WorkerBeat(ctx, "alive", gLive.Token, seq); err != nil {
+			t.Fatalf("beat %d: %v", seq, err)
+		}
+	}
+	ws := s.Workers()
+	if len(ws) != 1 || ws[0].ID != "alive" || !ws[0].Alive {
+		t.Fatalf("after the grace period: %+v, want only the live worker", ws)
+	}
+
+	// A zombie of a swept registration gets ErrUnknown — the same
+	// signal as a registry restart — and simply re-registers.
+	if _, err := s.WorkerBeat(ctx, "vanished", 1, 99); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("swept zombie beat = %v, want ErrUnknown", err)
+	}
+	if _, err := s.RegisterWorker(ctx, "vanished", "hostB:2", 1, 0); err != nil {
+		t.Fatalf("re-register after sweep: %v", err)
+	}
+}

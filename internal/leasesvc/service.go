@@ -39,6 +39,17 @@ const (
 	DefaultTTL = 15 * time.Second
 )
 
+// staleStateFactor bounds, in TTLs, how long dead state outlives its
+// last heartbeat. A lease unheld for longer has its done/total reset
+// on the next Acquire: progress deliberately survives fencing
+// handovers (a successor resumes the predecessor's checkpoint within
+// a TTL or two), but a re-run of the same spec against a long-lived
+// service — fresh shard directory, wiped store — must not start with
+// the prior run's final counters and look near-complete to Progress
+// and the placement scheduler. Worker registrations dead for the same
+// bound are garbage-collected outright (registry.go).
+const staleStateFactor = 10
+
 // Sentinel errors of the lease protocol. The HTTP layer maps them to
 // status codes and back, so errors.Is works identically against an
 // in-process Service and a remote Client.
@@ -248,16 +259,22 @@ func (s *Service) Acquire(_ context.Context, key Key, owner string, ttl time.Dur
 	if st.held && !s.expired(st) {
 		return Grant{}, &HeldError{Key: key, Owner: st.owner, Seq: st.seq}
 	}
+	// done/total survive a handover: a successor resumes from the
+	// predecessor's checkpoint, so the shard's progress is monotone
+	// across fencing-token changes — and the placement scheduler reads
+	// it off GET /v1/leases as its throughput signal. Resetting on
+	// every acquire would make each reassignment look like lost work.
+	// But an acquisition long after the lease went quiet is a fresh
+	// run, not a handover; its progress starts from zero. The token is
+	// never reset — on-disk fence files depend on its monotonicity.
+	if st.token > 0 && s.now().Sub(st.lastAdvance) > staleStateFactor*st.ttl {
+		st.done, st.total = 0, 0
+	}
 	st.token++
 	st.held = true
 	st.owner = owner
 	st.ttl = ttl
 	st.seq = 0
-	// done/total survive the handover: a successor resumes from the
-	// predecessor's checkpoint, so the shard's progress is monotone
-	// across fencing-token changes — and the placement scheduler reads
-	// it off GET /v1/leases as its throughput signal. Resetting here
-	// would make every reassignment look like lost work.
 	st.lastAdvance = s.now()
 	s.stats.LeaseAcquires++
 	return Grant{Token: st.token, TTL: ttl}, nil

@@ -250,3 +250,43 @@ func TestProgressSurvivesFencingHandover(t *testing.T) {
 		t.Fatalf("view after successor progress = %+v, want 7/9", v)
 	}
 }
+
+// TestAcquireResetsStaleProgress: done/total survive a handover (see
+// above) but not a fresh run against a long-lived service — a lease
+// left unheld far past its TTL acquires with zero progress, so a
+// re-run of the same spec in a fresh shard directory does not start
+// near-complete. The fencing token is never reset: on-disk fence
+// files depend on its monotonicity.
+func TestAcquireResetsStaleProgress(t *testing.T) {
+	clk := newFakeClock()
+	s := NewService(time.Second)
+	s.SetNow(clk.now)
+	ctx := context.Background()
+	key := testKey()
+
+	g1, _ := s.Acquire(ctx, key, "a:1", 0)
+	s.Beat(ctx, key, g1.Token, Beat{Seq: 3, Done: 5, Total: 9})
+	s.Release(ctx, key, g1.Token)
+
+	clk.advance(time.Hour)
+	g2, err := s.Acquire(ctx, key, "b:2", 0)
+	if err != nil {
+		t.Fatalf("fresh-run acquire: %v", err)
+	}
+	if g2.Token != g1.Token+1 {
+		t.Fatalf("token = %d, want %d (tokens stay monotone)", g2.Token, g1.Token+1)
+	}
+	v, ok, _ := s.View(ctx, key)
+	if !ok || v.Done != 0 || v.Total != 0 {
+		t.Fatalf("stale progress leaked into a fresh acquisition: %+v, want 0/0", v)
+	}
+	// Just past TTL is a handover, not a fresh run: progress survives.
+	s.Beat(ctx, key, g2.Token, Beat{Seq: 2, Done: 4, Total: 9})
+	clk.advance(2 * time.Second)
+	if _, err := s.Acquire(ctx, key, "c:3", 0); err != nil {
+		t.Fatalf("successor acquire: %v", err)
+	}
+	if v, _, _ := s.View(ctx, key); v.Done != 4 || v.Total != 9 {
+		t.Fatalf("handover lost progress: %+v, want 4/9", v)
+	}
+}

@@ -143,3 +143,71 @@ func TestFleetFallsBackInProcessWhenEmpty(t *testing.T) {
 		t.Fatalf("empty-fleet sharded run: %+v", s)
 	}
 }
+
+// TestFleetFallsBackWhenFleetVanishes: the fleet-vs-in-process choice
+// is not one-shot. When every registered worker dies mid-campaign,
+// the scheduler's bounded no-worker wait surfaces ErrNoWorkers and
+// the manager finishes the remaining shards in-process — the campaign
+// completes instead of pinning one of the max-active slots on
+// "waiting" forever.
+func TestFleetFallsBackWhenFleetVanishes(t *testing.T) {
+	ttl := 150 * time.Millisecond
+	fleet := leasesvc.NewService(ttl)
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workerDone := make(chan struct{})
+	// A worker that acquires whatever it is handed and then blocks,
+	// heartbeating its lease — healthy-looking until it is killed.
+	go func() {
+		defer close(workerDone)
+		shard.RunWorker(wctx, shard.WorkerConfig{
+			Registry: fleet, ID: "doomed", TTL: ttl, Log: t.Logf,
+			Run: func(ctx context.Context, p leasesvc.Placement, _ <-chan struct{}) error {
+				g, err := fleet.Acquire(ctx, p.LeaseKey(), "doomed", ttl)
+				if err != nil {
+					return err
+				}
+				defer fleet.Release(context.Background(), p.LeaseKey(), g.Token)
+				tick := time.NewTicker(ttl / 4)
+				defer tick.Stop()
+				for seq := uint64(1); ; seq++ {
+					select {
+					case <-ctx.Done():
+						return ctx.Err()
+					case <-tick.C:
+						fleet.Beat(ctx, p.LeaseKey(), g.Token, leasesvc.Beat{Seq: seq})
+					}
+				}
+			},
+		})
+	}()
+	waitLiveWorkers(t, fleet, 1)
+
+	mgr, st := newTestManager(t, t.TempDir(), ManagerConfig{Fleet: fleet, Log: t.Logf})
+	spec := tinyFig5()
+	spec.Shards = 2
+	sub, _, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the whole fleet once a shard is visibly running on it, so
+	// the campaign has committed to fleet placement.
+	deadline := time.Now().Add(10 * time.Second)
+	for held := false; !held; time.Sleep(5 * time.Millisecond) {
+		if time.Now().After(deadline) {
+			t.Fatal("no shard lease ever became held on the fleet")
+		}
+		for _, v := range fleet.List() {
+			held = held || v.Held
+		}
+	}
+	wcancel()
+	<-workerDone
+
+	if s := waitTerminal(t, mgr, sub.ID); s.State != StateDone {
+		t.Fatalf("vanished-fleet campaign = %+v, want done via in-process fallback", s)
+	}
+	if _, _, err := st.Get(sub.ID); err != nil {
+		t.Fatalf("artifact missing after fallback: %v", err)
+	}
+}

@@ -95,7 +95,9 @@ type ManagerConfig struct {
 	// worker registry (rhfleet -worker processes pulling placements)
 	// whenever at least one is alive at start; with no fleet — or an
 	// empty one — shards run in-process, the degenerate case of the
-	// same coordinator.
+	// same coordinator. A fleet that vanishes mid-campaign is bounded
+	// the same way: once every worker has been gone past the
+	// scheduler's patience, the remaining shards finish in-process.
 	Fleet *leasesvc.Service
 	// Log, when non-nil, receives one-line progress messages.
 	Log func(format string, args ...any)
@@ -530,7 +532,15 @@ func (w *inprocWorker) Drain()      { w.drainOnce.Do(func() { close(w.drain) }) 
 func (m *Manager) executeSharded(r *runState, n int) error {
 	if live := m.liveFleetWorkers(); live > 0 {
 		m.cfg.Log("campaign %s: fanning %d shard(s) out across %d registered fleet worker(s)", r.id, n, live)
-		return m.executeFleet(r, n)
+		err := m.executeFleet(r, n)
+		if !errors.Is(err, shard.ErrNoWorkers) {
+			return err
+		}
+		// The whole fleet vanished mid-campaign. The shard checkpoints
+		// on disk are the truth either way, so finish the remaining
+		// jobs in-process — the degenerate case this campaign would
+		// have started as had the fleet been empty at submit.
+		m.cfg.Log("campaign %s: fleet vanished (%v); finishing remaining shards in-process", r.id, err)
 	}
 	cs := r.resolved.Spec
 	dir := filepath.Join(r.dir, "shards")

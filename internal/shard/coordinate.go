@@ -282,8 +282,11 @@ func Coordinate(ctx context.Context, cfg Config) (*campaign.Result, *MergeReport
 			}
 			gens[ev.idx]++
 			if gens[ev.idx] > maxRespawns {
+				// Wrap the last attempt's error so callers can react to
+				// the cause — rhserved falls back to in-process shards
+				// when it is ErrNoWorkers.
 				return nil, nil, fmt.Errorf(
-					"shard %s: gave up after %d reassignment(s); %d job(s) still missing (last worker: %v)",
+					"shard %s: gave up after %d reassignment(s); %d job(s) still missing (last worker: %w)",
 					a, maxRespawns, len(missing), ev.err)
 			}
 			logf("shard %s: worker gen %d died with %d job(s) remaining (%v); reassigning to gen %d",

@@ -17,14 +17,28 @@ import (
 // for a local worker's exit code.
 var errLeaseLapsed = errors.New("shard lease lapsed or was released")
 
+// ErrNoWorkers reports a fleet placement that waited out the
+// scheduler's patience with zero live registered workers. It bounds a
+// fleet that vanishes after the campaign chose fleet placement:
+// attempts terminated with it exhaust MaxRespawns in a few polls, so
+// the campaign fails (or, in rhserved, falls back to in-process
+// shards) instead of pinning a slot on "waiting" forever.
+var ErrNoWorkers = errors.New("shard: no live workers registered")
+
 // fleetAttempt is one generation of one shard as the scheduler tracks
 // it: where it is placed and what its lease has shown so far.
 type fleetAttempt struct {
-	a        Assignment
-	gen      int
-	worker   string // "" while unplaced
-	sawHeld  bool   // the lease was observed held during this attempt
-	held     bool   // ... on the most recent tick
+	a      Assignment
+	gen    int
+	worker string // "" while unplaced
+	// baseTok is the lease's fencing token when the attempt started;
+	// any later token is an acquire that happened on this attempt's
+	// watch. Without it a fast shard whose acquire→run→release fits
+	// entirely between two polls looks never-started and gets
+	// re-placed (and rebalanced) forever.
+	baseTok  uint64
+	sawHeld  bool // the lease was observed held during this attempt
+	held     bool // ... on the most recent tick
 	lastDone int
 	draining bool
 	// starving is set while the placed worker has free capacity yet
@@ -56,6 +70,14 @@ type fleetExecutor struct {
 	events   chan exitEvent
 	attempts map[int]*fleetAttempt
 	rates    *rateTracker
+	// starved remembers, per shard, the worker whose starvation bound
+	// last fired — the next placement avoids it when any alternative
+	// exists, since the starved worker usually still looks least
+	// loaded and landing there again just burns another respawn.
+	starved map[int]string
+	// noWorkersSince is when the live-worker set last became empty;
+	// zero while at least one worker is alive.
+	noWorkersSince time.Time
 }
 
 func newFleetExecutor(svc *leasesvc.Service, dir string, spec campaign.Spec, parts []Assignment, ttl time.Duration, logf func(string, ...any), progress func(done, total int)) *fleetExecutor {
@@ -73,6 +95,7 @@ func newFleetExecutor(svc *leasesvc.Service, dir string, spec campaign.Spec, par
 		events:   make(chan exitEvent, len(parts)),
 		attempts: make(map[int]*fleetAttempt, len(parts)),
 		rates:    newRateTracker(),
+		starved:  map[int]string{},
 	}
 }
 
@@ -86,8 +109,17 @@ func (e *fleetExecutor) placement(a Assignment) leasesvc.Placement {
 // a predecessor's lease to age out would be judged wedged.
 func (e *fleetExecutor) startPatience() time.Duration { return 6 * e.ttl }
 
-func (e *fleetExecutor) Start(_ context.Context, a Assignment, gen int) error {
+func (e *fleetExecutor) Start(ctx context.Context, a Assignment, gen int) error {
 	at := &fleetAttempt{a: a, gen: gen}
+	done := 0
+	if v, ok, err := e.svc.View(ctx, e.placement(a).LeaseKey()); err == nil && ok {
+		at.baseTok = v.Token
+		done = v.Done
+	}
+	// Baseline the shard's done count now (credited to nobody), so
+	// even a shard whose entire run fits between two polls credits its
+	// worker the full delta when the lapse is observed.
+	e.rates.observe("", a.Index, done, e.now())
 	e.attempts[a.Index] = at
 	e.place(at, e.aliveWorkers())
 	return nil
@@ -164,9 +196,19 @@ func (e *fleetExecutor) Tick() {
 	workers := e.aliveWorkers()
 	now := e.now()
 
-	// One lease observation per attempt; held counts feed both the
-	// starvation bound and the rebalancer.
-	held := map[string]int{}
+	// Track how long the fleet has been empty: a fleet that vanishes
+	// after placement began must bound the wait, not pin the campaign
+	// on "waiting" forever.
+	if len(workers) == 0 {
+		if e.noWorkersSince.IsZero() {
+			e.noWorkersSince = now
+		}
+	} else {
+		e.noWorkersSince = time.Time{}
+	}
+
+	// One lease observation per attempt feeds the rebalancer's
+	// throughput signal.
 	for _, at := range e.attempts {
 		v, ok, err := e.svc.View(ctx, e.placement(at.a).LeaseKey())
 		at.held = err == nil && ok && v.Held
@@ -175,8 +217,33 @@ func (e *fleetExecutor) Tick() {
 		}
 		if at.held {
 			at.sawHeld = true
-			held[at.worker]++
+			delete(e.starved, at.a.Index)
 			e.rates.observe(at.worker, at.a.Index, v.Done, now)
+		} else if err == nil && ok && v.Token > at.baseTok {
+			// The lease was acquired — and released — entirely between
+			// polls: the shard ran on this attempt's watch even though no
+			// tick caught it held. Mark it started so the lapse path
+			// below retires it and the checkpoint decides the verdict,
+			// and credit the run to the worker so fast workers still
+			// earn a throughput signal.
+			at.sawHeld = true
+			delete(e.starved, at.a.Index)
+			e.rates.observe(at.worker, at.a.Index, v.Done, now)
+		}
+	}
+
+	// Busy slots are judged service-wide, not from this executor's
+	// attempts alone: a worker's capacity may be occupied by another
+	// campaign's placements (rhserved runs several against one shared
+	// registry), which this executor can't see in its own attempt set.
+	// Count every assignment whose shard lease is held, whoever placed
+	// it, so a genuinely busy worker never starts the starving clock.
+	busy := map[string]int{}
+	for id, w := range workers {
+		for _, p := range w.Assignments {
+			if v, ok, err := e.svc.View(ctx, p.LeaseKey()); err == nil && ok && v.Held {
+				busy[id]++
+			}
 		}
 	}
 
@@ -212,17 +279,22 @@ func (e *fleetExecutor) Tick() {
 				e.svc.Unassign(at.worker, e.placement(at.a))
 				at.worker = ""
 			}
+			if len(workers) == 0 && now.Sub(e.noWorkersSince) > e.startPatience() {
+				e.finish(at, fmt.Errorf("%w within %s", ErrNoWorkers, e.startPatience()))
+				continue
+			}
 			e.place(at, workers)
 			continue
 		}
-		// Queued on a live worker. A worker with free capacity that
-		// still does not pick the shard up is wedged on it; bound that
+		// Queued on a live worker. A worker with a free slot that still
+		// does not pick the shard up is wedged on it; bound that
 		// instead of hanging the campaign.
-		if held[at.worker] < workers[at.worker].Slots {
+		if busy[at.worker] < workers[at.worker].Slots {
 			if at.starving.IsZero() {
 				at.starving = now
 			}
 			if now.Sub(at.starving) > e.startPatience() {
+				e.starved[at.a.Index] = at.worker
 				e.finish(at, fmt.Errorf("worker %s never acquired the shard lease within %s", at.worker, e.startPatience()))
 			}
 		} else {
@@ -274,6 +346,17 @@ func (e *fleetExecutor) place(at *fleetAttempt, workers map[string]leasesvc.Work
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	// Re-place a starved shard away from the worker that starved it
+	// whenever an alternative exists.
+	if avoid, ok := e.starved[at.a.Index]; ok && len(ids) > 1 {
+		kept := ids[:0]
+		for _, id := range ids {
+			if id != avoid {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+	}
 	loads := e.loads()
 	rem := e.remaining(at.a.Index)
 	best := ""
@@ -360,9 +443,6 @@ func (e *fleetExecutor) rebalance(workers map[string]leasesvc.WorkerView) {
 	if donor == "" || donor == recipient {
 		return
 	}
-	if etas[donor] <= 2*etas[recipient] || etas[donor]-etas[recipient] <= e.ttl/2 {
-		return
-	}
 	// Move the queued shard with the most work — the one whose wait
 	// hurts most.
 	at := queued[donor][0]
@@ -371,6 +451,15 @@ func (e *fleetExecutor) rebalance(workers map[string]leasesvc.WorkerView) {
 			at = q
 		}
 	}
+	// Judge the move by where the shard would *land*: the recipient's
+	// ETA with the moved shard's backlog on board. Comparing against
+	// the recipient's empty queue instead makes the move itself flip
+	// the asymmetry, and two equal-rate workers ping-pong one queued
+	// shard forever.
+	after := etaFor(loads[recipient]+e.remaining(at.a.Index), e.rates.rateOr(recipient))
+	if etas[donor] <= 2*after || etas[donor]-after <= e.ttl/2 {
+		return
+	}
 	e.svc.Unassign(donor, e.placement(at.a))
 	if err := e.svc.Assign(recipient, e.placement(at.a)); err != nil {
 		at.worker = ""
@@ -378,8 +467,8 @@ func (e *fleetExecutor) rebalance(workers map[string]leasesvc.WorkerView) {
 	}
 	at.worker = recipient
 	at.starving = time.Time{}
-	e.logf("fleet: shard %s: rebalance — reassigning queued shard from worker %s (eta %s) to %s (eta %s)",
-		at.a, donor, etas[donor].Round(time.Millisecond), recipient, etas[recipient].Round(time.Millisecond))
+	e.logf("fleet: shard %s: rebalance — reassigning queued shard from worker %s (eta %s) to %s (eta %s after move)",
+		at.a, donor, etas[donor].Round(time.Millisecond), recipient, after.Round(time.Millisecond))
 }
 
 // etaFor converts a job backlog and a jobs/sec rate into a duration.

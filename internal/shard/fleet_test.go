@@ -310,3 +310,109 @@ func TestLocalCoordinateMirrorsWorkersIntoRegistry(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetCoordinateNoWorkersBounded: a fleet campaign whose worker
+// set is empty must not wait forever — the scheduler gives up after
+// its patience with ErrNoWorkers (which rhserved turns into an
+// in-process fallback) instead of logging "waiting" unboundedly.
+func TestFleetCoordinateNoWorkersBounded(t *testing.T) {
+	spec := testSpec()
+	svc := leasesvc.NewService(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, err := shard.Coordinate(ctx, shard.Config{
+		Dir: t.TempDir(), Spec: spec, Shards: 2, MaxRespawns: 1,
+		Fleet: svc, LeaseTTL: 100 * time.Millisecond, Poll: 20 * time.Millisecond,
+		Log: t.Logf,
+	})
+	if !errors.Is(err, shard.ErrNoWorkers) {
+		t.Fatalf("empty-fleet coordinate = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestFleetForeignBusySlotIsNotStarvation: the starvation bound must
+// judge a worker's free capacity service-wide. Here the only worker's
+// single slot is occupied by another campaign's placement (its shard
+// lease held by a different scheduler), so our queued shard is
+// legitimately waiting, not wedged — with slot-blind accounting it
+// would be judged "never acquired the shard lease" after 6×TTL,
+// burn through MaxRespawns, and falsely abort.
+func TestFleetForeignBusySlotIsNotStarvation(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+	ttl := 100 * time.Millisecond
+	h := newFleetHarness(t, dir, spec, ttl)
+
+	foreign := leasesvc.Placement{Campaign: "feedfacefeedface", Dir: dir, Shard: 0, Of: 1}
+	foreignHeld := make(chan struct{})
+	releaseForeign := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- shard.RunWorker(ctx, shard.WorkerConfig{
+			Registry: h.svc, ID: "shared", TTL: ttl, Slots: 1, Log: t.Logf,
+			Run: func(ctx context.Context, p leasesvc.Placement, pdrain <-chan struct{}) error {
+				if p == foreign {
+					// The other campaign's shard: hold its lease and
+					// keep beating until released.
+					g, err := h.svc.Acquire(ctx, p.LeaseKey(), "other-campaign", ttl)
+					if err != nil {
+						return err
+					}
+					defer h.svc.Release(context.Background(), p.LeaseKey(), g.Token)
+					close(foreignHeld)
+					tick := time.NewTicker(ttl / 4)
+					defer tick.Stop()
+					for seq := uint64(1); ; seq++ {
+						select {
+						case <-releaseForeign:
+							return nil
+						case <-ctx.Done():
+							return ctx.Err()
+						case <-tick.C:
+							h.svc.Beat(ctx, p.LeaseKey(), g.Token, leasesvc.Beat{Seq: seq})
+						}
+					}
+				}
+				_, err := shard.RunShard(ctx, shard.RunConfig{
+					Dir:        p.Dir,
+					Assignment: shard.Assignment{Index: p.Shard, Of: p.Of},
+					Spec:       h.spec, Runner: pureRunner,
+					Drain: pdrain, BeatEvery: 20 * time.Millisecond,
+					Lease: h.svc, LeaseTTL: ttl, Owner: "shared",
+				})
+				return err
+			},
+		})
+	}()
+	h.waitRegistered("shared")
+	if err := h.svc.Assign("shared", foreign); err != nil {
+		t.Fatal(err)
+	}
+	<-foreignHeld
+
+	// Free the slot only after the 6×TTL starvation bound would have
+	// fired twice over — with MaxRespawns 1, slot-blind accounting
+	// would have aborted the campaign well before this.
+	go func() {
+		time.Sleep(14 * ttl)
+		close(releaseForeign)
+	}()
+
+	cctx, ccancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer ccancel()
+	_, rep, err := shard.Coordinate(cctx, shard.Config{
+		Dir: dir, Spec: spec, Shards: 1, MaxRespawns: 1,
+		Fleet: h.svc, LeaseTTL: ttl, Poll: 20 * time.Millisecond,
+		Log: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("campaign aborted while its worker was busy with another campaign: %v", err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("incomplete: %v", rep.Missing)
+	}
+	cancel()
+	<-workerDone
+}
